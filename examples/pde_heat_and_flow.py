@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""PDE support by the method of lines — the paper's future work, built.
+
+Section 6: "We have also started to extend the domain of equation systems
+for which code can be generated to partial differential equations, where
+fluid dynamics applications are common."
+
+Three problems, all flowing through the unchanged ObjectMath pipeline
+(dependency analysis → task partitioning → code generation → solvers):
+
+1. the 1-D heat equation, validated against its analytic solution, with a
+   3-color sparse finite-difference Jacobian (tridiagonal structure),
+2. upwind advection, whose one-way coupling makes the dependency graph a
+   *chain of SCCs* — the pipeline-parallel case of section 2.1,
+3. viscous Burgers (the "fluid dynamics" flavour), nonlinear, solved with
+   the LSODA-style driver.
+
+Usage::
+
+    python examples/pde_heat_and_flow.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import partition, simulate_pipeline
+from repro.codegen import generate_program, make_ode_system
+from repro.pde import Grid1D, PdeField, PdeProblem
+from repro.solver import ColoredFiniteDifferenceJacobian, solve_ivp
+
+
+def heat() -> None:
+    print("=" * 64)
+    print("1. Heat equation  u_t = a u_xx  on [0,1], u(0)=u(1)=0")
+    print("=" * 64)
+    alpha = 0.1
+    grid = Grid1D(41, 0.0, 1.0)
+    problem = PdeProblem(grid, name="heat")
+    u = PdeField("u", initial=lambda x: math.sin(math.pi * x))
+    problem.add(u, lambda ctx: alpha * ctx.d2dx2(u))
+
+    system = make_ode_system(problem.discretize())
+    program = generate_program(system)
+    f = program.make_rhs()
+    jac = ColoredFiniteDifferenceJacobian(f, system)
+    print(f"  {system.num_states} states, tridiagonal Jacobian -> "
+          f"{jac.num_colors} FD colors instead of {system.num_states}")
+
+    result = solve_ivp(f, (0.0, 0.5), program.start_vector(), method="bdf",
+                       rtol=1e-8, atol=1e-11, jac=jac)
+    print(f"  BDF: {result.stats.naccepted} steps, "
+          f"{result.stats.nfev} RHS calls, {result.stats.njev} Jacobians")
+    decay = math.exp(-math.pi**2 * alpha * 0.5)
+    mid = system.state_names.index("u[20]")
+    print(f"  midpoint: computed {result.y_final[mid]:.6f}, "
+          f"analytic {decay * math.sin(math.pi * 0.5):.6f}")
+    print()
+
+
+def advection() -> None:
+    print("=" * 64)
+    print("2. Upwind advection  v_t = -c v_x  (pipeline-parallel SCCs)")
+    print("=" * 64)
+    grid = Grid1D(30, 0.0, 1.0)
+    problem = PdeProblem(grid, name="advect")
+    v = PdeField("v", initial=lambda x: math.exp(-100 * (x - 0.2) ** 2))
+    problem.add(v, lambda ctx: -1.0 * ctx.ddx_upwind(v, 1.0))
+
+    flat = problem.discretize()
+    part = partition(flat)
+    print(f"  {part.num_subsystems} SCCs on {part.num_levels} levels — "
+          f"a pure chain: section 2.1's pipe-line parallelism")
+    costs = [1.0] * part.num_subsystems
+    report = simulate_pipeline(part, costs, num_steps=500)
+    print(f"  pipeline simulation: {report.speedup:.1f}x speedup over "
+          f"sequential subsystem solution")
+    print()
+
+
+def burgers() -> None:
+    print("=" * 64)
+    print("3. Viscous Burgers  u_t = -u u_x + nu u_xx  (fluid dynamics)")
+    print("=" * 64)
+    nu = 0.01
+    grid = Grid1D(61, 0.0, 1.0)
+    problem = PdeProblem(grid, name="burgers")
+    u = PdeField("u", initial=lambda x: math.sin(math.pi * x))
+    problem.add(
+        u,
+        lambda ctx: -1.0 * ctx.value(u) * ctx.ddx(u) + nu * ctx.d2dx2(u),
+    )
+    system = make_ode_system(problem.discretize())
+    program = generate_program(system)
+    result = solve_ivp(program.make_rhs(), (0.0, 0.8),
+                       program.start_vector(), method="lsoda",
+                       rtol=1e-6, atol=1e-9)
+    energy0 = float(np.linalg.norm(result.ys[0]))
+    energy1 = float(np.linalg.norm(result.y_final))
+    print(f"  LSODA: {result.stats.naccepted} steps, method switches: "
+          f"{result.stats.method_switches}")
+    print(f"  energy decays under viscosity: {energy0:.3f} -> "
+          f"{energy1:.3f}; max |u| = {np.max(np.abs(result.y_final)):.3f}")
+    print()
+
+
+def heat2d() -> None:
+    print("=" * 64)
+    print("4. 2-D heat equation on a 17x17 grid (5-point Laplacian)")
+    print("=" * 64)
+    from repro.pde import Grid2D, PdeField2D, PdeProblem2D
+
+    alpha = 0.05
+    grid = Grid2D(17, 17)
+    problem = PdeProblem2D(grid, name="heat2d")
+    u = PdeField2D(
+        "u",
+        initial=lambda x, y: math.sin(math.pi * x) * math.sin(math.pi * y),
+    )
+    problem.add(u, lambda ctx: alpha * ctx.laplacian(u))
+    system = make_ode_system(problem.discretize())
+    program = generate_program(system)
+    f = program.make_rhs()
+    jac = ColoredFiniteDifferenceJacobian(f, system)
+    print(f"  {system.num_states} states; 5-point-stencil Jacobian -> "
+          f"{jac.num_colors} FD colors")
+    result = solve_ivp(f, (0.0, 0.5), program.start_vector(), method="bdf",
+                       rtol=1e-7, atol=1e-10, jac=jac)
+    mid = system.state_names.index("u[8,8]")
+    exact = math.exp(-2 * math.pi**2 * alpha * 0.5)
+    print(f"  centre after t=0.5: computed {result.y_final[mid]:.5f}, "
+          f"analytic {exact:.5f} (O(dx^2) apart)")
+
+
+if __name__ == "__main__":
+    heat()
+    advection()
+    burgers()
+    heat2d()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: write an ObjectMath-style model, compile it, solve it.
+
+Runs the whole pipeline of the paper (Figure 7) on a two-oscillator model:
+source text -> flatten -> dependency analysis -> parallel code generation
+-> numerical solution with the LSODA-style solver -> comparison with the
+closed-form solution.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import compile_source
+from repro.solver import solve_ivp
+
+SOURCE = """
+MODEL quickstart;
+
+(* A reusable class: equations, not statements.  Instances below
+   specialise it via parameter overrides. *)
+CLASS Oscillator
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Oscillator;
+
+INSTANCE A INHERITS Oscillator;
+INSTANCE B INHERITS Oscillator (k := 9.0, x := 0.5);
+
+END quickstart;
+"""
+
+
+def main() -> None:
+    compiled = compile_source(SOURCE)
+    print(compiled.summary())
+    print()
+    print("Dependency analysis (equation-system-level parallelism):")
+    print(compiled.partition.summary())
+    print()
+
+    # The generated program is ordinary numerical code.
+    program = compiled.program
+    f = program.make_rhs()
+    y0 = program.start_vector()
+    result = solve_ivp(f, (0.0, 5.0), y0, method="lsoda",
+                       rtol=1e-9, atol=1e-12)
+    print(f"solved with {result.method}: {result.stats.naccepted} steps, "
+          f"{result.stats.nfev} RHS evaluations")
+
+    # Validate against the closed form x(t) = x0 cos(sqrt(k) t).
+    names = compiled.system.state_names
+    t_end = result.t_final
+    expected = {
+        "A.x": 1.0 * math.cos(2.0 * t_end),
+        "B.x": 0.5 * math.cos(3.0 * t_end),
+    }
+    print()
+    print(f"{'state':8s} {'computed':>15s} {'exact':>15s}")
+    for name, exact in expected.items():
+        value = result.y_final[names.index(name)]
+        print(f"{name:8s} {value:15.10f} {exact:15.10f}")
+        assert abs(value - exact) < 1e-6
+
+    print("\nGenerated Python RHS module:")
+    print("-" * 60)
+    print(program.module.source[:800])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The model implementor's workflow: inspect → reduce → solve partitioned.
+
+Section 2.5.1: "the analysis and the visualization of dependencies are
+very helpful tools for the model implementor.  It is easy to find missing
+dependencies or dependencies that should not be there.  Also,
+uninteresting parts of the problem can be removed at an early stage so
+that no computing power is wasted."
+
+This example walks that workflow on the 2D bearing and the power plant:
+
+1. visualize the dependency structure (Graphviz DOT + SCC summary),
+2. remove the parts that cannot influence the quantities of interest,
+3. solve the power plant *partitioned* — each subsystem with its own
+   solver and step size, the executable form of section 2.1/2.3.
+
+Usage::
+
+    python examples/reduction_and_cosim.py
+"""
+
+import numpy as np
+
+from repro import compile_model
+from repro.analysis import partition_to_dot, reduce_model
+from repro.apps import BearingParams, build_bearing2d, build_powerplant
+from repro.codegen import generate_program, make_ode_system
+from repro.solver import solve_ivp, solve_partitioned
+
+
+def inspect_and_reduce_bearing() -> None:
+    print("=" * 64)
+    print("1. Inspect and reduce the 2D bearing")
+    print("=" * 64)
+    compiled = compile_model(build_bearing2d(BearingParams(num_rollers=6)))
+    dot = partition_to_dot(compiled.partition, name="bearing")
+    print(f"  DOT graph: {len(dot.splitlines())} lines "
+          f"({dot.count('subgraph')} SCC clusters) — render with graphviz")
+
+    flat = compiled.flat
+    reduced, report = reduce_model(flat, ["Ir.w", "Ir.r.x", "Ir.r.y"])
+    print(f"  outputs of interest: ring motion -> {report}")
+    print(f"  {flat.num_states} states -> {reduced.num_states} states")
+
+    program = generate_program(make_ode_system(reduced))
+    r = solve_ivp(program.make_rhs(), (0.0, 0.005),
+                  program.start_vector(), method="rk45",
+                  rtol=1e-6, atol=1e-9)
+    print(f"  reduced model integrates: success={r.success}, "
+          f"{r.stats.nfev} RHS calls")
+    print()
+
+
+def cosimulate_powerplant() -> None:
+    print("=" * 64)
+    print("2. Partitioned solution of the power plant")
+    print("=" * 64)
+    compiled = compile_model(build_powerplant())
+    system = compiled.system
+    program = compiled.program
+
+    mono = solve_ivp(program.make_rhs(), (0.0, 500.0),
+                     program.start_vector(), method="lsoda",
+                     rtol=1e-7, atol=1e-10)
+    part = solve_partitioned(system, (0.0, 500.0), method="lsoda",
+                             rtol=1e-7, atol=1e-10)
+    print(part.summary())
+    err = float(np.abs(part.y_final - mono.y_final).max())
+    scalar_mono = mono.stats.nfev * system.num_states
+    print(f"\n  agreement with the monolithic solve: max |diff| = {err:.2e}")
+    print(f"  scalar RHS work: monolithic {scalar_mono}, partitioned "
+          f"{part.total_nfev} ({scalar_mono / part.total_nfev:.2f}x less)")
+    slowest = max(part.runs, key=lambda r: r.mean_step)
+    fastest = min(part.runs, key=lambda r: r.mean_step)
+    print(f"  step sizes chosen independently: "
+          f"{fastest.mean_step:.3g}s ({fastest.state_names[0]}…) to "
+          f"{slowest.mean_step:.3g}s ({slowest.state_names[0]}…)")
+
+
+if __name__ == "__main__":
+    inspect_and_reduce_bearing()
+    cosimulate_powerplant()

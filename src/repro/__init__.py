@@ -1,0 +1,40 @@
+"""repro — a reproduction of "Generating Parallel Code from Object Oriented
+Mathematical Models" (Andersson & Fritzson, PPoPP 1995).
+
+The package rebuilds the ObjectMath pipeline end to end:
+
+* :mod:`repro.symbolic` — the symbolic expression engine (the Mathematica
+  stand-in),
+* :mod:`repro.language` / :mod:`repro.model` — the object-oriented
+  modeling language (textual and programmatic) and model flattening,
+* :mod:`repro.analysis` — dependency graphs, strongly connected
+  components, subsystem partitioning, pipeline parallelism,
+* :mod:`repro.codegen` — the code generator: expression transformer,
+  compilable-subset verifier, cost model, task partitioning, CSE, and the
+  Python / Fortran 90 / C back ends,
+* :mod:`repro.schedule` — LPT, semi-dynamic LPT and DAG list scheduling,
+* :mod:`repro.runtime` — MIMD machine models, the discrete-event
+  supervisor/worker simulator, and real threaded execution,
+* :mod:`repro.solver` — the ODEPACK replacement: RK45, variable-order
+  Adams, BDF(1–5) with analytic Jacobians, and an LSODA-style switching
+  driver,
+* :mod:`repro.apps` — the paper's applications: the 2D rolling bearing,
+  the hydroelectric power plant, the servo, and a scalable synthetic
+  3D-class bearing.
+
+Quick start::
+
+    from repro import compile_model
+    from repro.apps import build_bearing2d
+    from repro.solver import solve_ivp
+
+    compiled = compile_model(build_bearing2d())
+    f = compiled.program.make_rhs()
+    result = solve_ivp(f, (0.0, 0.01), compiled.program.start_vector())
+"""
+
+from .frontend import CompiledModel, compile_model, compile_source
+
+__version__ = "1.0.0"
+
+__all__ = ["CompiledModel", "compile_model", "compile_source", "__version__"]

@@ -1,0 +1,30 @@
+"""Dependency analysis: equation-system-level parallelism extraction."""
+
+from .depgraph import DiGraph, VariableAssignment, build_dependency_graph
+from .matching import MatchingError, maximum_matching
+from .partition import Partition, Subsystem, partition
+from .pipeline import PipelineReport, simulate_pipeline
+from .reduction import ReductionReport, reachable_variables, reduce_model
+from .scc import condensation, strongly_connected_components
+from .visualize import ascii_graph, partition_to_dot, to_dot
+
+__all__ = [
+    "DiGraph",
+    "VariableAssignment",
+    "build_dependency_graph",
+    "MatchingError",
+    "maximum_matching",
+    "Partition",
+    "Subsystem",
+    "partition",
+    "PipelineReport",
+    "simulate_pipeline",
+    "condensation",
+    "strongly_connected_components",
+    "ReductionReport",
+    "reachable_variables",
+    "reduce_model",
+    "ascii_graph",
+    "partition_to_dot",
+    "to_dot",
+]

@@ -1,0 +1,93 @@
+"""Maximum bipartite matching (Hopcroft–Karp).
+
+Used to assign residual implicit equations to the unknowns they determine —
+the first step of BLT (block lower triangular) sorting of a general
+equation system.  A perfect matching exists iff the system is structurally
+nonsingular.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["MatchingError", "maximum_matching"]
+
+_INF = float("inf")
+
+
+class MatchingError(ValueError):
+    """Raised when an equation system is structurally singular."""
+
+
+def maximum_matching(
+    adjacency: Mapping[Hashable, Sequence[Hashable]],
+    right_nodes: Sequence[Hashable] | None = None,
+) -> dict[Hashable, Hashable]:
+    """Maximum matching of the bipartite graph ``left -> [right...]``.
+
+    Returns a dict mapping matched left nodes to their right partner.
+    Runs Hopcroft–Karp in ``O(E * sqrt(V))``.
+    """
+    left = list(adjacency)
+    if right_nodes is None:
+        seen: dict[Hashable, None] = {}
+        for neighbours in adjacency.values():
+            for r in neighbours:
+                seen.setdefault(r, None)
+        right = list(seen)
+    else:
+        right = list(right_nodes)
+    right_index = {r: i for i, r in enumerate(right)}
+
+    adj: list[list[int]] = []
+    for l in left:
+        row = []
+        for r in adjacency[l]:
+            idx = right_index.get(r)
+            if idx is not None:
+                row.append(idx)
+        adj.append(row)
+
+    match_l: list[int] = [-1] * len(left)   # left i -> right j
+    match_r: list[int] = [-1] * len(right)  # right j -> left i
+    dist: list[float] = [0.0] * len(left)
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for i in range(len(left)):
+            if match_l[i] == -1:
+                dist[i] = 0.0
+                queue.append(i)
+            else:
+                dist[i] = _INF
+        found = False
+        while queue:
+            i = queue.popleft()
+            for j in adj[i]:
+                k = match_r[j]
+                if k == -1:
+                    found = True
+                elif dist[k] == _INF:
+                    dist[k] = dist[i] + 1
+                    queue.append(k)
+        return found
+
+    def dfs(i: int) -> bool:
+        for j in adj[i]:
+            k = match_r[j]
+            if k == -1 or (dist[k] == dist[i] + 1 and dfs(k)):
+                match_l[i] = j
+                match_r[j] = i
+                return True
+        dist[i] = _INF
+        return False
+
+    while bfs():
+        for i in range(len(left)):
+            if match_l[i] == -1:
+                dfs(i)
+
+    return {
+        left[i]: right[match_l[i]] for i in range(len(left)) if match_l[i] != -1
+    }

@@ -1,0 +1,132 @@
+"""Partitioning the equation system into independently solvable subsystems.
+
+"The equations are partitioned into sets of mutually dependent equations by
+this algorithm (i.e. separate systems of equations) and the reduced, acyclic
+dependency graph is built.  The reduced graph is then used to schedule the
+solution of the equation systems" (section 2.1).
+
+A :class:`Subsystem` is one SCC of the variable dependency graph together
+with its equations.  :func:`partition` produces them in topological solve
+order, annotated with their *level* (subsystems on the same level have no
+mutual dependencies and can be solved in parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..model.flatten import FlatModel
+from .depgraph import DiGraph, VariableAssignment, build_dependency_graph
+from .scc import condensation, strongly_connected_components
+
+__all__ = ["Subsystem", "Partition", "partition"]
+
+
+@dataclass(frozen=True)
+class Subsystem:
+    """One strongly connected block of the equation system."""
+
+    index: int
+    variables: tuple[str, ...]
+    equations: tuple[str, ...]
+    level: int
+    predecessors: tuple[int, ...]
+    successors: tuple[int, ...]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.variables)
+
+    @property
+    def is_trivial(self) -> bool:
+        """A single variable whose equation does not reference itself."""
+        return len(self.variables) == 1
+
+    def __str__(self) -> str:
+        vars_text = ", ".join(self.variables[:6])
+        if len(self.variables) > 6:
+            vars_text += f", … ({len(self.variables)} total)"
+        return f"SCC#{self.index} (level {self.level}): {{{vars_text}}}"
+
+
+@dataclass
+class Partition:
+    """The full partitioning result."""
+
+    subsystems: list[Subsystem]
+    membership: dict[str, int]
+    condensed: DiGraph
+    assignment: VariableAssignment
+
+    @property
+    def num_subsystems(self) -> int:
+        return len(self.subsystems)
+
+    @property
+    def num_levels(self) -> int:
+        return 1 + max((s.level for s in self.subsystems), default=-1)
+
+    def levels(self) -> list[list[Subsystem]]:
+        """Subsystems grouped by level (parallel batches in solve order)."""
+        out: list[list[Subsystem]] = [[] for _ in range(self.num_levels)]
+        for sub in self.subsystems:
+            out[sub.level].append(sub)
+        return out
+
+    def largest(self) -> Subsystem:
+        """The dominant SCC — in the paper's bearing model, "one SCC where
+        the 'main' problem is located" (section 2.5.1)."""
+        return max(self.subsystems, key=lambda s: len(s.variables))
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.num_subsystems} strongly connected component(s), "
+            f"{self.num_levels} level(s)"
+        ]
+        for level, subs in enumerate(self.levels()):
+            for sub in subs:
+                lines.append(f"  level {level}: {sub}")
+        return "\n".join(lines)
+
+
+def partition(flat: FlatModel) -> Partition:
+    """Partition ``flat`` into topologically ordered subsystems."""
+    var_graph, _eq_graph, assignment = build_dependency_graph(flat)
+    components = strongly_connected_components(var_graph)
+    # Tarjan yields reverse topological order; reverse into solve order.
+    components = list(reversed(components))
+    condensed, raw_membership = condensation(var_graph, components)
+    # raw_membership indexes into the reversed list already.
+
+    # Longest-path levels over the condensation (nodes are already topo-sorted
+    # by construction: every edge goes from a lower index to a higher one).
+    level: dict[int, int] = {}
+    for i in range(len(components)):
+        preds = condensed.predecessors(i)
+        level[i] = 1 + max((level[p] for p in preds), default=-1)
+
+    subsystems: list[Subsystem] = []
+    for i, comp in enumerate(components):
+        variables = tuple(sorted(comp))
+        equations = tuple(
+            assignment.defining[v] for v in variables if v in assignment.defining
+        )
+        subsystems.append(
+            Subsystem(
+                index=i,
+                variables=variables,
+                equations=equations,
+                level=level[i],
+                predecessors=tuple(sorted(condensed.predecessors(i))),
+                successors=tuple(sorted(condensed.successors(i))),
+            )
+        )
+
+    membership = {v: raw_membership[v] for v in var_graph.nodes}
+    return Partition(
+        subsystems=subsystems,
+        membership=membership,
+        condensed=condensed,
+        assignment=assignment,
+    )

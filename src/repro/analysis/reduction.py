@@ -1,0 +1,128 @@
+"""Model reduction: remove equations that cannot influence the outputs.
+
+"Also, uninteresting parts of the problem can be removed at an early
+stage so that no computing power is wasted" (section 2.5.1).  Given a set
+of variables of interest, everything outside their backward-reachable set
+in the dependency graph is dead: its equations are dropped from the
+flattened model before code generation.
+
+The bearing is the canonical example: if the user only cares about the
+ring's motion *rates* (not its accumulated angle), the ``Ir.phi``
+equation — the paper's second SCC — is removed entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..model.flatten import FlatModel
+from .depgraph import build_dependency_graph
+
+__all__ = ["ReductionReport", "reachable_variables", "reduce_model"]
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """What a reduction kept and removed."""
+
+    kept: tuple[str, ...]
+    removed: tuple[str, ...]
+    removed_equations: tuple[str, ...]
+
+    @property
+    def num_removed(self) -> int:
+        return len(self.removed)
+
+    def __str__(self) -> str:
+        return (
+            f"kept {len(self.kept)} variable(s), removed "
+            f"{len(self.removed)}: {', '.join(self.removed[:6])}"
+            + ("…" if len(self.removed) > 6 else "")
+        )
+
+
+def reachable_variables(
+    flat: FlatModel, outputs: Iterable[str]
+) -> frozenset[str]:
+    """Variables that can influence any of ``outputs`` (backward
+    reachability over the dependency graph, outputs included)."""
+    var_graph, _eq_graph, _assignment = build_dependency_graph(flat)
+    targets = list(outputs)
+    for name in targets:
+        if name not in var_graph:
+            raise KeyError(
+                f"{name!r} is not an unknown of model {flat.name}"
+            )
+    seen: set[str] = set()
+    stack = list(targets)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(var_graph.predecessors(node))
+    return frozenset(seen)
+
+
+def reduce_model(
+    flat: FlatModel, outputs: Sequence[str]
+) -> tuple[FlatModel, ReductionReport]:
+    """Drop every variable (and its defining equation) that cannot affect
+    ``outputs``.  Parameters are kept only if still referenced."""
+    keep = reachable_variables(flat, outputs)
+    all_unknowns = list(flat.states) + list(flat.algebraics)
+    removed = tuple(v for v in all_unknowns if v not in keep)
+
+    new_states = {k: v for k, v in flat.states.items() if k in keep}
+    new_algebraics = {k: v for k, v in flat.algebraics.items() if k in keep}
+    new_odes = [eq for eq in flat.odes if eq.state in keep]
+    new_algs = [eq for eq in flat.explicit_algs if eq.var in keep]
+    removed_eqs = tuple(
+        eq.label
+        for eq in list(flat.odes) + list(flat.explicit_algs)
+        if (eq.state if hasattr(eq, "state") else eq.var) not in keep
+    )
+    # Implicit equations: keep those whose unknowns are all kept (a
+    # residual implicit equation over removed variables is dead too; one
+    # mixing kept and removed unknowns would be ill-posed to drop).
+    from ..symbolic.expr import free_symbols
+
+    new_implicit = []
+    for eq in flat.implicit:
+        used = {
+            s.name
+            for s in free_symbols(eq.residual)
+            if s.name in flat.states or s.name in flat.algebraics
+        }
+        if used & keep:
+            new_implicit.append(eq)
+
+    # Prune now-unused parameters.
+    referenced: set[str] = set()
+    for eq in new_odes:
+        referenced.update(s.name for s in free_symbols(eq.rhs))
+    for eq in new_algs:
+        referenced.update(s.name for s in free_symbols(eq.rhs))
+    for eq in new_implicit:
+        referenced.update(s.name for s in free_symbols(eq.residual))
+    new_params = {
+        k: v for k, v in flat.parameters.items() if k in referenced
+    }
+
+    reduced = FlatModel(
+        name=flat.name,
+        free_var=flat.free_var,
+        states=new_states,
+        algebraics=new_algebraics,
+        parameters=new_params,
+        odes=new_odes,
+        explicit_algs=new_algs,
+        implicit=new_implicit,
+    )
+    report = ReductionReport(
+        kept=tuple(sorted(keep)),
+        removed=removed,
+        removed_equations=removed_eqs,
+    )
+    return reduced, report

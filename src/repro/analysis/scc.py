@@ -1,0 +1,100 @@
+"""Strongly connected components — iterative Tarjan's algorithm.
+
+The paper cites the "standard algorithm for finding strongly connected
+components in a directed graph [Aho, Hopcroft, Ullman]" as the core of its
+equation-system-level parallelism analysis.  The implementation here is the
+iterative form of Tarjan's algorithm (no recursion-depth limits on big
+models) and emits components in *reverse topological order* of the
+condensation, which :mod:`repro.analysis.partition` then reverses into a
+solve order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from .depgraph import DiGraph
+
+__all__ = ["strongly_connected_components", "condensation"]
+
+
+def strongly_connected_components(graph: DiGraph) -> list[tuple[Hashable, ...]]:
+    """Tarjan's SCC algorithm, iterative.
+
+    Returns components as tuples of nodes; the list is in reverse
+    topological order of the condensation (a component appears before any
+    component it depends on... i.e. successors first).
+    """
+    index_of: dict[Hashable, int] = {}
+    lowlink: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[tuple[Hashable, ...]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index_of:
+            continue
+        # Each frame: (node, iterator over successors)
+        work: list[tuple[Hashable, iter]] = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(tuple(component))
+
+    return components
+
+
+def condensation(
+    graph: DiGraph, components: Sequence[tuple[Hashable, ...]] | None = None
+) -> tuple[DiGraph, dict[Hashable, int]]:
+    """Condense ``graph``: one node per SCC (indexed by position in
+    ``components``), edges between distinct components.
+
+    Returns ``(condensed_graph, node -> component index)``.
+    """
+    if components is None:
+        components = strongly_connected_components(graph)
+    membership: dict[Hashable, int] = {}
+    for i, comp in enumerate(components):
+        for node in comp:
+            membership[node] = i
+
+    condensed = DiGraph()
+    for i in range(len(components)):
+        condensed.add_node(i)
+    for src, dst in graph.edges():
+        ci, cj = membership[src], membership[dst]
+        if ci != cj:
+            condensed.add_edge(ci, cj)
+    return condensed, membership

@@ -1,0 +1,76 @@
+"""Dependency-graph visualization.
+
+"In all cases though, the analysis and visualization are very useful for
+the problem implementor, who can easily find missing or incorrect
+dependencies" (section 6).  The ObjectMath environment rendered Figures 3
+and 6 graphically; here the same pictures are produced as Graphviz DOT
+text (renderable with any dot tool) and as a plain-text adjacency listing
+for terminal workflows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..model.flatten import FlatModel
+from .depgraph import DiGraph
+from .partition import Partition, partition
+
+__all__ = ["to_dot", "partition_to_dot", "ascii_graph"]
+
+
+def _dot_escape(name: str) -> str:
+    return '"' + str(name).replace('"', '\\"') + '"'
+
+
+def to_dot(graph: DiGraph, name: str = "dependencies") -> str:
+    """Render a dependency digraph as Graphviz DOT text."""
+    lines = [f"digraph {_dot_escape(name)} {{", "  rankdir=LR;",
+             "  node [shape=box, fontsize=10];"]
+    for node in graph.nodes:
+        lines.append(f"  {_dot_escape(node)};")
+    for src, dst in graph.edges():
+        lines.append(f"  {_dot_escape(src)} -> {_dot_escape(dst)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def partition_to_dot(part: Partition, name: str = "sccs") -> str:
+    """Render a partition as DOT with one cluster per SCC — the Figure 3 /
+    Figure 6 picture: boxes of mutually dependent equations with arrows
+    between the boxes."""
+    lines = [f"digraph {_dot_escape(name)} {{", "  rankdir=LR;",
+             "  compound=true;",
+             "  node [shape=plaintext, fontsize=9];"]
+    for sub in part.subsystems:
+        lines.append(f"  subgraph cluster_{sub.index} {{")
+        lines.append(
+            f"    label=\"SCC#{sub.index} (x {len(sub.variables)})\";"
+        )
+        lines.append("    style=rounded;")
+        for var in sub.variables:
+            lines.append(f"    {_dot_escape(var)};")
+        lines.append("  }")
+    for sub in part.subsystems:
+        for succ in sub.successors:
+            # One representative edge between clusters.
+            src = sub.variables[0]
+            dst = part.subsystems[succ].variables[0]
+            lines.append(
+                f"  {_dot_escape(src)} -> {_dot_escape(dst)} "
+                f"[ltail=cluster_{sub.index}, lhead=cluster_{succ}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_graph(graph: DiGraph, max_width: int = 72) -> str:
+    """A terminal-friendly adjacency listing (``node -> successors``)."""
+    lines = []
+    for node in graph.nodes:
+        succs = graph.successors(node)
+        text = f"{node} -> " + (", ".join(str(s) for s in succs) or "(none)")
+        if len(text) > max_width:
+            text = text[: max_width - 1] + "…"
+        lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""The 2D rolling bearing model (sections 2.5, 3.3; Figures 4–6).
+
+"The 2D rolling bearing model was designed as a simplified version of the
+much more complex realistic 3D bearing models …  Figure 4 shows the
+geometry of the bearing, consisting of an outer ring, an inner ring and
+ten rolling elements."
+
+The model here is a planar cylindrical roller bearing:
+
+* the **outer ring** is fixed (it is the housing),
+* the **inner ring** is a rigid body with translational states, angular
+  velocity, a drive torque and an external radial load,
+* each of the N **rollers** is a rigid body with planar translation and
+  spin, loaded through unilateral Hertz-type contacts against both
+  raceways, with smoothed Coulomb friction coupling spin to surface speed.
+
+The contact conditionals (contact / no contact) are exactly the
+"conditional expressions within the right-hand sides" whose unpredictable
+cost motivates the paper's semi-dynamic LPT scheduler (section 3.2.3).
+
+Dependency structure (Figure 6 / section 6): every state is strongly
+connected to every other *except* the inner ring's rotation angle, which
+integrates the angular velocity but feeds nothing back (the raceway is
+rotationally symmetric) — "the 2D bearing model only yielded two SCCs,
+where all the computation was embedded in one of them."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..model import Model, ModelClass, VecType
+from ..symbolic import (
+    Expr,
+    Vec,
+    abs_,
+    dot,
+    if_then_else,
+    sqrt,
+    tanh,
+    vec2,
+)
+
+__all__ = ["BearingParams", "build_bearing2d", "SpinningBody", "Ring", "Roller"]
+
+
+@dataclass(frozen=True)
+class BearingParams:
+    """Geometry and material parameters of the 2D bearing.
+
+    Defaults give a light preloaded bearing whose dynamics integrate
+    stably with the shipped solvers at the default tolerances.
+    """
+
+    num_rollers: int = 10
+    roller_radius: float = 0.010      # [m]
+    inner_raceway_radius: float = 0.040  # [m] outer surface of inner ring
+    outer_raceway_radius: float = 0.060  # [m] inner surface of outer ring
+    roller_mass: float = 0.05         # [kg]
+    ring_mass: float = 1.0            # [kg]
+    contact_stiffness: float = 2.0e6  # [N/m^1.5] Hertz-type
+    contact_damping: float = 2.0e2    # [N·s/m]
+    friction_coefficient: float = 0.05
+    slip_reference_speed: float = 1e-3  # [m/s] tanh smoothing scale
+    gravity: float = 9.81             # [m/s^2]
+    drive_torque: float = 1.0         # [N·m] on the inner ring
+    radial_load: float = 50.0         # [N] downward on the inner ring
+
+    def __post_init__(self) -> None:
+        if self.num_rollers < 1:
+            raise ValueError("need at least one roller")
+        gap = self.outer_raceway_radius - self.inner_raceway_radius
+        if gap <= 0:
+            raise ValueError("outer raceway must enclose the inner raceway")
+        if self.roller_radius * 2 > gap * 1.2:
+            raise ValueError("rollers do not fit between the raceways")
+
+    @property
+    def pitch_radius(self) -> float:
+        """Radius of the circle on which roller centres nominally sit."""
+        return 0.5 * (self.inner_raceway_radius + self.outer_raceway_radius)
+
+    @property
+    def roller_inertia(self) -> float:
+        return 0.5 * self.roller_mass * self.roller_radius**2
+
+    @property
+    def ring_inertia(self) -> float:
+        return 0.5 * self.ring_mass * self.inner_raceway_radius**2
+
+
+# ---------------------------------------------------------------------------
+# Model classes (the inheritance hierarchy of Figure 5)
+# ---------------------------------------------------------------------------
+
+
+def SpinningBody() -> ModelClass:
+    """Base class: planar rigid body with spin (Figure 5's SpinningElement)."""
+    cls = ModelClass(
+        "SpinningBody",
+        doc="planar rigid body: position, velocity, angular velocity",
+    )
+    r = cls.state("r", start=[0.0, 0.0], mtype=VecType(2), doc="centre position")
+    v = cls.state("v", start=[0.0, 0.0], mtype=VecType(2), doc="centre velocity")
+    cls.state("w", start=0.0, doc="angular velocity")
+    cls.parameter("m", 1.0, doc="mass")
+    cls.parameter("J", 1.0, doc="moment of inertia")
+    cls.algebraic("F", mtype=VecType(2), doc="net contact force")
+    cls.algebraic("tau", doc="net contact torque")
+    cls.parameter("g", 9.81, doc="gravitational acceleration")
+    cls.ode(r, v, label="Kin")
+    F = cls.member("F")
+    m = cls.member("m")
+    cls.ode(v, F / m + vec2(0.0, -1.0) * cls.member("g"), label="Newton")
+    cls.ode(cls.member("w"), cls.member("tau") / cls.member("J"), label="Euler")
+    return cls
+
+
+def Roller(base: ModelClass) -> ModelClass:
+    """A rolling element (Figure 5's Roller, inheriting the body dynamics)."""
+    cls = ModelClass("Roller", inherits=[base], doc="rolling element")
+    cls.parameter("R", 0.01, doc="roller radius")
+    return cls
+
+
+def Ring(base: ModelClass) -> ModelClass:
+    """The inner ring: adds rotation angle, drive torque and external load."""
+    cls = ModelClass("Ring", inherits=[base], doc="inner ring")
+    cls.parameter("Ri", 0.04, doc="raceway radius")
+    cls.parameter("Tdrive", 0.0, doc="drive torque")
+    cls.parameter("Wx", 0.0, doc="external load, x")
+    cls.parameter("Wy", 0.0, doc="external load, y")
+    # The rotation angle integrates w but nothing depends on it: this is
+    # the second SCC of Figure 6.
+    cls.ode(cls.member("phi"), cls.member("w"), label="Angle")
+    return cls
+
+
+def _ring_class(body: ModelClass) -> ModelClass:
+    ring = ModelClass("RingBase", inherits=[body])
+    ring.state("phi", start=0.0, doc="rotation angle (feeds nothing back)")
+    return Ring(ring)
+
+
+# ---------------------------------------------------------------------------
+# Contact force expressions
+# ---------------------------------------------------------------------------
+
+
+def _contact(
+    p: BearingParams,
+    d: Vec,
+    v_rel: Vec,
+    w_roller: Expr,
+    w_ring: Expr,
+    nominal_gap: Expr,
+    ring_surface_radius: float,
+    inner: bool,
+) -> tuple[Vec, Expr, Vec, Expr]:
+    """Forces of one roller/raceway contact.
+
+    ``d`` is the vector from the ring centre to the roller centre,
+    ``v_rel`` the roller-centre velocity relative to the ring centre,
+    ``nominal_gap`` the centre distance at which contact begins.  For the
+    inner contact, penetration grows as the roller moves *toward* the ring
+    centre; for the outer contact, *away* from it.
+
+    Returns ``(force_on_roller, torque_on_roller, force_on_ring,
+    torque_on_ring)``.
+    """
+    dist = sqrt(dot(d, d))
+    n = d / dist  # unit normal, ring centre -> roller centre
+    if inner:
+        delta = nominal_gap - dist
+        sign_n = 1.0  # contact pushes the roller outward (+n)
+    else:
+        delta = dist - nominal_gap
+        sign_n = -1.0  # contact pushes the roller inward (-n)
+
+    # Penetration rate (for damping): project the relative velocity.
+    ddist = dot(n, v_rel)
+    ddelta = -ddist if inner else ddist
+
+    fn_elastic = p.contact_stiffness * delta * sqrt(abs_(delta))
+    fn = if_then_else(
+        delta.gt(0.0),
+        fn_elastic + p.contact_damping * ddelta,
+        0.0,
+    )
+
+    # Tangential (slip) speed at the contact point.  The tangent is the
+    # normal rotated +90 degrees.
+    tangent = vec2(-n[1], n[0])
+    v_t = dot(tangent, v_rel)
+    # Roller surface speed at the contact (roller spins with w_roller) and
+    # the ring surface speed at its raceway radius.
+    roller_surface = w_roller * p.roller_radius * (1.0 if inner else -1.0)
+    ring_surface = w_ring * ring_surface_radius
+    slip = v_t + roller_surface - ring_surface
+
+    ft = if_then_else(
+        delta.gt(0.0),
+        -p.friction_coefficient * fn_elastic
+        * tanh(slip / p.slip_reference_speed),
+        0.0,
+    )
+
+    force_on_roller = n * (sign_n * fn) + tangent * ft
+    torque_on_roller = ft * p.roller_radius * (-1.0 if inner else 1.0)
+    force_on_ring = -force_on_roller
+    # Torque of the reaction about the ring centre: r_contact x (-F).
+    # The normal component passes through the centre line, so only the
+    # tangential component contributes, at the raceway radius.
+    torque_on_ring = ft * ring_surface_radius * (1.0 if inner else -1.0)
+    return force_on_roller, torque_on_roller, force_on_ring, torque_on_ring
+
+
+# ---------------------------------------------------------------------------
+# Model assembly
+# ---------------------------------------------------------------------------
+
+
+def build_bearing2d(params: BearingParams | None = None) -> Model:
+    """Assemble the 2D bearing as an ObjectMath-style model.
+
+    Instances: ``Ir`` (inner ring) and ``W1`` … ``WN`` (rollers), matching
+    the paper's ``INSTANCE BodyW[i] INHERITS Roller(W[i])`` arrays.
+    """
+    p = params or BearingParams()
+    model = Model("bearing2d", doc=__doc__ or "")
+
+    body = SpinningBody()
+    roller_cls = Roller(body)
+    ring_cls = _ring_class(body)
+
+    ir = model.instance(
+        "Ir",
+        ring_cls,
+        overrides={
+            "m": p.ring_mass,
+            "J": p.ring_inertia,
+            "Ri": p.inner_raceway_radius,
+            "Tdrive": p.drive_torque,
+            "Wy": -p.radial_load,
+            "g": p.gravity,
+        },
+    )
+
+    rollers = []
+    for i in range(1, p.num_rollers + 1):
+        angle = 2.0 * math.pi * (i - 1) / p.num_rollers
+        rc = p.pitch_radius
+        rollers.append(
+            model.instance(
+                f"W{i}",
+                roller_cls,
+                overrides={
+                    "m": p.roller_mass,
+                    "J": p.roller_inertia,
+                    "R": p.roller_radius,
+                    "g": p.gravity,
+                    "r": [rc * math.cos(angle), rc * math.sin(angle)],
+                    "w": 0.0,
+                },
+            )
+        )
+
+    ir_r = ir.sym("r")
+    ir_v = ir.sym("v")
+    ir_w = ir.sym("w")
+
+    ring_force_terms: list[Vec] = []
+    ring_torque_terms: list[Expr] = []
+
+    for inst in rollers:
+        r = inst.sym("r")
+        v = inst.sym("v")
+        w = inst.sym("w")
+
+        # Inner contact: against the inner ring (which moves).
+        d_in = r - ir_r
+        v_in = v - ir_v
+        f_in, tq_in, f_ring, tq_ring = _contact(
+            p, d_in, v_in, w, ir_w,
+            nominal_gap=p.inner_raceway_radius + p.roller_radius,
+            ring_surface_radius=p.inner_raceway_radius,
+            inner=True,
+        )
+        # Outer contact: against the fixed outer ring centred at origin.
+        f_out, tq_out, _f_or, _tq_or = _contact(
+            p, r, v, w, 0.0,
+            nominal_gap=p.outer_raceway_radius - p.roller_radius,
+            ring_surface_radius=p.outer_raceway_radius,
+            inner=False,
+        )
+
+        model.equation(inst.sym("F"), f_in + f_out, label=f"F[{inst.name}]")
+        model.equation(inst.sym("tau"), tq_in + tq_out, label=f"M[{inst.name}]")
+        ring_force_terms.append(f_ring)
+        ring_torque_terms.append(tq_ring)
+
+    # Force and moment balance on the inner ring (Figure 1's equilibrium
+    # equations, here as the ring's net contact force/torque).
+    total_f = ring_force_terms[0]
+    for term in ring_force_terms[1:]:
+        total_f = total_f + term
+    total_f = total_f + vec2(ir.sym("Wx"), ir.sym("Wy"))
+    total_tq: Expr = ring_torque_terms[0]
+    for term in ring_torque_terms[1:]:
+        total_tq = total_tq + term
+
+    model.equation(ir.sym("F"), total_f, label="F[Ir]")
+    model.equation(ir.sym("tau"), total_tq + ir.sym("Tdrive"), label="M[Ir]")
+
+    return model

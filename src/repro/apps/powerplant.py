@@ -1,0 +1,145 @@
+"""The hydroelectric power plant model (section 2.5; Figure 3).
+
+"An ObjectMath model of a hydroelectric power plant has been created,
+including objects like turbines, spillways, dams, and regulators.  The
+model is based on an actual Swedish power plant, Älvkarleby Kraftverk …
+The focus is on water levels and water flow through the plant."
+
+Structure (matching the dependency picture of Figure 3):
+
+* six **turbine groups** ``G1`` … ``G6``, each a PI-regulated penstock +
+  turbine: integrator state (``IPart``), servo-driven throttle, water
+  flow with penstock inertia and turbine speed — four mutually coupled
+  states, so each group is one SCC;
+* a **regulator** tracking a scheduled spillway command (one state);
+* a spillway **gate** servo following the regulator (one state);
+* the **dam**, whose surface level integrates inflow minus the turbine
+  and spillway outflows — it depends on every group and on the gate, but
+  nothing feeds back (constant-head approximation for the turbines), so
+  the reduced dependency graph is acyclic.
+
+This is the application where equation-system-level parallelism *does*
+pay: many independent SCCs on few levels ("the hydroelectric power
+station model … could be reasonably parallelized through such
+partitioning", section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import Model, ModelClass
+from ..symbolic import Expr, max_, sqrt, tanh
+
+__all__ = ["PlantParams", "build_powerplant", "TurbineGroup"]
+
+
+@dataclass(frozen=True)
+class PlantParams:
+    """Parameters of the plant model."""
+
+    num_groups: int = 6
+    dam_area: float = 2.0e5          # [m^2]
+    nominal_head: float = 10.0       # [m]
+    inflow: float = 900.0            # [m^3/s]
+    water_inertia: float = 50.0      # penstock inertance [1/m]
+    flow_loss: float = 4.0e-3        # quadratic loss coefficient
+    servo_time: float = 2.0          # throttle servo time constant [s]
+    turbine_inertia: float = 8.0e4   # [kg m^2]
+    load_torque: float = 6.0e5       # generator counter-torque [N·m]
+    kp: float = 0.08                 # PI proportional gain
+    ki: float = 0.02                 # PI integral gain
+    flow_setpoint: float = 150.0     # per-group flow target [m^3/s]
+    gate_servo_time: float = 20.0    # spillway gate time constant [s]
+    spill_discharge: float = 30.0    # spillway discharge coefficient
+
+    def __post_init__(self) -> None:
+        if self.num_groups < 1:
+            raise ValueError("need at least one turbine group")
+
+
+def TurbineGroup(p: PlantParams) -> ModelClass:
+    """One PI-regulated penstock+turbine group (a 4-state SCC)."""
+    cls = ModelClass("TurbineGroup", doc="penstock, turbine and PI governor")
+    ipart = cls.state("IPart", start=0.3, doc="PI integrator")
+    throttle = cls.state("Throttle", start=0.5, doc="throttle opening 0..1")
+    q = cls.state("q", start=p.flow_setpoint * 0.9, doc="penstock flow")
+    omega = cls.state("omega", start=10.0, doc="turbine angular speed")
+    qref = cls.parameter("qref", p.flow_setpoint, doc="flow setpoint")
+    cls.parameter("head", p.nominal_head, doc="assumed constant head")
+
+    err = qref - q
+    cmd = p.kp * err + ipart
+    # Anti-windup-free PI; the servo limits the physical throttle motion.
+    cls.ode(ipart, p.ki * err, label="PI")
+    cls.ode(
+        throttle,
+        (max_(0.02, cmd) - throttle) / p.servo_time,
+        label="Servo",
+    )
+    head = cls.member("head")
+    # Penstock momentum: gravity head minus throttling and friction losses.
+    cls.ode(
+        q,
+        (
+            9.81 * head
+            - p.flow_loss * q * q / (throttle * throttle + 0.01)
+        )
+        / p.water_inertia,
+        label="Penstock",
+    )
+    # Turbine rotor: hydraulic torque against the generator load.
+    hydraulic = 1000.0 * 9.81 * head * q * 0.9 / (omega + 1.0)
+    cls.ode(
+        omega,
+        (hydraulic - p.load_torque * tanh(omega / 10.0)) / p.turbine_inertia,
+        label="Rotor",
+    )
+    return cls
+
+
+def build_powerplant(params: PlantParams | None = None) -> Model:
+    """Assemble the plant model with ``num_groups`` turbine groups."""
+    p = params or PlantParams()
+    model = Model("powerplant", doc=__doc__ or "")
+
+    group_cls = TurbineGroup(p)
+    groups = model.instance_array("G", p.num_groups, group_cls)
+
+    regulator = ModelClass("Regulator", doc="spillway scheduler")
+    rpart = regulator.state("IPart", start=0.2, doc="filtered spill command")
+    sched = regulator.parameter("schedule", 0.25, doc="commanded opening")
+    regulator.ode(rpart, (sched - rpart) / 60.0, label="Filter")
+    reg = model.instance("Regulator", regulator)
+
+    gate = ModelClass("Gate", doc="spillway gate servo")
+    angle = gate.state("Angle", start=0.2, doc="gate opening 0..1")
+    gate.algebraic("cmd", doc="commanded opening")
+    gate.ode(angle, (gate.member("cmd") - angle) / p.gate_servo_time,
+             label="Servo")
+    g = model.instance("Gate", gate)
+    model.equation(g.sym("cmd"), reg.sym("IPart"), label="GateCmd")
+
+    dam = ModelClass("Dam", doc="reservoir")
+    level = dam.state("SurfaceLevel", start=p.nominal_head, doc="water level")
+    dam.parameter("Qin", p.inflow, doc="river inflow")
+    dam.algebraic("Qout", doc="total outflow")
+    dam.ode(
+        level,
+        (dam.member("Qin") - dam.member("Qout")) / p.dam_area,
+        label="Level",
+    )
+    d = model.instance("Dam", dam)
+
+    # Total outflow: all turbine flows plus the spillway discharge, which
+    # depends on the gate opening and the dam level itself.
+    qout: Expr = groups[0].sym("q")
+    for grp in groups[1:]:
+        qout = qout + grp.sym("q")
+    spill = (
+        p.spill_discharge * g.sym("Angle")
+        * sqrt(max_(d.sym("SurfaceLevel"), 0.01))
+    )
+    model.equation(d.sym("Qout"), qout + spill, label="Outflow")
+
+    return model

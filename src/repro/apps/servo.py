@@ -1,0 +1,78 @@
+"""The trivial servo example (sections 2.5, 6).
+
+"the hydroelectric power station model and the trivial servo-example
+could be reasonably parallelized through such partitioning."
+
+A small position servo chain: a reference shaper (low-pass filtered step),
+a PI-controlled DC motor, and a sensor filter on the measured position.
+The feedback loop closes *within* the controller+motor block, so the
+dependency graph condenses into SCCs in a chain — reference → servo →
+sensor — which is the textbook pipeline-parallel shape of section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import Model, ModelClass
+
+__all__ = ["ServoParams", "build_servo"]
+
+
+@dataclass(frozen=True)
+class ServoParams:
+    """Parameters of the servo chain."""
+
+    reference: float = 1.0       # commanded position [rad]
+    shaper_time: float = 0.05    # reference filter [s]
+    kp: float = 20.0             # PI proportional gain
+    ki: float = 40.0             # PI integral gain
+    torque_constant: float = 0.5  # [N·m/A] with unit armature dynamics folded in
+    damping: float = 0.05        # [N·m·s]
+    inertia: float = 1.0e-2      # [kg·m^2]
+    sensor_time: float = 0.01    # measurement filter [s]
+
+
+def build_servo(params: ServoParams | None = None) -> Model:
+    """Assemble the servo model.
+
+    Blocks are connected with model-level equations on algebraic "signal"
+    members (``Servo.cmd == Ref.ref`` and ``Sensor.raw == Servo.theta``),
+    the ObjectMath way of wiring instances together.
+    """
+    p = params or ServoParams()
+    model = Model("servo", doc=__doc__ or "")
+
+    shaper = ModelClass("ReferenceShaper", doc="smooths the position command")
+    ref = shaper.state("ref", start=0.0, doc="shaped reference")
+    target = shaper.parameter("target", p.reference, doc="commanded position")
+    shaper.ode(ref, (target - ref) / p.shaper_time, label="Shape")
+    sh = model.instance("Ref", shaper)
+
+    servo = ModelClass("Servo", doc="PI controller + DC motor")
+    theta = servo.state("theta", start=0.0, doc="shaft position")
+    omega = servo.state("omega", start=0.0, doc="shaft speed")
+    ipart = servo.state("IPart", start=0.0, doc="PI integrator")
+    servo.algebraic("cmd", doc="position command (wired at model level)")
+    cmd = servo.member("cmd")
+    err = cmd - theta
+    u = p.kp * err + ipart
+    servo.ode(theta, omega, label="Kin")
+    servo.ode(
+        omega,
+        (p.torque_constant * u - p.damping * omega) / p.inertia,
+        label="Dyn",
+    )
+    servo.ode(ipart, p.ki * err, label="PI")
+    sv = model.instance("Servo", servo)
+
+    sensor = ModelClass("Sensor", doc="measurement low-pass filter")
+    meas = sensor.state("meas", start=0.0, doc="filtered position")
+    sensor.algebraic("raw", doc="raw position signal (wired at model level)")
+    sensor.ode(meas, (sensor.member("raw") - meas) / p.sensor_time,
+               label="Filter")
+    sn = model.instance("Sensor", sensor)
+
+    model.equation(sv.sym("cmd"), sh.sym("ref"), label="CmdWire")
+    model.equation(sn.sym("raw"), sv.sym("theta"), label="RawWire")
+    return model

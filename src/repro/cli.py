@@ -1,0 +1,234 @@
+"""Command-line interface: the ObjectMath pipeline from a shell.
+
+::
+
+    python -m repro analyze  model.om           # SCC partition + levels
+    python -m repro codegen  model.om -t f90    # emit Fortran 90 / C / Python
+    python -m repro simulate model.om --t-end 5 # compile + integrate
+    python -m repro graph    model.om           # DOT of the dependency SCCs
+
+Model files use the ObjectMath-like syntax of :mod:`repro.language` (see
+``examples/quickstart.py`` for the dialect).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import partition, partition_to_dot
+from .codegen import (
+    generate_c,
+    generate_fortran,
+    write_start_file,
+)
+
+from .frontend import compile_source
+from .language import load_model
+from .solver import solve_ivp
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    source = Path(path).read_text()
+    return compile_source(source)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    compiled = _load(args.model)
+    print(compiled.summary())
+    print()
+    print(compiled.partition.summary())
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    compiled = _load(args.model)
+    dot = partition_to_dot(compiled.partition, name=compiled.name)
+    if args.output:
+        Path(args.output).write_text(dot)
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    source = Path(args.model).read_text()
+    compiled = compile_source(source, shared_cse=args.shared_cse)
+    system = compiled.system
+    plan = compiled.program.plan
+    if args.target == "f90":
+        out = generate_fortran(system, plan, mode=args.mode).source
+    elif args.target == "c":
+        out = generate_c(system, plan, mode=args.mode).source
+    else:
+        out = compiled.program.module.source
+    if args.output:
+        Path(args.output).write_text(out)
+        print(f"wrote {args.output}")
+    else:
+        print(out)
+    return 0
+
+
+def _cmd_startfile(args: argparse.Namespace) -> int:
+    compiled = _load(args.model)
+    target = args.output or (Path(args.model).stem + ".start")
+    write_start_file(compiled.system, target)
+    print(f"wrote {target}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    compiled = _load(args.model)
+    program = compiled.program
+    y0 = program.start_vector()
+    params = program.param_vector()
+    if args.start_file:
+        from .codegen import apply_start_file, read_start_file
+
+        y0_list, p_list = apply_start_file(
+            compiled.system, read_start_file(args.start_file)
+        )
+        y0 = np.asarray(y0_list)
+        params = np.asarray(p_list)
+    f = program.make_rhs(params)
+    result = solve_ivp(
+        f, (args.t_start, args.t_end), y0, method=args.method,
+        rtol=args.rtol, atol=args.atol,
+    )
+    if not result.success:
+        print(f"solver failed: {result.message}", file=sys.stderr)
+        return 1
+    print(
+        f"# {compiled.name}: {result.stats.naccepted} steps, "
+        f"{result.stats.nfev} RHS evaluations, method {result.method}"
+    )
+    names = compiled.system.state_names
+    if args.csv:
+        from .visualizer import save_csv
+
+        save_csv(result, names, args.csv)
+        print(f"# wrote {args.csv}")
+    if args.plot:
+        from .visualizer import plot_result
+
+        print(plot_result(result, names, args.plot))
+    if args.json:
+        print(json.dumps({
+            "t": float(result.t_final),
+            "y": {n: float(v) for n, v in zip(names, result.y_final)},
+        }, indent=2))
+    else:
+        width = max(len(n) for n in names)
+        print(f"# final state at t = {result.t_final:g}")
+        for name, value in zip(names, result.y_final):
+            print(f"{name.ljust(width)}  {value: .12g}")
+    return 0
+
+
+_APPS = {
+    "bearing2d": lambda: __import__(
+        "repro.apps", fromlist=["build_bearing2d"]
+    ).build_bearing2d(),
+    "powerplant": lambda: __import__(
+        "repro.apps", fromlist=["build_powerplant"]
+    ).build_powerplant(),
+    "servo": lambda: __import__(
+        "repro.apps", fromlist=["build_servo"]
+    ).build_servo(),
+}
+
+
+def _cmd_export_app(args: argparse.Namespace) -> int:
+    from .language import unparse_model
+
+    if args.app not in _APPS:
+        print(f"error: unknown app {args.app!r}; choose from "
+              f"{sorted(_APPS)}", file=sys.stderr)
+        return 2
+    model = _APPS[args.app]()
+    text = unparse_model(model)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ObjectMath-reproduction pipeline (PPoPP 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="flatten, type-check and partition")
+    p.add_argument("model")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("graph", help="emit the SCC partition as DOT")
+    p.add_argument("model")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_graph)
+
+    p = sub.add_parser("codegen", help="emit generated code")
+    p.add_argument("model")
+    p.add_argument("-t", "--target", choices=("f90", "c", "python"),
+                   default="f90")
+    p.add_argument("--mode", choices=("parallel", "serial"),
+                   default="parallel")
+    p.add_argument("--shared-cse", action="store_true",
+                   help="compute large shared subexpressions in dedicated "
+                        "producer tasks (section 3.3's parallel-CSE mode)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_codegen)
+
+    p = sub.add_parser("startfile", help="write the start-value file")
+    p.add_argument("model")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_startfile)
+
+    p = sub.add_parser(
+        "export-app",
+        help="write one of the built-in applications as .om source",
+    )
+    p.add_argument("app", choices=sorted(_APPS))
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_export_app)
+
+    p = sub.add_parser("simulate", help="compile and integrate")
+    p.add_argument("model")
+    p.add_argument("--t-start", type=float, default=0.0)
+    p.add_argument("--t-end", type=float, default=1.0)
+    p.add_argument("--method", default="lsoda",
+                   choices=("lsoda", "adams", "bdf", "rk45", "rk4"))
+    p.add_argument("--rtol", type=float, default=1e-6)
+    p.add_argument("--atol", type=float, default=1e-9)
+    p.add_argument("--start-file", help="start-value file overriding defaults")
+    p.add_argument("--json", action="store_true",
+                   help="print the final state as JSON")
+    p.add_argument("--csv", help="write the full trajectory as CSV")
+    p.add_argument("--plot", nargs="+", metavar="STATE",
+                   help="ASCII-plot the named states")
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        return 0  # e.g. `| head` closed the stream; not an error
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

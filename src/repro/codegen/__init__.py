@@ -1,0 +1,43 @@
+"""The code generator: ObjectMath 4.0's back half (Figure 9).
+
+Expression transformer → compilable-subset verifier → task partitioning
+(with cost model) → CSE → Python / Fortran 90 / C emission.
+"""
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .gen_c import CSource, generate_c
+from .gen_fortran import FortranSource, generate_fortran
+from .gen_python import NameTable, PythonModule, generate_python
+from .program import GeneratedProgram, generate_program
+from .startvalues import apply_start_file, read_start_file, write_start_file
+from .tasks import Assignment, TaskBody, TaskPlan, partition_tasks
+from .transform import OdeSystem, TransformError, make_ode_system, solve_linear
+from .verify import VerifyError, VerifyReport, verify_compilable
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "CSource",
+    "generate_c",
+    "FortranSource",
+    "generate_fortran",
+    "NameTable",
+    "PythonModule",
+    "generate_python",
+    "GeneratedProgram",
+    "generate_program",
+    "apply_start_file",
+    "read_start_file",
+    "write_start_file",
+    "Assignment",
+    "TaskBody",
+    "TaskPlan",
+    "partition_tasks",
+    "OdeSystem",
+    "TransformError",
+    "make_ode_system",
+    "solve_linear",
+    "VerifyError",
+    "VerifyReport",
+    "verify_compilable",
+]

@@ -1,0 +1,97 @@
+"""Static execution-time estimation for tasks.
+
+"One method of doing this is to predict the estimated execution time (or
+weight) of each task to be able to distribute the load as evenly as
+possible" (section 3.2.3).  The weight of an expression is a weighted sum
+over its operation histogram; per-operation costs default to rough modern
+scalar-FPU latencies but are fully configurable, since the *relative*
+weights are what the LPT scheduler consumes.
+
+Conditional expressions are charged the mean of their branches — the paper
+notes these "may be impossible to predict statically", which is exactly why
+the semi-dynamic scheduler exists; the static number is just the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..symbolic.expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Expr,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+)
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation execution-time costs in seconds."""
+
+    add: float = 1e-9
+    mul: float = 1e-9
+    div: float = 4e-9
+    pow: float = 2.5e-8
+    call: float = 2.5e-8
+    cmp: float = 1e-9
+    branch: float = 2e-9
+    #: fixed per-task overhead (function call, loads/stores)
+    task_overhead: float = 5e-8
+
+    def expr_cost(self, expr: Expr) -> float:
+        """Estimated evaluation time of ``expr`` in seconds."""
+        cache: dict[Expr, float] = {}
+
+        def walk(node: Expr) -> float:
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            cost = sum(walk(a) for a in node.args)
+            if isinstance(node, Add):
+                cost += (len(node.args) - 1) * self.add
+            elif isinstance(node, Mul):
+                cost += (len(node.args) - 1) * self.mul
+            elif isinstance(node, Pow):
+                if isinstance(node.exponent, Const) and node.exponent.value == -1:
+                    cost += self.div
+                elif (
+                    isinstance(node.exponent, Const)
+                    and isinstance(node.exponent.value, int)
+                    and 2 <= node.exponent.value <= 4
+                ):
+                    # small integer powers compile to repeated multiplies
+                    cost += (node.exponent.value - 1) * self.mul
+                else:
+                    cost += self.pow
+            elif isinstance(node, Call):
+                cost += self.call
+            elif isinstance(node, Rel):
+                cost += self.cmp
+            elif isinstance(node, BoolOp):
+                cost += max(len(node.args) - 1, 1) * self.cmp
+            elif isinstance(node, ITE):
+                # branches counted once each inside the recursion; replace
+                # the sum of both with their mean plus branch cost
+                then_cost = walk(node.then)
+                else_cost = walk(node.orelse)
+                cost = walk(node.cond) + self.branch + 0.5 * (
+                    then_cost + else_cost
+                )
+            cache[node] = cost
+            return cost
+
+        return walk(expr)
+
+    def assignments_cost(self, exprs) -> float:
+        """Cost of a task body: expressions plus fixed task overhead."""
+        return self.task_overhead + sum(self.expr_cost(e) for e in exprs)
+
+
+DEFAULT_COST_MODEL = CostModel()

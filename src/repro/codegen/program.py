@@ -1,0 +1,144 @@
+"""GeneratedProgram: the bundled output of the whole code generator.
+
+One object carrying everything downstream consumers need: the executable
+serial RHS and per-task functions (Python back end), the task plan and
+graph for the scheduler/runtime, optional analytic Jacobian, start values,
+and the code-size statistics used by the section 3.3 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..schedule.task import TaskGraph
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .gen_python import PythonModule, generate_python
+from .tasks import TaskPlan, partition_tasks
+from .transform import OdeSystem
+from .verify import VerifyReport, verify_compilable
+
+__all__ = ["GeneratedProgram", "generate_program"]
+
+
+@dataclass
+class GeneratedProgram:
+    """A compiled, schedulable right-hand-side program."""
+
+    system: OdeSystem
+    plan: TaskPlan
+    module: PythonModule
+    verify_report: VerifyReport
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return self.system.num_states
+
+    @property
+    def num_tasks(self) -> int:
+        return self.plan.num_tasks
+
+    @property
+    def task_graph(self) -> TaskGraph:
+        return self.plan.graph
+
+    @property
+    def num_partials(self) -> int:
+        return self.module.num_partials
+
+    def start_vector(self) -> np.ndarray:
+        return np.asarray(self.module.start(), dtype=float)
+
+    def param_vector(self) -> np.ndarray:
+        return np.asarray(self.module.params(), dtype=float)
+
+    # -- execution ------------------------------------------------------------
+
+    def rhs(self, t: float, y: np.ndarray, p: np.ndarray | None = None) -> np.ndarray:
+        """Serial RHS evaluation: returns a fresh ``ydot`` array."""
+        if p is None:
+            p = self.param_vector()
+        out = np.empty(self.num_states, dtype=float)
+        self.module.rhs(t, y, p, out)
+        return out
+
+    def make_rhs(self, p: np.ndarray | None = None) -> Callable:
+        """A ``f(t, y) -> ydot`` closure for the ODE solvers."""
+        params = self.param_vector() if p is None else np.asarray(p, float)
+        rhs = self.module.rhs
+        n = self.num_states
+
+        def f(t: float, y: np.ndarray) -> np.ndarray:
+            out = np.empty(n, dtype=float)
+            rhs(t, y, params, out)
+            return out
+
+        return f
+
+    def make_jac(self, p: np.ndarray | None = None) -> Callable | None:
+        """A ``jac(t, y) -> ndarray`` closure, if the Jacobian was generated."""
+        if self.module.jac is None:
+            return None
+        params = self.param_vector() if p is None else np.asarray(p, float)
+        jac_fn = self.module.jac
+        n = self.num_states
+
+        def jac(t: float, y: np.ndarray) -> np.ndarray:
+            out = np.zeros((n, n), dtype=float)
+            jac_fn(t, y, params, out)
+            return out
+
+        return jac
+
+    def eval_task(
+        self, task_id: int, t: float, y: np.ndarray, p: np.ndarray,
+        res: np.ndarray,
+    ) -> None:
+        """Evaluate one task into the shared results vector ``res``
+        (length ``num_states + num_partials``)."""
+        self.module.tasks[task_id](t, y, p, res)
+
+    def results_buffer(self) -> np.ndarray:
+        return np.zeros(self.num_states + self.num_partials, dtype=float)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GeneratedProgram {self.system.name}: {self.num_states} states, "
+            f"{self.num_tasks} tasks, {self.module.num_lines} generated lines>"
+        )
+
+
+def generate_program(
+    system: OdeSystem,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    jacobian: bool = False,
+    group_threshold: float | None = None,
+    split_threshold: float | None = None,
+    cse_min_ops: int = 1,
+    shared_cse: bool = False,
+) -> GeneratedProgram:
+    """Run the full back half of the compiler: verify → partition → emit.
+
+    This is the programmatic equivalent of Figure 9's code-generator
+    pipeline (compilable-subset verifier, parallelization, CSE, code
+    emission).  ``shared_cse=True`` enables the parallel-CSE task mode
+    (section 3.3's outlook; see :func:`~repro.codegen.tasks.partition_tasks`).
+    """
+    report = verify_compilable(system)
+    plan = partition_tasks(
+        system,
+        cost_model=cost_model,
+        group_threshold=group_threshold,
+        split_threshold=split_threshold,
+        shared_cse=shared_cse,
+    )
+    module = generate_python(
+        system, plan=plan, jacobian=jacobian, cse_min_ops=cse_min_ops
+    )
+    return GeneratedProgram(
+        system=system, plan=plan, module=module, verify_report=report
+    )

@@ -1,0 +1,96 @@
+"""Start-value and parameter files.
+
+"Since it is essential that the start values for the simulation can be
+changed without re-compilation of the application, we generate a function
+which reads values from a text file and assigns it to the right variable"
+(section 3.2).  The file format keeps the ObjectMath model's own variable
+names, one ``name = value`` pair per line; ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Mapping, TextIO
+
+from .transform import OdeSystem
+
+__all__ = ["write_start_file", "read_start_file", "apply_start_file"]
+
+
+def write_start_file(
+    system: OdeSystem, target: str | Path | TextIO
+) -> None:
+    """Write the model's start values and parameters as a text file."""
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        fh.write(f"# start values and parameters for model {system.name}\n")
+        fh.write("# states\n")
+        for name, value in zip(system.state_names, system.start_values):
+            fh.write(f"{name} = {value!r}\n")
+        fh.write("# parameters\n")
+        for name, value in zip(system.param_names, system.param_values):
+            fh.write(f"{name} = {value!r}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_start_file(source: str | Path | TextIO) -> dict[str, float]:
+    """Parse a start-value file into ``{name: value}``."""
+    own = isinstance(source, (str, Path))
+    fh: TextIO = open(source) if own else source  # type: ignore[arg-type]
+    out: dict[str, float] = {}
+    try:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ValueError(
+                    f"start file line {lineno}: expected 'name = value', "
+                    f"got {raw.strip()!r}"
+                )
+            name, _, text = line.partition("=")
+            name = name.strip()
+            try:
+                value = float(text.strip())
+            except ValueError as exc:
+                raise ValueError(
+                    f"start file line {lineno}: bad number {text.strip()!r}"
+                ) from exc
+            if name in out:
+                raise ValueError(
+                    f"start file line {lineno}: duplicate entry {name!r}"
+                )
+            out[name] = value
+    finally:
+        if own:
+            fh.close()
+    return out
+
+
+def apply_start_file(
+    system: OdeSystem, values: Mapping[str, float], strict: bool = True
+) -> tuple[list[float], list[float]]:
+    """Merge file ``values`` over the system defaults.
+
+    Returns ``(y0, params)`` vectors in system order.  With ``strict=True``
+    unknown names raise (catching typos in hand-edited files).
+    """
+    y0 = list(system.start_values)
+    params = list(system.param_values)
+    state_index = {s: i for i, s in enumerate(system.state_names)}
+    param_index = {s: i for i, s in enumerate(system.param_names)}
+    for name, value in values.items():
+        if name in state_index:
+            y0[state_index[name]] = float(value)
+        elif name in param_index:
+            params[param_index[name]] = float(value)
+        elif strict:
+            raise KeyError(
+                f"start file names unknown quantity {name!r} "
+                f"(not a state or parameter of model {system.name})"
+            )
+    return y0, params

@@ -1,0 +1,422 @@
+"""Task partitioning of the right-hand-side work.
+
+"The parallelization stage of the code generator groups all small
+assignments into one task and splits large assignments obtained from the
+equations into several tasks for computation" (section 3.2).
+
+The partitioner works on the assignment list of an
+:class:`~repro.codegen.transform.OdeSystem`:
+
+* an assignment whose estimated cost exceeds ``split_threshold`` *and*
+  whose right-hand side is a top-level sum is split into partial-sum tasks
+  plus a cheap combining task that depends on them,
+* assignments cheaper than ``group_threshold`` are greedily bin-packed
+  (first-fit decreasing) into shared tasks to amortise per-task overhead,
+* everything else becomes its own task.
+
+The result is a :class:`TaskPlan`: executable task bodies plus the
+:class:`~repro.schedule.task.TaskGraph` handed to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..schedule.task import Task, TaskGraph
+from ..symbolic.expr import Add, Expr, Mul, Sym, add, free_symbols, mul
+from ..symbolic.nodecount import op_count
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .transform import OdeSystem
+
+__all__ = ["Assignment", "TaskBody", "TaskPlan", "partition_tasks"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One scalar assignment ``target := expr`` inside a task body.
+
+    ``target`` is ``"der:<state>"`` (a final derivative slot),
+    ``"part:<state>:<k>"`` (a partial sum later combined), or
+    ``"cse:<name>"`` (a shared subexpression computed in its own task —
+    the parallel-CSE mode of section 3.3's outlook).
+    """
+
+    target: str
+    expr: Expr
+
+    @property
+    def is_partial(self) -> bool:
+        """True for any auxiliary slot (partial sums and shared CSEs)."""
+        return not self.target.startswith("der:")
+
+    @property
+    def state(self) -> str:
+        return self.target.split(":", 2)[1]
+
+
+@dataclass(frozen=True)
+class TaskBody:
+    """The executable content of one task."""
+
+    task_id: int
+    name: str
+    assignments: tuple[Assignment, ...]
+
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(a.target for a in self.assignments)
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """Task bodies plus the dependence graph for the scheduler."""
+
+    bodies: tuple[TaskBody, ...]
+    graph: TaskGraph
+    #: names of partial-sum slots, in allocation order (after state slots)
+    partial_slots: tuple[str, ...]
+    cost_model: CostModel
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.bodies)
+
+    def summary(self) -> str:
+        lines = [f"{self.num_tasks} tasks, total weight "
+                 f"{self.graph.total_weight:.3g}s"]
+        for body, task in zip(self.bodies, self.graph):
+            lines.append(
+                f"  {task}: {len(body.assignments)} assignment(s)"
+                + (f", deps {list(task.depends_on)}" if task.depends_on else "")
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _Unit:
+    """An unscheduled unit of work prior to grouping."""
+
+    assignment: Assignment
+    cost: float
+    ops: int
+    #: indices of units whose slot outputs this unit reads
+    dep_units: tuple[int, ...] = ()
+    #: a combining unit (sums partial slots; scheduled after its parts)
+    is_combine: bool = False
+    #: a shared-CSE producer (scheduled before its consumers)
+    is_shared: bool = False
+
+
+def _split_terms(
+    terms: Sequence[Expr], costs: Sequence[float], max_cost: float
+) -> list[list[int]]:
+    """Greedily partition term indices into chunks of bounded cost.
+
+    Terms are taken in descending cost order into the currently lightest
+    chunk (LPT-style), with the chunk count chosen so each chunk is close
+    to (but a heavy single term may exceed) ``max_cost``.
+    """
+    total = sum(costs)
+    num_chunks = max(2, int(total // max_cost) + (1 if total % max_cost else 0))
+    num_chunks = min(num_chunks, len(terms))
+    chunks: list[list[int]] = [[] for _ in range(num_chunks)]
+    loads = [0.0] * num_chunks
+    for idx in sorted(range(len(terms)), key=lambda i: -costs[i]):
+        lightest = min(range(num_chunks), key=lambda c: loads[c])
+        chunks[lightest].append(idx)
+        loads[lightest] += costs[idx]
+    return [c for c in chunks if c]
+
+
+def _splittable_terms(
+    rhs: Expr, cost_model: CostModel, threshold: float
+) -> list[Expr] | None:
+    """Additive terms of ``rhs``, if it can be split into partial sums.
+
+    Recursively flattens sums and distributes the common post-inlining
+    shape ``cheap_factor * (t1 + t2 + …)`` (e.g. a force balance divided
+    by a mass), until every term is either below ``threshold`` or atomic
+    (a contact expression is the natural unit of work here).  Returns
+    None when no useful split exists.
+    """
+    out: list[Expr] = []
+
+    def expand(expr: Expr) -> None:
+        if cost_model.expr_cost(expr) <= threshold:
+            out.append(expr)
+            return
+        if isinstance(expr, Add) and len(expr.args) >= 2:
+            for arg in expr.args:
+                expand(arg)
+            return
+        if isinstance(expr, Mul):
+            adds = [
+                a for a in expr.args
+                if isinstance(a, Add) and len(a.args) >= 2
+            ]
+            if len(adds) == 1:
+                inner = adds[0]
+                others = [a for a in expr.args if a is not inner]
+                # Only distribute when the duplicated factors are cheap
+                # relative to the sum being split.
+                others_cost = sum(cost_model.expr_cost(o) for o in others)
+                if others_cost <= 0.05 * cost_model.expr_cost(inner):
+                    for term in inner.args:
+                        expand(mul(*others, term))
+                    return
+        out.append(expr)  # atomic unit of work
+
+    expand(rhs)
+    return out if len(out) >= 2 else None
+
+
+def _shared_cse_pass(
+    rhs_list: Sequence[Expr],
+    cost_model: CostModel,
+    threshold: float,
+) -> tuple[list[tuple[str, Expr]], list[Expr]]:
+    """Extract large *shared* subexpressions into named slots.
+
+    "In order to reduce this number and produce more efficient parallel
+    code, we will have to extract some of the larger common subexpressions
+    and compute them in parallel" (section 3.3).  Runs global CSE, keeps
+    the extractions that are (a) at least ``threshold`` expensive and (b)
+    referenced from more than one place, and re-inlines the rest.
+
+    Returns ``(kept, rewritten_rhs)`` where each kept entry is
+    ``(slot_name, definition)`` in valid evaluation order (later
+    definitions may reference earlier slots).
+    """
+    from collections import Counter
+
+    from ..symbolic.cse import cse as run_cse
+    from ..symbolic.subs import substitute
+
+    result = run_cse(list(rhs_list), symbol_prefix="gshared", min_ops=6)
+    refs: Counter[str] = Counter()
+    for _sym, definition in result.replacements:
+        for s in free_symbols(definition):
+            refs[s.name] += 1
+    for expr in result.exprs:
+        for s in free_symbols(expr):
+            refs[s.name] += 1
+
+    kept: list[tuple[str, Expr]] = []
+    inline_map: dict[Expr, Expr] = {}
+    for sym, definition in result.replacements:
+        resolved = substitute(definition, inline_map)
+        if (
+            cost_model.expr_cost(resolved) >= threshold
+            and refs[sym.name] >= 2
+        ):
+            slot = f"cse:{sym.name}"
+            kept.append((slot, resolved))
+            inline_map[sym] = Sym(slot)
+        else:
+            inline_map[sym] = substitute(resolved, inline_map)
+    rewritten = [substitute(e, inline_map) for e in result.exprs]
+    return kept, rewritten
+
+
+def partition_tasks(
+    system: OdeSystem,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    group_threshold: float | None = None,
+    split_threshold: float | None = None,
+    shared_cse: bool = False,
+    shared_cse_threshold: float | None = None,
+) -> TaskPlan:
+    """Partition the RHS assignments of ``system`` into a task plan.
+
+    ``group_threshold`` (seconds) is the cost below which assignments are
+    packed together; it defaults to 4x the cost-model task overhead.
+    ``split_threshold`` is the cost above which sum-shaped assignments are
+    split; it defaults to 64x the task overhead.  Pass ``float('inf')`` to
+    disable splitting (one task per equation, the paper's baseline mode).
+
+    ``shared_cse=True`` enables the parallel-CSE mode of section 3.3's
+    outlook: large subexpressions shared between equations are computed
+    once in dedicated producer tasks (adding one dependency level) instead
+    of being recomputed per task.  ``shared_cse_threshold`` is the minimum
+    producer cost (default 2x the task overhead).
+    """
+    if group_threshold is None:
+        group_threshold = 4.0 * cost_model.task_overhead
+    if split_threshold is None:
+        split_threshold = 64.0 * cost_model.task_overhead
+    if shared_cse_threshold is None:
+        shared_cse_threshold = 2.0 * cost_model.task_overhead
+    if group_threshold < 0 or split_threshold <= 0:
+        raise ValueError("thresholds must be positive")
+
+    units: list[_Unit] = []
+    shared_unit_of: dict[str, int] = {}
+
+    rhs_list: Sequence[Expr] = system.rhs
+    if shared_cse:
+        kept, rhs_list = _shared_cse_pass(
+            system.rhs, cost_model, shared_cse_threshold
+        )
+        for slot, definition in kept:
+            units.append(
+                _Unit(
+                    Assignment(slot, definition),
+                    cost=cost_model.expr_cost(definition),
+                    ops=op_count(definition),
+                    is_shared=True,
+                )
+            )
+            shared_unit_of[slot] = len(units) - 1
+
+    for state, rhs in zip(system.state_names, rhs_list):
+        cost = cost_model.expr_cost(rhs)
+        terms = (
+            _splittable_terms(rhs, cost_model, split_threshold)
+            if cost > split_threshold else None
+        )
+        if terms is not None:
+            term_costs = [cost_model.expr_cost(t) for t in terms]
+            chunks = _split_terms(terms, term_costs, split_threshold)
+            if len(chunks) >= 2:
+                part_indices: list[int] = []
+                part_syms: list[Expr] = []
+                for k, chunk in enumerate(chunks):
+                    target = f"part:{state}:{k}"
+                    expr = add(*(terms[i] for i in chunk))
+                    units.append(
+                        _Unit(
+                            Assignment(target, expr),
+                            cost=cost_model.expr_cost(expr),
+                            ops=op_count(expr),
+                        )
+                    )
+                    part_indices.append(len(units) - 1)
+                    part_syms.append(Sym(target))
+                combine = add(*part_syms)
+                units.append(
+                    _Unit(
+                        Assignment(f"der:{state}", combine),
+                        cost=cost_model.expr_cost(combine),
+                        ops=op_count(combine),
+                        dep_units=tuple(part_indices),
+                        is_combine=True,
+                    )
+                )
+                continue
+        units.append(
+            _Unit(Assignment(f"der:{state}", rhs), cost=cost, ops=op_count(rhs))
+        )
+
+    # Wire slot dependencies: every unit that *reads* a shared-CSE slot
+    # depends on that slot's producer unit (shared producers may also
+    # read earlier shared slots).
+    if shared_unit_of:
+        for idx, unit in enumerate(units):
+            extra = tuple(
+                shared_unit_of[s.name]
+                for s in sorted(free_symbols(unit.assignment.expr),
+                                key=lambda s: s.name)
+                if s.name in shared_unit_of
+                and shared_unit_of[s.name] != idx
+            )
+            if extra:
+                unit.dep_units = tuple(dict.fromkeys(unit.dep_units + extra))
+
+    # -- grouping: FFD bin-packing of small non-combine units -----------------
+    small = [
+        i
+        for i, u in enumerate(units)
+        if u.cost < group_threshold and not u.is_combine and not u.is_shared
+    ]
+    large = [
+        i
+        for i, u in enumerate(units)
+        if u.cost >= group_threshold and not u.is_combine and not u.is_shared
+    ]
+    combines = [i for i, u in enumerate(units) if u.is_combine]
+    shared = [i for i, u in enumerate(units) if u.is_shared]
+
+    bins: list[list[int]] = []
+    bin_loads: list[float] = []
+    for i in sorted(small, key=lambda i: -units[i].cost):
+        placed = False
+        for b, load in enumerate(bin_loads):
+            if load + units[i].cost <= group_threshold:
+                bins[b].append(i)
+                bin_loads[b] += units[i].cost
+                placed = True
+                break
+        if not placed:
+            bins.append([i])
+            bin_loads.append(units[i].cost)
+
+    # -- emit tasks -----------------------------------------------------------
+    bodies: list[TaskBody] = []
+    tasks: list[Task] = []
+    unit_to_task: dict[int, int] = {}
+    partial_slots: list[str] = []
+
+    state_set = frozenset(system.state_names)
+
+    def emit(name: str, unit_indices: Sequence[int]) -> int:
+        task_id = len(bodies)
+        deps = tuple(
+            sorted(
+                {
+                    unit_to_task[j]
+                    for i in unit_indices
+                    for j in units[i].dep_units
+                }
+            )
+        )
+        assigns = tuple(units[i].assignment for i in unit_indices)
+        # Task inputs are the *state-vector* entries the task reads: these
+        # are what must travel every round.  Parameters are distributed
+        # once at start-up (the paper reads them from the start-value file
+        # before the run), and partial slots arrive via task dependencies.
+        inputs: set[str] = set()
+        for a in assigns:
+            inputs.update(
+                s.name for s in free_symbols(a.expr) if s.name in state_set
+            )
+        weight = cost_model.task_overhead + sum(
+            units[i].cost for i in unit_indices
+        )
+        bodies.append(TaskBody(task_id, name, assigns))
+        tasks.append(
+            Task(
+                task_id=task_id,
+                name=name,
+                outputs=tuple(a.target for a in assigns),
+                inputs=tuple(sorted(inputs)),
+                weight=weight,
+                num_ops=sum(units[i].ops for i in unit_indices),
+                depends_on=deps,
+            )
+        )
+        for i in unit_indices:
+            unit_to_task[i] = task_id
+            if units[i].assignment.is_partial:
+                partial_slots.append(units[i].assignment.target)
+        return task_id
+
+    # Producers first, then independent work, then combining tasks.
+    for i in shared:
+        emit(units[i].assignment.target, [i])
+    for i in large:
+        emit(units[i].assignment.target, [i])
+    for b, group in enumerate(bins):
+        if len(group) == 1:
+            emit(units[group[0]].assignment.target, group)
+        else:
+            emit(f"group[{b}]", group)
+    for i in combines:
+        emit(units[i].assignment.target, [i])
+
+    graph = TaskGraph(tasks)
+    return TaskPlan(
+        bodies=tuple(bodies),
+        graph=graph,
+        partial_slots=tuple(partial_slots),
+        cost_model=cost_model,
+    )

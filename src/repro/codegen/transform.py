@@ -1,0 +1,185 @@
+"""The expression transformer: equations → RHS assignments.
+
+"The expression transformer in the code generator accepts a list of first
+order differential equations …  Various transformations are done, including
+removing the derivatives and replacing the equations by assignments, where
+the right-hand sides are the right-hand sides from the equations.  The
+result represents what really needs to be computed by the generated code
+when using a specific solver" (section 3.1).
+
+Input is a :class:`~repro.model.flatten.FlatModel`; output is an
+:class:`OdeSystem` — the ordered assignment list ``ydot[i] := rhs_i``.
+Explicit algebraic definitions are inlined; residual implicit equations are
+symbolically solved when they are *linear* in their matched unknown (a
+small slice of the "algebraic transformations of equations" capability of
+the ObjectMath environment), otherwise the model is rejected as outside
+the compilable subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.matching import maximum_matching
+from ..model.flatten import FlatModel, ImplicitEquation, ModelError
+from ..symbolic.diff import diff
+from ..symbolic.expr import Const, Expr, Sym, div, free_symbols, sub
+from ..symbolic.simplify import simplify
+from ..symbolic.subs import substitute
+
+__all__ = ["OdeSystem", "TransformError", "make_ode_system", "solve_linear"]
+
+
+class TransformError(ModelError):
+    """Raised when a model cannot be transformed to explicit ODE form."""
+
+
+@dataclass(frozen=True)
+class OdeSystem:
+    """An explicit first-order ODE system ``ydot = f(y, t; p)``.
+
+    This is the paper's "ODEs internal form" (Figure 7) — the hand-off from
+    the ObjectMath compiler to the code generator.
+    """
+
+    name: str
+    free_var: str
+    state_names: tuple[str, ...]
+    param_names: tuple[str, ...]
+    #: rhs[i] defines d state_names[i] / dt
+    rhs: tuple[Expr, ...]
+    start_values: tuple[float, ...]
+    param_values: tuple[float, ...]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.state_names)
+
+    def state_index(self, name: str) -> int:
+        return self.state_names.index(name)
+
+    def param_map(self) -> dict[str, float]:
+        return dict(zip(self.param_names, self.param_values))
+
+    def __repr__(self) -> str:
+        return (
+            f"<OdeSystem {self.name}: {self.num_states} states, "
+            f"{len(self.param_names)} parameters>"
+        )
+
+
+def solve_linear(eq: ImplicitEquation, var: str) -> Expr:
+    """Solve ``eq`` for ``var``, assuming linearity.
+
+    Writes the residual as ``a*var + b`` with ``a``, ``b`` free of ``var``
+    and returns ``-b / a``.  Raises :class:`TransformError` when the
+    residual is not linear in ``var`` or the coefficient is structurally
+    zero.
+    """
+    sym = Sym(var)
+    residual = eq.residual
+    a = simplify(diff(residual, sym))
+    if sym in free_symbols(a):
+        raise TransformError(
+            f"equation {eq.label or eq}: nonlinear in {var!r}; outside the "
+            f"compilable subset"
+        )
+    if a.is_zero:
+        raise TransformError(
+            f"equation {eq.label or eq}: coefficient of {var!r} is zero"
+        )
+    b = simplify(substitute(residual, {sym: Const(0)}))
+    return simplify(div(sub(Const(0), b), a))
+
+
+def make_ode_system(flat: FlatModel, simplify_rhs: bool = True) -> OdeSystem:
+    """Transform ``flat`` into an explicit ODE system.
+
+    Steps:
+
+    1. solve residual implicit equations for their matched unknowns
+       (linear solve; nonlinear loops are rejected),
+    2. inline all explicit algebraic definitions into the ODE right-hand
+       sides (raising on algebraic loops),
+    3. drop the ``der`` operators, leaving pure assignments.
+    """
+    work = flat
+
+    if work.implicit:
+        # Match implicit equations to the unknowns they determine, then
+        # solve each symbolically (linear case only).
+        unknowns = frozenset(work.states) | frozenset(work.algebraics)
+        defined = {eq.state for eq in work.odes} | {
+            eq.var for eq in work.explicit_algs
+        }
+        open_unknowns = sorted(unknowns - defined)
+        labels = [
+            eq.label or f"implicit[{i}]" for i, eq in enumerate(work.implicit)
+        ]
+        incidence = {}
+        for eq, label in zip(work.implicit, labels):
+            mentioned = {
+                s.name
+                for s in free_symbols(eq.residual)
+                if s.name in open_unknowns
+            }
+            incidence[label] = sorted(mentioned)
+        match = maximum_matching(incidence, open_unknowns)
+        if len(match) < len(work.implicit):
+            raise TransformError(
+                "cannot match all implicit equations to unknowns; the "
+                "system is structurally singular"
+            )
+        from ..model.flatten import AlgEquation
+
+        new_algs = list(work.explicit_algs)
+        for eq, label in zip(work.implicit, labels):
+            var = match[label]
+            if var in work.states:
+                raise TransformError(
+                    f"equation {label}: implicitly determines state {var!r}; "
+                    f"only explicit first-order ODEs are in the compilable "
+                    f"subset"
+                )
+            new_algs.append(AlgEquation(var, solve_linear(eq, var), eq.label))
+        work = FlatModel(
+            name=work.name,
+            free_var=work.free_var,
+            states=dict(work.states),
+            algebraics=dict(work.algebraics),
+            parameters=dict(work.parameters),
+            odes=list(work.odes),
+            explicit_algs=new_algs,
+            implicit=[],
+        )
+
+    work = work.inline_algebraics()
+
+    missing = [s for s in work.states if s not in {e.state for e in work.odes}]
+    if missing:
+        raise TransformError(
+            "states without defining ODE after transformation: "
+            + ", ".join(missing[:10])
+        )
+
+    rhs_by_state = {eq.state: eq.rhs for eq in work.odes}
+    state_names = tuple(work.states)
+    rhs = tuple(rhs_by_state[s] for s in state_names)
+    if simplify_rhs:
+        rhs = tuple(simplify(e) for e in rhs)
+
+    param_names = tuple(work.parameters)
+    param_values = tuple(
+        work.parameters[p].value if work.parameters[p].value is not None else 0.0
+        for p in param_names
+    )
+    return OdeSystem(
+        name=work.name,
+        free_var=work.free_var.name,
+        state_names=state_names,
+        param_names=param_names,
+        rhs=rhs,
+        start_values=tuple(work.start_vector()),
+        param_values=param_values,
+    )

@@ -1,0 +1,75 @@
+"""The compilable-subset verifier (Figure 9).
+
+Before any back end runs, the ODE system is checked against the subset the
+code generators can actually compile: every referenced symbol is a state,
+parameter or the free variable; every function is registered with all back
+ends; no ``der`` operators survive; and every right-hand side is a real
+scalar expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..symbolic.builders import FUNCTIONS
+from ..symbolic.expr import Call, Der, Sym, preorder
+from .transform import OdeSystem
+
+__all__ = ["VerifyError", "VerifyReport", "verify_compilable"]
+
+
+class VerifyError(ValueError):
+    """Raised when an ODE system falls outside the compilable subset."""
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Statistics from a successful verification pass."""
+
+    num_rhs: int
+    num_nodes: int
+    functions_used: tuple[str, ...]
+    symbols_used: tuple[str, ...]
+
+
+def verify_compilable(system: OdeSystem) -> VerifyReport:
+    """Verify ``system``; raise :class:`VerifyError` on the first violation."""
+    known = set(system.state_names) | set(system.param_names)
+    known.add(system.free_var)
+
+    functions: set[str] = set()
+    symbols: set[str] = set()
+    num_nodes = 0
+
+    for state, rhs in zip(system.state_names, system.rhs):
+        for node in preorder(rhs):
+            num_nodes += 1
+            if isinstance(node, Der):
+                raise VerifyError(
+                    f"rhs of {state}: derivative operator survived the "
+                    f"expression transformer"
+                )
+            if isinstance(node, Sym):
+                if node.name not in known:
+                    raise VerifyError(
+                        f"rhs of {state}: unknown symbol {node.name!r}"
+                    )
+                symbols.add(node.name)
+            elif isinstance(node, Call):
+                spec = FUNCTIONS.get(node.fn)
+                if spec is None:
+                    raise VerifyError(
+                        f"rhs of {state}: unknown function {node.fn!r}"
+                    )
+                if len(node.args) != spec.arity:
+                    raise VerifyError(
+                        f"rhs of {state}: {node.fn} arity mismatch"
+                    )
+                functions.add(node.fn)
+
+    return VerifyReport(
+        num_rhs=len(system.rhs),
+        num_nodes=num_nodes,
+        functions_used=tuple(sorted(functions)),
+        symbols_used=tuple(sorted(symbols)),
+    )

@@ -1,0 +1,29 @@
+"""The ObjectMath-like textual language front end."""
+
+from .ast import ClassDef, EquationDef, InstanceDef, MemberDecl, ModelDef, PartDecl
+from .errors import LexError, ParseError, SourceError
+from .lexer import tokenize
+from .parser import build_model, load_model, parse_model
+from .tokens import KEYWORDS, Token, TokenKind
+from .unparse import unparse_expr, unparse_model
+
+__all__ = [
+    "ClassDef",
+    "EquationDef",
+    "InstanceDef",
+    "MemberDecl",
+    "ModelDef",
+    "PartDecl",
+    "LexError",
+    "ParseError",
+    "SourceError",
+    "tokenize",
+    "build_model",
+    "load_model",
+    "parse_model",
+    "KEYWORDS",
+    "Token",
+    "TokenKind",
+    "unparse_expr",
+    "unparse_model",
+]

@@ -1,0 +1,90 @@
+"""Model-level abstract syntax for the textual front end.
+
+The parser produces these nodes; :func:`repro.language.parser.build_model`
+lowers them onto the programmatic modeling API (:mod:`repro.model`), which
+is the single source of truth for semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..symbolic.expr import Expr
+from ..symbolic.vector import Vec
+
+__all__ = [
+    "DeclKind",
+    "MemberDecl",
+    "EquationDef",
+    "PartDecl",
+    "ClassDef",
+    "InstanceDef",
+    "ModelDef",
+]
+
+Side = Union[Expr, Vec]
+
+
+@dataclass(frozen=True)
+class MemberDecl:
+    """A STATE / PARAMETER / ALGEBRAIC / INPUT declaration."""
+
+    kind: str  # "state" | "parameter" | "algebraic" | "input"
+    name: str
+    length: int  # 1 = scalar
+    default: float | tuple[float, ...] | None
+    line: int
+
+
+@dataclass(frozen=True)
+class EquationDef:
+    """``EQUATION [label :=] lhs == rhs ;``"""
+
+    label: str
+    lhs: Side
+    rhs: Side
+    line: int
+
+
+@dataclass(frozen=True)
+class PartDecl:
+    """``PART name : ClassName ;`` (composition)."""
+
+    name: str
+    class_name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """``CLASS name [INHERITS base, ...] ... END name ;``"""
+
+    name: str
+    bases: tuple[str, ...]
+    members: tuple[MemberDecl, ...]
+    parts: tuple[PartDecl, ...]
+    equations: tuple[EquationDef, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class InstanceDef:
+    """``INSTANCE name [count] INHERITS Class (overrides) ;``"""
+
+    name: str
+    count: int | None  # None = single instance; k = array W1..Wk
+    class_name: str
+    overrides: tuple[tuple[str, float | tuple[float, ...]], ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class ModelDef:
+    """A whole ``MODEL … END`` unit."""
+
+    name: str
+    classes: tuple[ClassDef, ...]
+    instances: tuple[InstanceDef, ...]
+    equations: tuple[EquationDef, ...]
+    line: int

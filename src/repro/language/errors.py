@@ -1,0 +1,22 @@
+"""Source-located diagnostics for the language front end."""
+
+from __future__ import annotations
+
+__all__ = ["SourceError", "LexError", "ParseError"]
+
+
+class SourceError(ValueError):
+    """An error with a source position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"{line}:{column}: {message}")
+
+
+class LexError(SourceError):
+    """Raised on malformed input characters or literals."""
+
+
+class ParseError(SourceError):
+    """Raised on grammar violations."""

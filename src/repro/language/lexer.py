@@ -1,0 +1,189 @@
+"""Hand-written scanner for the ObjectMath-like syntax.
+
+Comments are Mathematica/Pascal style ``(* … *)`` (as in Figure 1 of the
+paper: ``(* Equations *)``) and may nest.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_SINGLE = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "^": TokenKind.CARET,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ".": TokenKind.DOT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Nesting comments: (* ... *)
+        if ch == "(" and i + 1 < n and source[i + 1] == "*":
+            depth = 1
+            start_line, start_col = line, col
+            i += 2
+            col += 2
+            while i < n and depth > 0:
+                if source[i] == "\n":
+                    line += 1
+                    col = 1
+                    i += 1
+                elif source.startswith("(*", i):
+                    depth += 1
+                    i += 2
+                    col += 2
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    i += 2
+                    col += 2
+                else:
+                    i += 1
+                    col += 1
+            if depth > 0:
+                raise LexError("unterminated comment", start_line, start_col)
+            continue
+
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", line, col))
+            i += 1
+            col += 1
+            continue
+
+        # Two-character operators.
+        two = source[i : i + 2]
+        if two == ":=":
+            tokens.append(Token(TokenKind.ASSIGN, two, line, col))
+            i += 2
+            col += 2
+            continue
+        if two == "==":
+            tokens.append(Token(TokenKind.EQUALS, two, line, col))
+            i += 2
+            col += 2
+            continue
+        if two == "!=":
+            tokens.append(Token(TokenKind.NOTEQ, two, line, col))
+            i += 2
+            col += 2
+            continue
+        if two == "<=":
+            tokens.append(Token(TokenKind.LE, two, line, col))
+            i += 2
+            col += 2
+            continue
+        if two == ">=":
+            tokens.append(Token(TokenKind.GE, two, line, col))
+            i += 2
+            col += 2
+            continue
+        if ch == "<":
+            tokens.append(Token(TokenKind.LT, ch, line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == ">":
+            tokens.append(Token(TokenKind.GT, ch, line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == ":":
+            tokens.append(Token(TokenKind.COLON, ch, line, col))
+            i += 1
+            col += 1
+            continue
+
+        if ch in _SINGLE:
+            # '.' may begin a number like .5
+            if ch == "." and i + 1 < n and source[i + 1].isdigit():
+                pass  # fall through to the number scanner
+            else:
+                tokens.append(Token(_SINGLE[ch], ch, line, col))
+                i += 1
+                col += 1
+                continue
+
+        if ch.isdigit() or ch == ".":
+            start = i
+            start_col = col
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == "." and (
+                i + 1 >= n or source[i + 1] != "."
+            ):
+                # A '.' followed by a letter is member access (2.x invalid
+                # anyway); only consume when a digit follows or at end.
+                if i + 1 < n and source[i + 1].isdigit():
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+                elif i + 1 >= n or not source[i + 1].isalpha():
+                    i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            try:
+                value = float(text)
+            except ValueError:
+                raise LexError(f"bad number literal {text!r}", line, start_col)
+            col += i - start
+            tokens.append(
+                Token(TokenKind.NUMBER, text, line, start_col, value=value)
+            )
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,651 @@
+"""Recursive-descent parser and model builder.
+
+Grammar (roughly; ``[]`` optional, ``{}`` repetition)::
+
+    model     := 'MODEL' IDENT ';' { classdef | instancedef | equation } 'END' IDENT ';'
+    classdef  := 'CLASS' IDENT ['INHERITS' IDENT {',' IDENT}]
+                 { member } 'END' IDENT ';'
+    member    := ('STATE'|'PARAMETER'|'ALGEBRAIC'|'INPUT') IDENT ['[' INT ']']
+                 [':=' literal] ';'
+               | 'PART' IDENT ':' IDENT ';'
+               | equation
+    equation  := 'EQUATION' [label ':='] side '==' side ';'
+    instancedef := 'INSTANCE' IDENT ['[' INT ']'] 'INHERITS' IDENT
+                   ['(' IDENT ':=' literal {',' ...} ')'] ';'
+    side      := expr | '{' expr {',' expr} '}'
+
+Expressions use the usual precedence (OR < AND < NOT < comparison <
+additive < multiplicative < unary < power); ``^`` is power, ``der(x)``
+the time derivative, ``IF c THEN a ELSE b`` the conditional.  ``==`` is
+reserved for the equation relation (use ``<``/``>=``/``!=`` etc. inside
+conditions).
+
+The builder lowers the AST onto :mod:`repro.model`; vector members may be
+referenced by bare name anywhere in an equation — a vectorisation pass
+re-types the expression bottom-up once declarations are known (matching
+Figure 1, where whole force vectors are summed:
+``F[W[i]][BodyIr] + F[W[i]][BodyEr] + F[W[i]][Ext] == {0, 0, 0}``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, Union
+
+from ..model.classes import ModelClass
+from ..model.instance import Model
+from ..model.types import REAL, VecType
+from ..symbolic.builders import FUNCTIONS, if_then_else
+from ..symbolic.expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ITE,
+    Mul,
+    Rel,
+    Sym,
+    add,
+    mul,
+    pow_,
+    )
+
+
+from ..symbolic.vector import Vec
+from . import ast as A
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+__all__ = ["parse_model", "build_model", "load_model"]
+
+Side = Union[Expr, Vec]
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self.tokens = list(tokens)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind.value
+            raise ParseError(
+                f"expected {want!r}, found {tok.text or tok.kind.value!r}",
+                tok.line, tok.column,
+            )
+        return self.advance()
+
+    def keyword(self, word: str) -> Token:
+        return self.expect(TokenKind.KEYWORD, word)
+
+    # -- model structure --------------------------------------------------------
+
+    def parse_model(self) -> A.ModelDef:
+        start = self.keyword("MODEL")
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.SEMI)
+        classes: list[A.ClassDef] = []
+        instances: list[A.InstanceDef] = []
+        equations: list[A.EquationDef] = []
+        while not self.check(TokenKind.KEYWORD, "END"):
+            tok = self.peek()
+            if self.check(TokenKind.KEYWORD, "CLASS"):
+                classes.append(self.parse_class())
+            elif self.check(TokenKind.KEYWORD, "INSTANCE"):
+                instances.append(self.parse_instance())
+            elif self.check(TokenKind.KEYWORD, "EQUATION"):
+                equations.append(self.parse_equation())
+            else:
+                raise ParseError(
+                    f"expected CLASS, INSTANCE, EQUATION or END, found "
+                    f"{tok.text!r}", tok.line, tok.column,
+                )
+        self.keyword("END")
+        end_name = self.expect(TokenKind.IDENT).text
+        if end_name != name:
+            tok = self.peek()
+            raise ParseError(
+                f"END {end_name} does not match MODEL {name}",
+                tok.line, tok.column,
+            )
+        self.expect(TokenKind.SEMI)
+        self.expect(TokenKind.EOF)
+        return A.ModelDef(
+            name=name,
+            classes=tuple(classes),
+            instances=tuple(instances),
+            equations=tuple(equations),
+            line=start.line,
+        )
+
+    def parse_class(self) -> A.ClassDef:
+        start = self.keyword("CLASS")
+        name = self.expect(TokenKind.IDENT).text
+        bases: list[str] = []
+        if self.accept(TokenKind.KEYWORD, "INHERITS"):
+            bases.append(self.expect(TokenKind.IDENT).text)
+            while self.accept(TokenKind.COMMA):
+                bases.append(self.expect(TokenKind.IDENT).text)
+        members: list[A.MemberDecl] = []
+        parts: list[A.PartDecl] = []
+        equations: list[A.EquationDef] = []
+        while not self.check(TokenKind.KEYWORD, "END"):
+            tok = self.peek()
+            if tok.kind is TokenKind.KEYWORD and tok.text in (
+                "STATE", "PARAMETER", "ALGEBRAIC", "INPUT",
+            ):
+                members.append(self.parse_member())
+            elif self.check(TokenKind.KEYWORD, "PART"):
+                parts.append(self.parse_part())
+            elif self.check(TokenKind.KEYWORD, "EQUATION"):
+                equations.append(self.parse_equation())
+            else:
+                raise ParseError(
+                    f"expected a declaration, EQUATION or END, found "
+                    f"{tok.text!r}", tok.line, tok.column,
+                )
+        self.keyword("END")
+        end_name = self.expect(TokenKind.IDENT).text
+        if end_name != name:
+            tok = self.peek()
+            raise ParseError(
+                f"END {end_name} does not match CLASS {name}",
+                tok.line, tok.column,
+            )
+        self.expect(TokenKind.SEMI)
+        return A.ClassDef(
+            name=name,
+            bases=tuple(bases),
+            members=tuple(members),
+            parts=tuple(parts),
+            equations=tuple(equations),
+            line=start.line,
+        )
+
+    def parse_member(self) -> A.MemberDecl:
+        kw = self.advance()  # STATE / PARAMETER / ALGEBRAIC / INPUT
+        name = self.expect(TokenKind.IDENT).text
+        length = 1
+        if self.accept(TokenKind.LBRACKET):
+            num = self.expect(TokenKind.NUMBER)
+            length = int(num.value or 0)
+            if length < 1 or length != num.value:
+                raise ParseError(
+                    "vector length must be a positive integer",
+                    num.line, num.column,
+                )
+            self.expect(TokenKind.RBRACKET)
+        default: float | tuple[float, ...] | None = None
+        if self.accept(TokenKind.ASSIGN):
+            default = self.parse_literal(length)
+        self.expect(TokenKind.SEMI)
+        kind = kw.text.lower()
+        if kind == "parameter" and default is None:
+            raise ParseError(
+                f"PARAMETER {name} needs a default value", kw.line, kw.column
+            )
+        return A.MemberDecl(
+            kind=kind, name=name, length=length, default=default, line=kw.line
+        )
+
+    def parse_part(self) -> A.PartDecl:
+        kw = self.keyword("PART")
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.COLON)
+        class_name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.SEMI)
+        return A.PartDecl(name=name, class_name=class_name, line=kw.line)
+
+    def parse_literal(self, length: int) -> float | tuple[float, ...]:
+        if self.check(TokenKind.LBRACE):
+            self.advance()
+            values = [self.parse_signed_number()]
+            while self.accept(TokenKind.COMMA):
+                values.append(self.parse_signed_number())
+            self.expect(TokenKind.RBRACE)
+            return tuple(values)
+        return self.parse_signed_number()
+
+    def parse_signed_number(self) -> float:
+        sign = 1.0
+        if self.accept(TokenKind.MINUS):
+            sign = -1.0
+        elif self.accept(TokenKind.PLUS):
+            pass
+        num = self.expect(TokenKind.NUMBER)
+        return sign * float(num.value or 0.0)
+
+    def parse_instance(self) -> A.InstanceDef:
+        kw = self.keyword("INSTANCE")
+        name = self.expect(TokenKind.IDENT).text
+        count: int | None = None
+        if self.accept(TokenKind.LBRACKET):
+            num = self.expect(TokenKind.NUMBER)
+            count = int(num.value or 0)
+            if count < 1 or count != num.value:
+                raise ParseError(
+                    "instance array size must be a positive integer",
+                    num.line, num.column,
+                )
+            self.expect(TokenKind.RBRACKET)
+        self.keyword("INHERITS")
+        class_name = self.expect(TokenKind.IDENT).text
+        overrides: list[tuple[str, float | tuple[float, ...]]] = []
+        if self.accept(TokenKind.LPAREN):
+            while True:
+                member = self.expect(TokenKind.IDENT).text
+                self.expect(TokenKind.ASSIGN)
+                overrides.append((member, self.parse_literal(1)))
+                if not self.accept(TokenKind.COMMA):
+                    break
+            self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.SEMI)
+        return A.InstanceDef(
+            name=name,
+            count=count,
+            class_name=class_name,
+            overrides=tuple(overrides),
+            line=kw.line,
+        )
+
+    # -- equations ------------------------------------------------------------------
+
+    def parse_equation(self) -> A.EquationDef:
+        kw = self.keyword("EQUATION")
+        label = ""
+        # Optional label: IDENT ['[' NUMBER ']'] ':='
+        snapshot = self.pos
+        if self.check(TokenKind.IDENT):
+            text = self.advance().text
+            if self.accept(TokenKind.LBRACKET):
+                num = self.accept(TokenKind.NUMBER)
+                if num is not None and self.accept(TokenKind.RBRACKET):
+                    text = f"{text}[{int(num.value or 0)}]"
+                else:
+                    self.pos = snapshot
+                    text = ""
+            if text and self.accept(TokenKind.ASSIGN):
+                label = text
+            elif text:
+                self.pos = snapshot
+        lhs = self.parse_side()
+        self.expect(TokenKind.EQUALS)
+        rhs = self.parse_side()
+        self.expect(TokenKind.SEMI)
+        return A.EquationDef(label=label, lhs=lhs, rhs=rhs, line=kw.line)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_side(self) -> Side:
+        return self.parse_or()
+
+    def _binary(self, sub_parse: Callable[[], Side],
+                table: Mapping[TokenKind, Callable[[Side, Side], Side]]) -> Side:
+        left = sub_parse()
+        while self.peek().kind in table:
+            op_tok = self.advance()
+            right = sub_parse()
+            try:
+                left = table[op_tok.kind](left, right)
+            except (TypeError, ValueError) as exc:
+                raise ParseError(str(exc), op_tok.line, op_tok.column) from exc
+        return left
+
+    def parse_or(self) -> Side:
+        left = self.parse_and()
+        while self.check(TokenKind.KEYWORD, "OR"):
+            tok = self.advance()
+            right = self.parse_and()
+            left = BoolOp("or", [_scalar(left, tok), _scalar(right, tok)])
+        return left
+
+    def parse_and(self) -> Side:
+        left = self.parse_not()
+        while self.check(TokenKind.KEYWORD, "AND"):
+            tok = self.advance()
+            right = self.parse_not()
+            left = BoolOp("and", [_scalar(left, tok), _scalar(right, tok)])
+        return left
+
+    def parse_not(self) -> Side:
+        if self.check(TokenKind.KEYWORD, "NOT"):
+            tok = self.advance()
+            return BoolOp("not", [_scalar(self.parse_not(), tok)])
+        return self.parse_comparison()
+
+    _CMP = {
+        TokenKind.LT: "<",
+        TokenKind.LE: "<=",
+        TokenKind.GT: ">",
+        TokenKind.GE: ">=",
+        TokenKind.NOTEQ: "!=",
+    }
+
+    def parse_comparison(self) -> Side:
+        left = self.parse_additive()
+        if self.peek().kind in self._CMP:
+            tok = self.advance()
+            right = self.parse_additive()
+            return Rel(self._CMP[tok.kind], _scalar(left, tok),
+                       _scalar(right, tok))
+        return left
+
+    def parse_additive(self) -> Side:
+        return self._binary(
+            self.parse_multiplicative,
+            {
+                TokenKind.PLUS: lambda a, b: a + b,
+                TokenKind.MINUS: lambda a, b: a - b,
+            },
+        )
+
+    def parse_multiplicative(self) -> Side:
+        return self._binary(
+            self.parse_unary,
+            {
+                TokenKind.STAR: lambda a, b: a * b,
+                TokenKind.SLASH: lambda a, b: a / b,
+            },
+        )
+
+    def parse_unary(self) -> Side:
+        if self.accept(TokenKind.MINUS):
+            return -self.parse_unary()
+        if self.accept(TokenKind.PLUS):
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> Side:
+        base = self.parse_primary()
+        if self.check(TokenKind.CARET):
+            tok = self.advance()
+            exponent = self.parse_unary()  # right associative
+            return pow_(_scalar(base, tok), _scalar(exponent, tok))
+        return base
+
+    def parse_primary(self) -> Side:
+        tok = self.peek()
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return Const(tok.value if tok.value is not None else 0.0)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_side()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if tok.kind is TokenKind.LBRACE:
+            self.advance()
+            comps = [self.parse_side()]
+            while self.accept(TokenKind.COMMA):
+                comps.append(self.parse_side())
+            self.expect(TokenKind.RBRACE)
+            scalars = [_scalar(c, tok) for c in comps]
+            return Vec(scalars)
+        if tok.kind is TokenKind.KEYWORD and tok.text == "IF":
+            self.advance()
+            cond = self.parse_side()
+            self.keyword("THEN")
+            then = self.parse_side()
+            self.keyword("ELSE")
+            orelse = self.parse_side()
+            if isinstance(then, Vec) or isinstance(orelse, Vec):
+                if not (isinstance(then, Vec) and isinstance(orelse, Vec)
+                        and len(then) == len(orelse)):
+                    raise ParseError(
+                        "IF branches must have matching vector lengths",
+                        tok.line, tok.column,
+                    )
+                cond_e = _scalar(cond, tok)
+                return Vec(
+                    ITE(cond_e, a, b) for a, b in zip(then, orelse)
+                )
+            return if_then_else(
+                _scalar(cond, tok), _scalar(then, tok), _scalar(orelse, tok)
+            )
+        if tok.kind is TokenKind.IDENT:
+            return self.parse_name_or_call()
+        raise ParseError(
+            f"unexpected token {tok.text or tok.kind.value!r}",
+            tok.line, tok.column,
+        )
+
+    def parse_name_or_call(self) -> Side:
+        tok = self.expect(TokenKind.IDENT)
+        name = tok.text
+        # Function application: a plain identifier directly followed by '('.
+        if self.check(TokenKind.LPAREN) and (
+            name == "der" or name in FUNCTIONS
+        ):
+            self.advance()
+            args = [self.parse_side()]
+            while self.accept(TokenKind.COMMA):
+                args.append(self.parse_side())
+            self.expect(TokenKind.RPAREN)
+            if name == "der":
+                if len(args) != 1:
+                    raise ParseError("der takes one argument",
+                                     tok.line, tok.column)
+                arg = args[0]
+                if isinstance(arg, Vec):
+                    return Vec(Der(c) for c in arg)
+                return Der(arg)
+            spec = FUNCTIONS[name]
+            scalars = [_scalar(a, tok) for a in args]
+            if len(scalars) != spec.arity:
+                raise ParseError(
+                    f"{name} expects {spec.arity} argument(s)",
+                    tok.line, tok.column,
+                )
+            return Call(name, scalars)
+        # Dotted / indexed reference: W[3].F.x  ->  "W3.F.x"
+        parts = [self._indexed(name)]
+        while self.accept(TokenKind.DOT):
+            part = self.expect(TokenKind.IDENT).text
+            parts.append(self._indexed(part))
+        return Sym(".".join(parts))
+
+    def _indexed(self, name: str) -> str:
+        if self.accept(TokenKind.LBRACKET):
+            num = self.expect(TokenKind.NUMBER)
+            index = int(num.value or 0)
+            if index != num.value:
+                raise ParseError("index must be an integer",
+                                 num.line, num.column)
+            self.expect(TokenKind.RBRACKET)
+            return f"{name}{index}"
+        return name
+
+
+def _scalar(value: Side, tok: Token) -> Expr:
+    if isinstance(value, Vec):
+        raise ParseError(
+            "vector value where a scalar is required", tok.line, tok.column
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# AST -> Model lowering
+# ---------------------------------------------------------------------------
+
+
+def parse_model(source: str) -> A.ModelDef:
+    """Parse ``source`` into a :class:`~repro.language.ast.ModelDef`."""
+    return _Parser(tokenize(source)).parse_model()
+
+
+def _vectorize(side: Side, vec_len: Callable[[str], int | None]) -> Side:
+    """Re-type an expression bottom-up once declarations are known.
+
+    Bare references to vector members (parsed as scalar symbols) become
+    vectors, and the arithmetic above them is lifted component-wise.
+    """
+    if isinstance(side, Vec):
+        return Vec(
+            _expect_scalar(_vectorize(c, vec_len)) for c in side
+        )
+    expr = side
+    if isinstance(expr, Sym):
+        length = vec_len(expr.name)
+        if length is not None:
+            from ..model.types import VecType as VT
+
+            suffixes = VT(length).component_suffixes()
+            return Vec(Sym(f"{expr.name}.{s}") for s in suffixes)
+        return expr
+    if isinstance(expr, Der):
+        inner = _vectorize(expr.expr, vec_len)
+        if isinstance(inner, Vec):
+            return Vec(Der(c) for c in inner)
+        return Der(inner)
+    if not expr.args:
+        return expr
+
+    new_args = [_vectorize(a, vec_len) for a in expr.args]
+    if all(not isinstance(a, Vec) for a in new_args):
+        return expr.with_args(new_args)  # type: ignore[arg-type]
+
+    if isinstance(expr, Add):
+        vec_args = [a for a in new_args if isinstance(a, Vec)]
+        lengths = {len(v) for v in vec_args}
+        if len(lengths) != 1 or len(vec_args) != len(new_args):
+            raise ValueError(
+                "cannot add vectors and scalars in one sum"
+            )
+        out = vec_args[0]
+        for v in vec_args[1:]:
+            out = out + v
+        return out
+    if isinstance(expr, Mul):
+        vec_args = [a for a in new_args if isinstance(a, Vec)]
+        if len(vec_args) != 1:
+            raise ValueError("products may contain at most one vector")
+        scalars = [a for a in new_args if not isinstance(a, Vec)]
+        return vec_args[0] * mul(*scalars) if scalars else vec_args[0]
+    if isinstance(expr, ITE):
+        cond, then, orelse = new_args
+        if isinstance(cond, Vec):
+            raise ValueError("conditions must be scalar")
+        if isinstance(then, Vec) != isinstance(orelse, Vec):
+            raise ValueError("IF branches must both be vectors or scalars")
+        if isinstance(then, Vec):
+            return Vec(ITE(cond, a, b) for a, b in zip(then, orelse))
+    raise ValueError(
+        f"vector value not allowed under {type(expr).__name__}"
+    )
+
+
+def _expect_scalar(side: Side) -> Expr:
+    if isinstance(side, Vec):
+        raise ValueError("nested vector literal")
+    return side
+
+
+def build_model(
+    tree: A.ModelDef,
+    extra_classes: Mapping[str, ModelClass] | None = None,
+) -> Model:
+    """Lower a parsed model onto the programmatic API."""
+    registry: dict[str, ModelClass] = dict(extra_classes or {})
+    model = Model(tree.name)
+
+    for cdef in tree.classes:
+        bases = []
+        for base_name in cdef.bases:
+            if base_name not in registry:
+                raise ParseError(
+                    f"unknown base class {base_name!r}", cdef.line, 1
+                )
+            bases.append(registry[base_name])
+        cls = ModelClass(cdef.name, inherits=bases)
+        for member in cdef.members:
+            mtype = REAL if member.length == 1 else VecType(member.length)
+            if member.kind == "state":
+                cls.state(member.name, start=member.default if member.default
+                          is not None else 0.0, mtype=mtype)
+            elif member.kind == "parameter":
+                cls.parameter(member.name, member.default, mtype=mtype)
+            elif member.kind == "algebraic":
+                cls.algebraic(member.name, mtype=mtype)
+            else:
+                cls.input(member.name, mtype=mtype)
+        for part in cdef.parts:
+            if part.class_name not in registry:
+                raise ParseError(
+                    f"unknown part class {part.class_name!r}", part.line, 1
+                )
+            cls.part(part.name, registry[part.class_name])
+
+        def local_vec_len(name: str, cls: ModelClass = cls) -> int | None:
+            decl = cls.find_declaration(name.split(".", 1)[0])
+            if decl is not None and not decl.mtype.is_scalar and "." not in name:
+                return decl.mtype.size  # type: ignore[attr-defined]
+            return None
+
+        for eq in cdef.equations:
+            lhs = _vectorize(eq.lhs, local_vec_len)
+            rhs = _vectorize(eq.rhs, local_vec_len)
+            cls.equation(lhs, rhs, label=eq.label)
+        if cdef.name in registry:
+            raise ParseError(f"duplicate class {cdef.name!r}", cdef.line, 1)
+        registry[cdef.name] = cls
+
+    for idef in tree.instances:
+        if idef.class_name not in registry:
+            raise ParseError(
+                f"unknown class {idef.class_name!r}", idef.line, 1
+            )
+        cls = registry[idef.class_name]
+        overrides = dict(idef.overrides)
+        if idef.count is None:
+            model.instance(idef.name, cls, overrides)
+        else:
+            model.instance_array(idef.name, idef.count, cls, overrides)
+
+    def global_vec_len(name: str) -> int | None:
+        head, _, rest = name.partition(".")
+        inst = model.instances.get(head)
+        if inst is None or not rest or "." in rest:
+            return None
+        decl = inst.cls.find_declaration(rest)
+        if decl is not None and not decl.mtype.is_scalar:
+            return decl.mtype.size  # type: ignore[attr-defined]
+        return None
+
+    for eq in tree.equations:
+        lhs = _vectorize(eq.lhs, global_vec_len)
+        rhs = _vectorize(eq.rhs, global_vec_len)
+        model.equation(lhs, rhs, label=eq.label)
+
+    return model
+
+
+def load_model(
+    source: str,
+    extra_classes: Mapping[str, ModelClass] | None = None,
+) -> Model:
+    """Parse and lower in one call."""
+    return build_model(parse_model(source), extra_classes)

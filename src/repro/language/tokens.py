@@ -1,0 +1,76 @@
+"""Token definitions for the ObjectMath-like surface syntax."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    ASSIGN = ":="
+    EQUALS = "=="
+    NOTEQ = "!="
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CARET = "^"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    DOT = "."
+    EOF = "end of input"
+
+
+#: Reserved words of the language (the paper's examples use upper case,
+#: e.g. ``INSTANCE BodyW[i] INHERITS Roller(W[i])``).
+KEYWORDS = frozenset(
+    {
+        "MODEL",
+        "CLASS",
+        "INSTANCE",
+        "INHERITS",
+        "STATE",
+        "PARAMETER",
+        "ALGEBRAIC",
+        "INPUT",
+        "PART",
+        "EQUATION",
+        "END",
+        "IF",
+        "THEN",
+        "ELSE",
+        "AND",
+        "OR",
+        "NOT",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: float | None = None  # numeric payload for NUMBER tokens
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"

@@ -1,0 +1,278 @@
+"""Unparsing: programmatic models → ObjectMath-like source text.
+
+The ObjectMath 4.0 architecture contains an unparser alongside the parser
+(Figure 8).  This module renders a :class:`~repro.model.instance.Model`
+built through the programmatic API back into the textual syntax of
+:mod:`repro.language.parser`, enabling source-level round trips — the
+property tests assert ``flatten(parse(unparse(m)))`` is equivalent to
+``flatten(m)``.
+
+Not every programmatic model is expressible: labels outside the
+``name[int]`` grammar are dropped (the parser re-labels), and equation
+sides must stay inside the textual expression dialect (which covers all
+shipped applications).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from ..model.classes import Equation, ModelClass
+from ..model.declarations import VarDecl, VarKind
+from ..model.instance import Model
+from ..symbolic.expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+    Sym,
+)
+from ..symbolic.vector import Vec
+
+__all__ = ["unparse_model", "unparse_expr"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\[\d+\])?$")
+
+# Precedence: or < and < not < cmp < add < mul < unary < power < atom
+_P_OR, _P_AND, _P_NOT, _P_CMP, _P_ADD, _P_MUL, _P_UNARY, _P_POW, _P_ATOM = (
+    range(1, 10)
+)
+
+
+def _paren(text: str, prec: int, need: int) -> str:
+    return f"({text})" if prec < need else text
+
+
+def _const(value) -> tuple[str, int]:
+    if isinstance(value, int):
+        text = str(value)
+    else:
+        text = repr(value)
+    return (text, _P_UNARY if value < 0 else _P_ATOM)
+
+
+def _expr(e: Expr) -> tuple[str, int]:
+    if isinstance(e, Const):
+        return _const(e.value)
+    if isinstance(e, Sym):
+        return e.name, _P_ATOM
+    if isinstance(e, Add):
+        parts = []
+        for i, a in enumerate(e.args):
+            text, prec = _expr(a)
+            if i == 0:
+                parts.append(_paren(text, prec, _P_ADD))
+            elif text.startswith("-"):
+                parts.append(f" - {_paren(text[1:], prec, _P_ADD)}")
+            else:
+                parts.append(f" + {_paren(text, prec, _P_ADD + 1)}")
+        return "".join(parts), _P_ADD
+    if isinstance(e, Mul):
+        args = e.args
+        prefix = ""
+        if isinstance(args[0], Const) and args[0].value == -1 and len(args) > 1:
+            prefix = "-"
+            args = args[1:]
+        # Render negative-exponent factors as division.
+        numer = []
+        denom = []
+        for a in args:
+            if (
+                isinstance(a, Pow)
+                and isinstance(a.exponent, Const)
+                and a.exponent.value == -1
+            ):
+                denom.append(a.base)
+            else:
+                numer.append(a)
+        if not numer:
+            numer = [Const(1)]
+        text = " * ".join(
+            _paren(*_expr(a), _P_MUL + 1) for a in numer
+        )
+        for d in denom:
+            text += f" / {_paren(*_expr(d), _P_MUL + 1)}"
+        text = prefix + text
+        return text, _P_UNARY if prefix else _P_MUL
+    if isinstance(e, Pow):
+        base, bp = _expr(e.base)
+        exponent, ep = _expr(e.exponent)
+        return (
+            f"{_paren(base, bp, _P_POW + 1)} ^ {_paren(exponent, ep, _P_POW)}",
+            _P_POW,
+        )
+    if isinstance(e, Call):
+        inner = ", ".join(_expr(a)[0] for a in e.args)
+        return f"{e.fn}({inner})", _P_ATOM
+    if isinstance(e, Der):
+        return f"der({_expr(e.expr)[0]})", _P_ATOM
+    if isinstance(e, Rel):
+        if e.op == "==":
+            raise ValueError(
+                "'==' comparisons are not expressible in the surface syntax"
+            )
+        lhs, lp = _expr(e.lhs)
+        rhs, rp = _expr(e.rhs)
+        return (
+            f"{_paren(lhs, lp, _P_ADD)} {e.op} {_paren(rhs, rp, _P_ADD)}",
+            _P_CMP,
+        )
+    if isinstance(e, BoolOp):
+        if e.op == "not":
+            inner, ip = _expr(e.args[0])
+            return f"NOT {_paren(inner, ip, _P_NOT)}", _P_NOT
+        joiner = " AND " if e.op == "and" else " OR "
+        need = _P_AND if e.op == "and" else _P_OR
+        return (
+            joiner.join(_paren(*_expr(a), need + 1) for a in e.args),
+            need,
+        )
+    if isinstance(e, ITE):
+        cond = _expr(e.cond)[0]
+        then = _expr(e.then)[0]
+        orelse = _expr(e.orelse)[0]
+        # Always parenthesise: the parser's ELSE branch parses greedily,
+        # so an unparenthesised conditional would swallow trailing terms.
+        return f"(IF {cond} THEN {then} ELSE {orelse})", _P_ATOM
+    raise ValueError(f"cannot unparse node type {type(e).__name__}")
+
+
+def unparse_expr(e: Expr) -> str:
+    """Render one scalar expression in the surface syntax."""
+    return _expr(e)[0]
+
+
+def _side(side: Union[Expr, Vec], cls: ModelClass | None) -> str:
+    if isinstance(side, Vec):
+        # Prefer the bare vector-member shorthand where it applies.
+        name = _vec_member_name(side, cls)
+        if name is not None:
+            return name
+        der_name = _vec_der_name(side, cls)
+        if der_name is not None:
+            return f"der({der_name})"
+        return "{" + ", ".join(unparse_expr(c) for c in side) + "}"
+    return unparse_expr(side)
+
+
+def _vec_member_name(side: Vec, cls: ModelClass | None) -> str | None:
+    names = []
+    for comp in side:
+        if not isinstance(comp, Sym) or "." not in comp.name:
+            return None
+        base, _, suffix = comp.name.rpartition(".")
+        names.append((base, suffix))
+    bases = {b for b, _ in names}
+    if len(bases) != 1:
+        return None
+    base = bases.pop()
+    suffixes = tuple(s for _, s in names)
+    from ..model.types import VecType
+
+    if suffixes == VecType(len(side)).component_suffixes():
+        return base
+    return None
+
+
+def _vec_der_name(side: Vec, cls: ModelClass | None) -> str | None:
+    inner = []
+    for comp in side:
+        if not isinstance(comp, Der):
+            return None
+        inner.append(comp.expr)
+    return _vec_member_name(Vec(inner), cls)
+
+
+def _literal(value) -> str:
+    if isinstance(value, (tuple, list)):
+        return "{" + ", ".join(repr(float(v)) for v in value) + "}"
+    return repr(float(value))
+
+
+def _member_decl(decl: VarDecl) -> str:
+    keyword = {
+        VarKind.STATE: "STATE",
+        VarKind.PARAMETER: "PARAMETER",
+        VarKind.ALGEBRAIC: "ALGEBRAIC",
+        VarKind.INPUT: "INPUT",
+    }[decl.kind]
+    suffix = "" if decl.mtype.is_scalar else f"[{decl.mtype.size}]"
+    text = f"  {keyword} {decl.name}{suffix}"
+    if decl.kind is VarKind.PARAMETER:
+        text += f" := {_literal(decl.value)}"
+    elif decl.kind is VarKind.STATE and decl.start is not None:
+        text += f" := {_literal(decl.start)}"
+    return text + ";"
+
+
+def _equation(eq: Equation, cls: ModelClass | None) -> str:
+    label = f"{eq.label} := " if eq.label and _LABEL_RE.match(eq.label) else ""
+    return f"  EQUATION {label}{_side(eq.lhs, cls)} == {_side(eq.rhs, cls)};"
+
+
+def _collect_classes(model: Model) -> list[ModelClass]:
+    """All classes used, dependency-ordered (bases and parts first)."""
+    seen: dict[int, ModelClass] = {}
+    order: list[ModelClass] = []
+
+    def visit(cls: ModelClass) -> None:
+        if id(cls) in seen:
+            return
+        seen[id(cls)] = cls
+        for base in cls.bases:
+            visit(base)
+        for part in cls.parts.values():
+            visit(part)
+        order.append(cls)
+
+    for inst in model.instances.values():
+        visit(inst.cls)
+    names = [c.name for c in order]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate class names; model is not unparsable")
+    return order
+
+
+def unparse_model(model: Model) -> str:
+    """Render ``model`` as ObjectMath-like source text."""
+    lines = [f"MODEL {model.name};", ""]
+
+    for cls in _collect_classes(model):
+        head = f"CLASS {cls.name}"
+        if cls.bases:
+            head += " INHERITS " + ", ".join(b.name for b in cls.bases)
+        lines.append(head)
+        for decl in cls.declarations.values():
+            lines.append(_member_decl(decl))
+        for name, part in cls.parts.items():
+            lines.append(f"  PART {name} : {part.name};")
+        for eq in cls.equations:
+            lines.append(_equation(eq, cls))
+        lines.append(f"END {cls.name};")
+        lines.append("")
+
+    for inst in model.instances.values():
+        text = f"INSTANCE {inst.name} INHERITS {inst.cls.name}"
+        if inst.overrides:
+            pairs = ", ".join(
+                f"{k} := {_literal(v)}" for k, v in inst.overrides.items()
+            )
+            text += f" ({pairs})"
+        lines.append(text + ";")
+    if model.instances:
+        lines.append("")
+
+    for eq in model.global_equations:
+        lines.append(_equation(eq, None).lstrip())
+    if model.global_equations:
+        lines.append("")
+
+    lines.append(f"END {model.name};")
+    return "\n".join(lines)

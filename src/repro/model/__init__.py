@@ -1,0 +1,48 @@
+"""Object-oriented modeling layer: classes, instances, and flattening.
+
+This is the programmatic equivalent of the ObjectMath language: the textual
+front end in :mod:`repro.language` parses into exactly these structures.
+"""
+
+from .classes import Equation, ModelClass
+from .declarations import VarDecl, VarKind
+from .flatten import (
+    AlgEquation,
+    AlgebraicLoopError,
+    FlatModel,
+    FlatVar,
+    ImplicitEquation,
+    ModelError,
+    OdeEquation,
+    flatten_model,
+)
+from .instance import Instance, Model
+from .typecheck import TypeError_, TypeReport, check_types
+from .types import BOOLEAN, INTEGER, MatType, MType, REAL, VecType, vec_type
+
+__all__ = [
+    "Equation",
+    "ModelClass",
+    "VarDecl",
+    "VarKind",
+    "AlgEquation",
+    "AlgebraicLoopError",
+    "FlatModel",
+    "FlatVar",
+    "ImplicitEquation",
+    "ModelError",
+    "OdeEquation",
+    "flatten_model",
+    "Instance",
+    "Model",
+    "TypeError_",
+    "TypeReport",
+    "check_types",
+    "BOOLEAN",
+    "INTEGER",
+    "MatType",
+    "MType",
+    "REAL",
+    "VecType",
+    "vec_type",
+]

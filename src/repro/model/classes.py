@@ -1,0 +1,224 @@
+"""Model classes: the ``CLASS … INHERITS …`` construct of ObjectMath.
+
+A :class:`ModelClass` bundles member declarations and equations.  Classes
+support multiple inheritance with C3 linearization ("Object-oriented
+features … permit reuse of equations through inheritance", section 6) and
+composition through named parts (Figure 5 shows the bearing's inheritance
+*and* composition structure).
+
+Equations inside a class are written over the class's own member symbols
+(obtained from :meth:`ModelClass.member`); they are qualified with the
+instance path when the model is flattened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..symbolic.expr import Der, Expr, ExprLike, Sym, as_expr
+from ..symbolic.vector import Vec
+from .declarations import ScalarOrVec, VarDecl, VarKind
+from .types import MType, REAL
+
+__all__ = ["Equation", "ModelClass", "EquationSide"]
+
+EquationSide = Union[Expr, Vec, int, float, Sequence[ExprLike]]
+
+
+def _as_side(value: EquationSide) -> Union[Expr, Vec]:
+    if isinstance(value, (Expr, Vec)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return Vec(value)
+    return as_expr(value)
+
+
+@dataclass(frozen=True)
+class Equation:
+    """One equation ``lhs == rhs`` with an optional label (``Eq[1]`` …)."""
+
+    lhs: Union[Expr, Vec]
+    rhs: Union[Expr, Vec]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        lhs_vec = isinstance(self.lhs, Vec)
+        rhs_vec = isinstance(self.rhs, Vec)
+        if lhs_vec != rhs_vec:
+            raise TypeError(
+                f"equation {self.label or ''} mixes vector and scalar sides"
+            )
+        if lhs_vec and len(self.lhs) != len(self.rhs):  # type: ignore[arg-type]
+            raise ValueError(
+                f"equation {self.label or ''} has mismatched vector lengths"
+            )
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self.lhs, Vec)
+
+    def __str__(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        return f"{prefix}{self.lhs} == {self.rhs}"
+
+
+class ModelClass:
+    """A reusable model class carrying declarations and equations."""
+
+    def __init__(
+        self,
+        name: str,
+        inherits: Sequence["ModelClass"] = (),
+        doc: str = "",
+    ) -> None:
+        if not name:
+            raise ValueError("class name must be non-empty")
+        self.name = name
+        self.bases: tuple[ModelClass, ...] = tuple(inherits)
+        self.doc = doc
+        self.declarations: dict[str, VarDecl] = {}
+        self.equations: list[Equation] = []
+        self.parts: dict[str, ModelClass] = {}
+        self._eq_counter = 0
+
+    # -- declaration helpers -------------------------------------------------
+
+    def _declare(self, decl: VarDecl) -> Union[Expr, Vec]:
+        if decl.name in self.declarations:
+            raise ValueError(
+                f"member {decl.name!r} already declared in class {self.name}"
+            )
+        self.declarations[decl.name] = decl
+        return self.member(decl.name)
+
+    def state(
+        self,
+        name: str,
+        start: ScalarOrVec = 0.0,
+        mtype: MType = REAL,
+        doc: str = "",
+    ) -> Union[Expr, Vec]:
+        """Declare a state variable (appears differentiated) with a start value."""
+        return self._declare(VarDecl(name, VarKind.STATE, mtype, start=start, doc=doc))
+
+    def algebraic(
+        self, name: str, mtype: MType = REAL, doc: str = ""
+    ) -> Union[Expr, Vec]:
+        """Declare an algebraic variable (defined by an algebraic equation)."""
+        return self._declare(VarDecl(name, VarKind.ALGEBRAIC, mtype, doc=doc))
+
+    def parameter(
+        self, name: str, value: ScalarOrVec, mtype: MType = REAL, doc: str = ""
+    ) -> Union[Expr, Vec]:
+        """Declare a parameter with a default value (instances may override)."""
+        return self._declare(
+            VarDecl(name, VarKind.PARAMETER, mtype, value=value, doc=doc)
+        )
+
+    def input(self, name: str, mtype: MType = REAL, doc: str = "") -> Union[Expr, Vec]:
+        """Declare an exogenous input quantity."""
+        return self._declare(VarDecl(name, VarKind.INPUT, mtype, doc=doc))
+
+    def part(self, name: str, cls: "ModelClass") -> "ModelClass":
+        """Declare a named sub-object (composition)."""
+        if name in self.parts or name in self.declarations:
+            raise ValueError(f"member {name!r} already declared in {self.name}")
+        self.parts[name] = cls
+        return cls
+
+    # -- member references -----------------------------------------------------
+
+    def member(self, name: str) -> Union[Expr, Vec]:
+        """Symbolic reference to own member ``name`` for use in equations."""
+        decl = self.find_declaration(name)
+        if decl is None:
+            raise KeyError(f"class {self.name} has no member {name!r}")
+        if decl.mtype.is_scalar:
+            return Sym(name)
+        suffixes = decl.mtype.component_suffixes()  # type: ignore[attr-defined]
+        return Vec(Sym(f"{name}.{s}") for s in suffixes)
+
+    def find_declaration(self, name: str) -> VarDecl | None:
+        """Look up a declaration along the linearized inheritance chain."""
+        for cls in self.linearize():
+            if name in cls.declarations:
+                return cls.declarations[name]
+        return None
+
+    # -- equations ---------------------------------------------------------------
+
+    def equation(
+        self, lhs: EquationSide, rhs: EquationSide, label: str = ""
+    ) -> Equation:
+        """Add the equation ``lhs == rhs`` to this class."""
+        self._eq_counter += 1
+        if not label:
+            label = f"Eq[{self._eq_counter}]"
+        eq = Equation(_as_side(lhs), _as_side(rhs), label)
+        self.equations.append(eq)
+        return eq
+
+    def ode(self, state: Union[Expr, Vec], rhs: EquationSide, label: str = "") -> Equation:
+        """Convenience for ``der(state) == rhs``."""
+        if isinstance(state, Vec):
+            lhs: EquationSide = Vec(Der(c) for c in state)
+        else:
+            lhs = Der(state)
+        return self.equation(lhs, rhs, label)
+
+    # -- inheritance --------------------------------------------------------------
+
+    def linearize(self) -> tuple["ModelClass", ...]:
+        """C3 linearization of this class and its ancestors."""
+        return _c3(self)
+
+    def all_declarations(self) -> dict[str, VarDecl]:
+        """Effective declarations after inheritance (derived classes win)."""
+        merged: dict[str, VarDecl] = {}
+        for cls in reversed(self.linearize()):
+            merged.update(cls.declarations)
+        return merged
+
+    def all_equations(self) -> list[Equation]:
+        """Effective equations: ancestors first, then own (Modelica-style
+        accumulation — equations are never overridden, only added)."""
+        out: list[Equation] = []
+        for cls in reversed(self.linearize()):
+            out.extend(cls.equations)
+        return out
+
+    def all_parts(self) -> dict[str, "ModelClass"]:
+        merged: dict[str, ModelClass] = {}
+        for cls in reversed(self.linearize()):
+            merged.update(cls.parts)
+        return merged
+
+    def __repr__(self) -> str:
+        return f"<ModelClass {self.name}>"
+
+
+def _c3(cls: ModelClass) -> tuple[ModelClass, ...]:
+    """C3 linearization (the MRO algorithm used by Python itself)."""
+    if not cls.bases:
+        return (cls,)
+    sequences: list[list[ModelClass]] = [list(_c3(base)) for base in cls.bases]
+    sequences.append(list(cls.bases))
+    result: list[ModelClass] = [cls]
+    while any(sequences):
+        for seq in sequences:
+            if not seq:
+                continue
+            head = seq[0]
+            if any(head in other[1:] for other in sequences if other):
+                continue
+            break
+        else:
+            raise TypeError(
+                f"inconsistent inheritance hierarchy at class {cls.name}"
+            )
+        result.append(head)
+        for seq in sequences:
+            if seq and seq[0] is head:
+                del seq[0]
+    return tuple(result)

@@ -1,0 +1,81 @@
+"""Variable and parameter declarations carried by model classes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from .types import MType, REAL
+
+__all__ = ["VarKind", "VarDecl", "ScalarOrVec"]
+
+ScalarOrVec = Union[float, Sequence[float], None]
+
+
+class VarKind(enum.Enum):
+    """Role of a declared quantity in the equation system.
+
+    * ``STATE`` — appears differentiated; carries a start value (the paper's
+      generated start-value functions, section 3.2).
+    * ``ALGEBRAIC`` — defined by an algebraic equation.
+    * ``PARAMETER`` — fixed during a simulation; bound to a numeric value at
+      flattening time (instances may rebind).
+    * ``INPUT`` — an exogenous quantity (treated as a parameter by codegen
+      but kept distinct for dependency analysis and documentation).
+    """
+
+    STATE = "state"
+    ALGEBRAIC = "algebraic"
+    PARAMETER = "parameter"
+    INPUT = "input"
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A declaration of one member of a model class."""
+
+    name: str
+    kind: VarKind
+    mtype: MType = REAL
+    start: ScalarOrVec = None
+    value: ScalarOrVec = None
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or "." in self.name:
+            raise ValueError(f"invalid member name {self.name!r}")
+        if self.kind is VarKind.PARAMETER and self.value is None:
+            raise ValueError(f"parameter {self.name!r} needs a value")
+        for attr in ("start", "value"):
+            data = getattr(self, attr)
+            if data is None:
+                continue
+            if self.mtype.is_scalar:
+                if not isinstance(data, (int, float)):
+                    raise TypeError(
+                        f"{attr} of scalar {self.name!r} must be a number"
+                    )
+            else:
+                if isinstance(data, (int, float)):
+                    continue  # broadcast scalar over all components
+                if len(tuple(data)) != self.mtype.size:
+                    raise ValueError(
+                        f"{attr} of {self.name!r} must have "
+                        f"{self.mtype.size} components"
+                    )
+
+    def component_values(self, attr: str) -> tuple[float, ...] | None:
+        """Expand ``start``/``value`` into per-component floats (or None)."""
+        data = getattr(self, attr)
+        if data is None:
+            return None
+        if isinstance(data, (int, float)):
+            return tuple(float(data) for _ in range(self.mtype.size))
+        return tuple(float(v) for v in data)
+
+    def rebind(self, **changes) -> "VarDecl":
+        """A copy with some fields replaced (used for parameter overrides)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,497 @@
+"""Model flattening: OO model → flat equation system.
+
+This is the transformation the ObjectMath compiler performs before code
+generation: inheritance is linearized, composition is expanded, instance
+arrays are unrolled, vector equations are split component-wise, and every
+variable gets a globally unique qualified name (``W3.F.x``).
+
+The result, :class:`FlatModel`, is the hand-off point to dependency analysis
+(:mod:`repro.analysis`) and code generation (:mod:`repro.codegen`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..symbolic.expr import Der, Expr, Sym, free_symbols, preorder, sub as expr_sub
+from ..symbolic.subs import substitute
+from ..symbolic.vector import Vec
+from .classes import Equation, ModelClass
+from .declarations import VarDecl, VarKind
+from .instance import Model
+from .types import REAL
+
+__all__ = [
+    "ModelError",
+    "AlgebraicLoopError",
+    "FlatVar",
+    "OdeEquation",
+    "AlgEquation",
+    "ImplicitEquation",
+    "FlatModel",
+    "flatten_model",
+]
+
+
+class ModelError(ValueError):
+    """Raised when a model is structurally ill-formed."""
+
+
+class AlgebraicLoopError(ModelError):
+    """Raised when explicit algebraic definitions form a cycle.
+
+    The cycle members are reported so the modeller can inspect the strongly
+    connected component, exactly the "visualization of dependencies" workflow
+    the paper recommends for model debugging (section 2.5.1).
+    """
+
+    def __init__(self, cycle: Sequence[str]) -> None:
+        self.cycle = tuple(cycle)
+        super().__init__(
+            "algebraic loop among variables: " + " -> ".join(self.cycle)
+        )
+
+
+@dataclass(frozen=True)
+class FlatVar:
+    """One scalar variable of the flattened system."""
+
+    name: str
+    kind: VarKind
+    start: float | None = None
+    value: float | None = None
+    doc: str = ""
+
+    @property
+    def sym(self) -> Sym:
+        return Sym(self.name)
+
+
+@dataclass(frozen=True)
+class OdeEquation:
+    """``der(state) == rhs`` in explicit form."""
+
+    state: str
+    rhs: Expr
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"der({self.state}) == {self.rhs}"
+
+
+@dataclass(frozen=True)
+class AlgEquation:
+    """``var == rhs`` — an explicit algebraic definition."""
+
+    var: str
+    rhs: Expr
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.var} == {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ImplicitEquation:
+    """A general equation kept as ``lhs == rhs`` (residual ``lhs - rhs``)."""
+
+    lhs: Expr
+    rhs: Expr
+    label: str = ""
+
+    @property
+    def residual(self) -> Expr:
+        return expr_sub(self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} == {self.rhs}"
+
+
+@dataclass
+class FlatModel:
+    """A flattened equation system.
+
+    Variables are keyed by qualified name.  ``states`` order defines the
+    state-vector layout used by generated code and by the solvers.
+    """
+
+    name: str
+    free_var: Sym
+    states: dict[str, FlatVar]
+    algebraics: dict[str, FlatVar]
+    parameters: dict[str, FlatVar]
+    odes: list[OdeEquation]
+    explicit_algs: list[AlgEquation]
+    implicit: list[ImplicitEquation]
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        return tuple(self.states)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_equations(self) -> int:
+        return len(self.odes) + len(self.explicit_algs) + len(self.implicit)
+
+    def variable(self, name: str) -> FlatVar:
+        for table in (self.states, self.algebraics, self.parameters):
+            if name in table:
+                return table[name]
+        raise KeyError(name)
+
+    def is_known(self, name: str) -> bool:
+        return (
+            name in self.states
+            or name in self.algebraics
+            or name in self.parameters
+            or name == self.free_var.name
+        )
+
+    def start_vector(self) -> list[float]:
+        """Start values in state-vector order (0.0 where unspecified)."""
+        return [v.start if v.start is not None else 0.0 for v in self.states.values()]
+
+    def parameter_values(self) -> dict[str, float]:
+        return {
+            name: (v.value if v.value is not None else 0.0)
+            for name, v in self.parameters.items()
+        }
+
+    def type_table(self) -> dict[str, str]:
+        """om$-style type annotations for the FullForm printer."""
+        table = {name: "om$Real" for name in self.states}
+        table.update({name: "om$Real" for name in self.algebraics})
+        table.update({name: "om$Real" for name in self.parameters})
+        table[self.free_var.name] = "om$Real"
+        return table
+
+    # -- transformations ----------------------------------------------------------
+
+    def inline_algebraics(self) -> "FlatModel":
+        """Substitute explicit algebraic definitions into all right-hand
+        sides, producing a pure ODE system (plus any residual implicit
+        equations, which are left untouched).
+
+        Definitions may reference each other; they are inlined in dependency
+        order.  A cyclic reference raises :class:`AlgebraicLoopError`.
+        """
+        defs = {eq.var: eq.rhs for eq in self.explicit_algs}
+        order = _toposort_definitions(defs)
+        resolved: dict[Expr, Expr] = {}
+        for name in order:
+            rhs = substitute(defs[name], resolved)
+            resolved[Sym(name)] = rhs
+
+        new_odes = [
+            OdeEquation(eq.state, substitute(eq.rhs, resolved), eq.label)
+            for eq in self.odes
+        ]
+        new_implicit = [
+            ImplicitEquation(
+                substitute(eq.lhs, resolved),
+                substitute(eq.rhs, resolved),
+                eq.label,
+            )
+            for eq in self.implicit
+        ]
+        return FlatModel(
+            name=self.name,
+            free_var=self.free_var,
+            states=dict(self.states),
+            algebraics={},
+            parameters=dict(self.parameters),
+            odes=new_odes,
+            explicit_algs=[],
+            implicit=new_implicit,
+        )
+
+    def bind_parameters(self) -> "FlatModel":
+        """Substitute numeric parameter values into all equations.
+
+        The paper deliberately does *not* do this — start values and
+        parameters are read from a text file "without re-compilation of the
+        application" (section 3.2) — but binding is useful for symbolic
+        analysis and for measuring best-case constant folding.
+        """
+        from ..symbolic.expr import Const
+
+        mapping = {
+            Sym(name): Const(var.value if var.value is not None else 0.0)
+            for name, var in self.parameters.items()
+        }
+        return FlatModel(
+            name=self.name,
+            free_var=self.free_var,
+            states=dict(self.states),
+            algebraics=dict(self.algebraics),
+            parameters={},
+            odes=[
+                OdeEquation(eq.state, substitute(eq.rhs, mapping), eq.label)
+                for eq in self.odes
+            ],
+            explicit_algs=[
+                AlgEquation(eq.var, substitute(eq.rhs, mapping), eq.label)
+                for eq in self.explicit_algs
+            ],
+            implicit=[
+                ImplicitEquation(
+                    substitute(eq.lhs, mapping),
+                    substitute(eq.rhs, mapping),
+                    eq.label,
+                )
+                for eq in self.implicit
+            ],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlatModel {self.name}: {len(self.states)} states, "
+            f"{len(self.algebraics)} algebraics, "
+            f"{len(self.parameters)} parameters, "
+            f"{self.num_equations} equations>"
+        )
+
+
+def _toposort_definitions(defs: Mapping[str, Expr]) -> list[str]:
+    """Topologically order explicit definitions; raise on cycles."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in defs}
+    order: list[str] = []
+    path: list[str] = []
+
+    def visit(name: str) -> None:
+        color[name] = GREY
+        path.append(name)
+        for dep in free_symbols(defs[name]):
+            dep_name = dep.name
+            if dep_name not in defs:
+                continue
+            if color[dep_name] == GREY:
+                start = path.index(dep_name)
+                raise AlgebraicLoopError(path[start:] + [dep_name])
+            if color[dep_name] == WHITE:
+                visit(dep_name)
+        path.pop()
+        color[name] = BLACK
+        order.append(name)
+
+    for name in defs:
+        if color[name] == WHITE:
+            visit(name)
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Flattening proper
+# ---------------------------------------------------------------------------
+
+
+def _expand_decl(
+    prefix: str, decl: VarDecl, overrides: Mapping[str, object]
+) -> list[FlatVar]:
+    """Expand one declaration into per-component flat variables."""
+    effective = decl
+    if decl.name in overrides:
+        data = overrides[decl.name]
+        if decl.kind is VarKind.PARAMETER:
+            effective = decl.rebind(value=data)
+        else:
+            effective = decl.rebind(start=data)
+    starts = effective.component_values("start")
+    values = effective.component_values("value")
+    qualified = f"{prefix}{decl.name}"
+    if decl.mtype.is_scalar:
+        names = [qualified]
+    else:
+        suffixes = decl.mtype.component_suffixes()  # type: ignore[attr-defined]
+        names = [f"{qualified}.{s}" for s in suffixes]
+    out = []
+    for i, name in enumerate(names):
+        out.append(
+            FlatVar(
+                name=name,
+                kind=decl.kind,
+                start=None if starts is None else starts[i],
+                value=None if values is None else values[i],
+                doc=decl.doc,
+            )
+        )
+    return out
+
+
+def _qualify_equation(
+    eq: Equation, prefix: str, local_names: frozenset[str], free_var: str
+) -> list[tuple[Expr, Expr, str]]:
+    """Qualify local symbols with the instance prefix and split vectors."""
+    base_label = f"{prefix}{eq.label}" if eq.label else ""
+    if eq.is_vector:
+        pairs = list(zip(eq.lhs, eq.rhs))  # type: ignore[arg-type]
+        labels = [f"{base_label}[{i}]" for i in range(len(pairs))]
+    else:
+        pairs = [(eq.lhs, eq.rhs)]
+        labels = [base_label]
+
+    mapping: dict[Expr, Expr] = {}
+
+    def qualify_expr(expr: Expr) -> Expr:
+        local_map: dict[Expr, Expr] = {}
+        for node in preorder(expr):
+            if isinstance(node, Sym) and node not in local_map:
+                base = node.name.split(".", 1)[0]
+                if node.name == free_var:
+                    continue
+                if base in local_names:
+                    local_map[node] = Sym(prefix + node.name)
+        if not local_map:
+            return expr
+        return substitute(expr, local_map)
+
+    out = []
+    for (lhs, rhs), label in zip(pairs, labels):
+        out.append((qualify_expr(lhs), qualify_expr(rhs), label))
+    return out
+
+
+def _classify(
+    lhs: Expr, rhs: Expr, label: str, flat: FlatModel, defined: set[str]
+) -> None:
+    """Place one scalar equation into the ODE / explicit / implicit bucket."""
+
+    def ode_form(a: Expr, b: Expr) -> tuple[str, Expr] | None:
+        if isinstance(a, Der) and isinstance(a.expr, Sym):
+            if not any(isinstance(n, Der) for n in preorder(b)):
+                return a.expr.name, b
+        return None
+
+    hit = ode_form(lhs, rhs) or ode_form(rhs, lhs)
+    if hit is not None:
+        state, expr = hit
+        if state not in flat.states:
+            raise ModelError(
+                f"equation {label}: der({state}) but {state!r} is not a "
+                f"declared state variable"
+            )
+        if state in defined:
+            raise ModelError(
+                f"equation {label}: state {state!r} has more than one ODE"
+            )
+        defined.add(state)
+        flat.odes.append(OdeEquation(state, expr, label))
+        return
+
+    def alg_form(a: Expr, b: Expr) -> tuple[str, Expr] | None:
+        if isinstance(a, Sym) and a.name in flat.algebraics:
+            if a.name not in defined and a not in free_symbols(b):
+                return a.name, b
+        return None
+
+    hit = alg_form(lhs, rhs) or alg_form(rhs, lhs)
+    if hit is not None:
+        var, expr = hit
+        defined.add(var)
+        flat.explicit_algs.append(AlgEquation(var, expr, label))
+        return
+
+    flat.implicit.append(ImplicitEquation(lhs, rhs, label))
+
+
+def _check(flat: FlatModel) -> None:
+    undeclared: set[str] = set()
+    for eq in flat.odes:
+        for sym in free_symbols(eq.rhs):
+            if not flat.is_known(sym.name):
+                undeclared.add(sym.name)
+    for eq in flat.explicit_algs:
+        for sym in free_symbols(eq.rhs):
+            if not flat.is_known(sym.name):
+                undeclared.add(sym.name)
+    for eq in flat.implicit:
+        for expr in (eq.lhs, eq.rhs):
+            for sym in free_symbols(expr):
+                if not flat.is_known(sym.name):
+                    undeclared.add(sym.name)
+    if undeclared:
+        names = ", ".join(sorted(undeclared)[:10])
+        raise ModelError(f"undeclared symbols in equations: {names}")
+
+    have_ode = {eq.state for eq in flat.odes}
+    missing = [s for s in flat.states if s not in have_ode]
+    # States without an explicit ODE are allowed only if implicit equations
+    # could determine them (general DAE); with no implicit equations it is a
+    # hard modelling error.
+    if missing and not flat.implicit:
+        names = ", ".join(missing[:10])
+        raise ModelError(f"states without defining ODE: {names}")
+
+    unknowns = len(flat.states) + len(flat.algebraics)
+    if flat.num_equations != unknowns:
+        raise ModelError(
+            f"system is not square: {flat.num_equations} equations for "
+            f"{unknowns} unknowns"
+        )
+
+
+def flatten_model(model: Model, check: bool = True) -> FlatModel:
+    """Flatten ``model`` into a :class:`FlatModel`.
+
+    With ``check=True`` (the default) the result is validated: all symbols
+    declared, each state defined by exactly one ODE (unless implicit
+    equations remain), and the system square.
+    """
+    flat = FlatModel(
+        name=model.name,
+        free_var=model.free_var,
+        states={},
+        algebraics={},
+        parameters={},
+        odes=[],
+        explicit_algs=[],
+        implicit=[],
+    )
+    scalar_equations: list[tuple[Expr, Expr, str]] = []
+
+    def add_instance(path: str, cls: ModelClass, overrides: Mapping[str, object]) -> None:
+        prefix = path + "."
+        decls = cls.all_declarations()
+        local_names = frozenset(decls) | frozenset(cls.all_parts())
+        for decl in decls.values():
+            for fv in _expand_decl(prefix, decl, overrides):
+                table = {
+                    VarKind.STATE: flat.states,
+                    VarKind.ALGEBRAIC: flat.algebraics,
+                    VarKind.PARAMETER: flat.parameters,
+                    VarKind.INPUT: flat.parameters,
+                }[fv.kind]
+                if fv.name in table:
+                    raise ModelError(f"duplicate flat variable {fv.name!r}")
+                table[fv.name] = fv
+        for eq in cls.all_equations():
+            scalar_equations.extend(
+                _qualify_equation(eq, prefix, local_names, model.free_var.name)
+            )
+        for part_name, part_cls in cls.all_parts().items():
+            add_instance(f"{path}.{part_name}", part_cls, {})
+
+    for inst in model.instances.values():
+        add_instance(inst.name, inst.cls, inst.overrides)
+
+    for eq in model.global_equations:
+        if eq.is_vector:
+            for i, (lhs, rhs) in enumerate(zip(eq.lhs, eq.rhs)):  # type: ignore[arg-type]
+                scalar_equations.append((lhs, rhs, f"{eq.label}[{i}]"))
+        else:
+            scalar_equations.append((eq.lhs, eq.rhs, eq.label))  # type: ignore[arg-type]
+
+    defined: set[str] = set()
+    for lhs, rhs, label in scalar_equations:
+        _classify(lhs, rhs, label, flat, defined)
+
+    if check:
+        _check(flat)
+    return flat

@@ -1,0 +1,147 @@
+"""Models and instances: the ``INSTANCE … INHERITS …`` construct.
+
+A :class:`Model` is the top-level container the user assembles: named
+instances of model classes (including arrays of instances such as the ten
+rollers ``W[1] … W[10]`` of the 2D bearing), instance-level parameter
+overrides, and connection equations that couple instances (e.g. the contact
+forces between a roller and the rings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import field
+from typing import Mapping, Union
+
+from ..symbolic.expr import Der, Expr, Sym
+from ..symbolic.vector import Vec
+from .classes import Equation, EquationSide, ModelClass, _as_side
+from .declarations import ScalarOrVec, VarKind
+
+__all__ = ["Instance", "Model"]
+
+
+class Instance:
+    """A named instantiation of a :class:`ModelClass` inside a model."""
+
+    def __init__(
+        self,
+        name: str,
+        cls: ModelClass,
+        overrides: Mapping[str, ScalarOrVec] | None = None,
+    ) -> None:
+        if not name or "." in name:
+            raise ValueError(f"invalid instance name {name!r}")
+        self.name = name
+        self.cls = cls
+        self.overrides: dict[str, ScalarOrVec] = dict(overrides or {})
+        for key in self.overrides:
+            decl = cls.find_declaration(key)
+            if decl is None:
+                raise KeyError(
+                    f"instance {name!r}: class {cls.name} has no member {key!r}"
+                )
+            if decl.kind not in (VarKind.PARAMETER, VarKind.STATE):
+                raise ValueError(
+                    f"instance {name!r}: can only override parameters and "
+                    f"start values, not {decl.kind.value} {key!r}"
+                )
+
+    # -- qualified references ---------------------------------------------------
+
+    def qualified(self, member: str) -> str:
+        return f"{self.name}.{member}"
+
+    def sym(self, member: str) -> Union[Expr, Vec]:
+        """Globally qualified symbolic reference to ``member`` of this
+        instance, for use in connection equations."""
+        decl = self.cls.find_declaration(member)
+        if decl is None:
+            raise KeyError(
+                f"class {self.cls.name} has no member {member!r}"
+            )
+        base = self.qualified(member)
+        if decl.mtype.is_scalar:
+            return Sym(base)
+        suffixes = decl.mtype.component_suffixes()  # type: ignore[attr-defined]
+        return Vec(Sym(f"{base}.{s}") for s in suffixes)
+
+    def der(self, member: str) -> Union[Expr, Vec]:
+        """``der(...)`` of a (state) member, for connection equations."""
+        ref = self.sym(member)
+        if isinstance(ref, Vec):
+            return Vec(Der(c) for c in ref)
+        return Der(ref)
+
+    def __repr__(self) -> str:
+        return f"<Instance {self.name}: {self.cls.name}>"
+
+
+class Model:
+    """A complete object-oriented mathematical model ready for flattening."""
+
+    def __init__(self, name: str, free_var: str = "t", doc: str = "") -> None:
+        self.name = name
+        self.free_var = Sym(free_var)
+        self.doc = doc
+        self.instances: dict[str, Instance] = {}
+        self.global_equations: list[Equation] = []
+        self._eq_counter = 0
+
+    def instance(
+        self,
+        name: str,
+        cls: ModelClass,
+        overrides: Mapping[str, ScalarOrVec] | None = None,
+    ) -> Instance:
+        """Add an instance of ``cls`` named ``name``."""
+        if name in self.instances:
+            raise ValueError(f"instance {name!r} already exists in model")
+        inst = Instance(name, cls, overrides)
+        self.instances[name] = inst
+        return inst
+
+    def instance_array(
+        self,
+        base_name: str,
+        count: int,
+        cls: ModelClass,
+        overrides: Mapping[str, ScalarOrVec] | None = None,
+        start_index: int = 1,
+    ) -> list[Instance]:
+        """Add ``count`` instances named ``{base_name}{i}`` (the paper's
+        ``INSTANCE BodyW[i]`` arrays)."""
+        return [
+            self.instance(f"{base_name}{i}", cls, overrides)
+            for i in range(start_index, start_index + count)
+        ]
+
+    def equation(
+        self, lhs: EquationSide, rhs: EquationSide, label: str = ""
+    ) -> Equation:
+        """Add a model-level (connection) equation over qualified names."""
+        self._eq_counter += 1
+        if not label:
+            label = f"GEq[{self._eq_counter}]"
+        eq = Equation(_as_side(lhs), _as_side(rhs), label)
+        self.global_equations.append(eq)
+        return eq
+
+    def ode(self, state: Union[Expr, Vec], rhs: EquationSide, label: str = "") -> Equation:
+        """Convenience for a model-level ``der(state) == rhs`` equation."""
+        if isinstance(state, Vec):
+            lhs: EquationSide = Vec(Der(c) for c in state)
+        else:
+            lhs = Der(state)
+        return self.equation(lhs, rhs, label)
+
+    def flatten(self, check: bool = True):
+        """Flatten into a :class:`~repro.model.flatten.FlatModel`."""
+        from .flatten import flatten_model
+
+        return flatten_model(self, check=check)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Model {self.name}: {len(self.instances)} instances, "
+            f"{len(self.global_equations)} global equations>"
+        )

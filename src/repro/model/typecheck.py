@@ -1,0 +1,97 @@
+"""Type derivation and checking over a flattened model.
+
+The ObjectMath 4.0 compiler performs "Type Derivation (checking)" before
+code generation (Figure 9).  After flattening, every quantity in this
+reproduction is a real scalar, so derivation amounts to building the
+``om$Real`` annotation table and verifying structural well-formedness:
+known functions with correct arity, relational/boolean nodes only in
+condition positions, and ``Der`` nodes only where the expression
+transformer will accept them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..symbolic.builders import FUNCTIONS
+from ..symbolic.expr import (
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ITE,
+    Rel,
+    Sym,
+    preorder,
+)
+
+
+from .flatten import FlatModel
+
+__all__ = ["TypeError_", "TypeReport", "check_types"]
+
+
+class TypeError_(ValueError):
+    """Raised when type checking fails (named to avoid shadowing builtins)."""
+
+
+@dataclass
+class TypeReport:
+    """Outcome of type checking a flat model."""
+
+    annotations: dict[str, str] = field(default_factory=dict)
+    num_checked_equations: int = 0
+    num_checked_nodes: int = 0
+
+    def annotation(self, name: str) -> str:
+        return self.annotations.get(name, "om$Real")
+
+
+def _check_expr(expr: Expr, label: str, report: TypeReport, in_condition: bool = False) -> None:
+    for node in preorder(expr):
+        report.num_checked_nodes += 1
+        if isinstance(node, Call):
+            spec = FUNCTIONS.get(node.fn)
+            if spec is None:
+                raise TypeError_(
+                    f"{label}: unknown function {node.fn!r}"
+                )
+            if len(node.args) != spec.arity:
+                raise TypeError_(
+                    f"{label}: {node.fn} expects {spec.arity} argument(s), "
+                    f"got {len(node.args)}"
+                )
+        elif isinstance(node, ITE):
+            if not isinstance(node.cond, (Rel, BoolOp, Const, Sym)):
+                raise TypeError_(
+                    f"{label}: conditional test must be relational or "
+                    f"boolean, got {type(node.cond).__name__}"
+                )
+        elif isinstance(node, Der):
+            if not isinstance(node.expr, Sym):
+                raise TypeError_(
+                    f"{label}: der(...) of a non-variable expression; only "
+                    f"first-order state derivatives are in the compilable "
+                    f"subset"
+                )
+
+
+def check_types(flat: FlatModel) -> TypeReport:
+    """Check ``flat`` and return its annotation table.
+
+    Raises :class:`TypeError_` on the first violation.
+    """
+    report = TypeReport(annotations=flat.type_table())
+
+    for eq in flat.odes:
+        _check_expr(eq.rhs, f"equation {eq.label or eq.state}", report)
+        report.num_checked_equations += 1
+    for eq in flat.explicit_algs:
+        _check_expr(eq.rhs, f"equation {eq.label or eq.var}", report)
+        report.num_checked_equations += 1
+    for eq in flat.implicit:
+        _check_expr(eq.lhs, f"equation {eq.label}", report)
+        _check_expr(eq.rhs, f"equation {eq.label}", report)
+        report.num_checked_equations += 1
+    return report

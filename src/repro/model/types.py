@@ -1,0 +1,98 @@
+"""The small type system of the modeling language.
+
+ObjectMath 4.0 added "a more general type analysis than the previous
+C++-oriented mechanism" (section 3.1); the generated intermediate form
+annotates subexpressions with types such as ``om$Real`` (Figure 11).  The
+models in the paper only need scalars and small fixed-size vectors/matrices
+("arrays … of size 1×3 or 3×3", section 3.2), so the lattice here is:
+``Real``, ``Integer``, ``Boolean``, ``VecN`` and ``MatNxM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MType", "REAL", "INTEGER", "BOOLEAN", "VecType", "MatType", "vec_type"]
+
+
+@dataclass(frozen=True)
+class MType:
+    """A scalar model type."""
+
+    name: str
+
+    def om_name(self) -> str:
+        """Name used in type-annotated intermediate code (``om$Real`` …)."""
+        return f"om${self.name}"
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+REAL = MType("Real")
+INTEGER = MType("Integer")
+BOOLEAN = MType("Boolean")
+
+
+@dataclass(frozen=True)
+class VecType(MType):
+    """A fixed-length vector of reals (length 2 or 3 in practice)."""
+
+    length: int = 3
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise ValueError("vector length must be positive")
+        object.__setattr__(self, "name", f"Real[{length}]")
+        object.__setattr__(self, "length", length)
+
+    @property
+    def is_scalar(self) -> bool:
+        return False
+
+    @property
+    def size(self) -> int:
+        return self.length
+
+    def component_suffixes(self) -> tuple[str, ...]:
+        if self.length <= 3:
+            return ("x", "y", "z")[: self.length]
+        return tuple(str(i) for i in range(self.length))
+
+
+@dataclass(frozen=True)
+class MatType(MType):
+    """A fixed-size matrix of reals (3×3 in the bearing models)."""
+
+    rows: int = 3
+    cols: int = 3
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("matrix dimensions must be positive")
+        object.__setattr__(self, "name", f"Real[{rows},{cols}]")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+
+    @property
+    def is_scalar(self) -> bool:
+        return False
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def component_suffixes(self) -> tuple[str, ...]:
+        return tuple(f"{i}{j}" for i in range(self.rows) for j in range(self.cols))
+
+
+def vec_type(length: int) -> VecType:
+    return VecType(length)

@@ -1,0 +1,18 @@
+"""Preliminary PDE support by the method of lines (the paper's section-6
+future work, reproduced)."""
+
+from .discretize import BoundaryCondition, NodeContext, PdeField, PdeProblem
+from .grid import Grid1D
+from .grid2d import Grid2D, NodeContext2D, PdeField2D, PdeProblem2D
+
+__all__ = [
+    "BoundaryCondition",
+    "NodeContext",
+    "PdeField",
+    "PdeProblem",
+    "Grid1D",
+    "Grid2D",
+    "NodeContext2D",
+    "PdeField2D",
+    "PdeProblem2D",
+]

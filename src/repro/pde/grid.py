@@ -1,0 +1,38 @@
+"""One-dimensional structured grids for the method of lines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Grid1D"]
+
+
+@dataclass(frozen=True)
+class Grid1D:
+    """A uniform 1-D grid with ``num_nodes`` nodes spanning [x0, x1]."""
+
+    num_nodes: int
+    x0: float = 0.0
+    x1: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 3:
+            raise ValueError("need at least 3 nodes")
+        if self.x1 <= self.x0:
+            raise ValueError("x1 must exceed x0")
+
+    @property
+    def dx(self) -> float:
+        return (self.x1 - self.x0) / (self.num_nodes - 1)
+
+    def x(self, i: int) -> float:
+        """Coordinate of node ``i``."""
+        if not (0 <= i < self.num_nodes):
+            raise IndexError(f"node {i} outside grid of {self.num_nodes}")
+        return self.x0 + i * self.dx
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def interior(self) -> range:
+        return range(1, self.num_nodes - 1)

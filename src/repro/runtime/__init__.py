@@ -1,0 +1,51 @@
+"""Parallel runtime: machine models, the discrete-event supervisor/worker
+simulator, and real (threaded) execution of generated task code."""
+
+from .machine import (
+    IDEAL_MACHINE,
+    LARGE_SHARED_MIMD,
+    MachineModel,
+    PAPER_COMPUTE_SPEED,
+    PARSYTEC_GCPP,
+    SPARCCENTER_2000,
+)
+from .messages import (
+    FLOAT_BYTES,
+    MessageStats,
+    broadcast_bytes,
+    gather_bytes,
+    worker_message_bytes,
+)
+from .parallel_rhs import ParallelRHS, VirtualTimeParallelRHS
+from .simulator import (
+    RoundBreakdown,
+    RunReport,
+    simulate_round,
+    simulate_run,
+    speedup_curve,
+)
+from .supervisor import SerialExecutor, ThreadedExecutor, dependency_levels
+
+__all__ = [
+    "IDEAL_MACHINE",
+    "LARGE_SHARED_MIMD",
+    "MachineModel",
+    "PAPER_COMPUTE_SPEED",
+    "PARSYTEC_GCPP",
+    "SPARCCENTER_2000",
+    "FLOAT_BYTES",
+    "MessageStats",
+    "broadcast_bytes",
+    "gather_bytes",
+    "worker_message_bytes",
+    "ParallelRHS",
+    "VirtualTimeParallelRHS",
+    "RoundBreakdown",
+    "RunReport",
+    "simulate_round",
+    "simulate_run",
+    "speedup_curve",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "dependency_levels",
+]

@@ -1,0 +1,88 @@
+"""Message accounting for the supervisor/worker protocol.
+
+"Currently, every variable that might be used is passed to the worker
+processors, i.e. all variables in the state vector.  This scheme is used
+because of the dynamic scheduling strategy" (section 3.2.3) — so the
+downstream message from supervisor to each worker carries the whole state
+vector (plus ``t``), and each worker's upstream message carries its
+computed output slots.  The paper notes that composing smaller messages
+"will be implemented in the future"; :func:`worker_message_bytes` supports
+both policies so the benchmark can quantify what that future work buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..schedule.lpt import Schedule
+from ..schedule.task import TaskGraph
+
+__all__ = [
+    "FLOAT_BYTES",
+    "MessageStats",
+    "broadcast_bytes",
+    "worker_message_bytes",
+    "gather_bytes",
+]
+
+#: double precision floats on the wire
+FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Per-round message accounting."""
+
+    num_messages: int
+    total_bytes: int
+
+    def __add__(self, other: "MessageStats") -> "MessageStats":
+        return MessageStats(
+            self.num_messages + other.num_messages,
+            self.total_bytes + other.total_bytes,
+        )
+
+
+def broadcast_bytes(num_states: int, full_state: bool = True,
+                    needed: int | None = None) -> int:
+    """Bytes of the supervisor→worker state message (t plus the state).
+
+    ``full_state=False`` models the paper's future improvement: send only
+    the ``needed`` inputs of that worker's tasks.
+    """
+    count = num_states if full_state else (needed if needed is not None else 0)
+    return FLOAT_BYTES * (count + 1)
+
+
+def worker_message_bytes(
+    graph: TaskGraph, schedule: Schedule, worker: int, num_states: int,
+    full_state: bool = True,
+) -> tuple[int, int]:
+    """(downstream bytes, upstream bytes) for one worker in one round."""
+    task_ids = schedule.tasks_of(worker)
+    outputs = sum(len(graph[tid].outputs) for tid in task_ids)
+    if full_state:
+        down = broadcast_bytes(num_states, True)
+    else:
+        needed = set()
+        for tid in task_ids:
+            needed.update(graph[tid].inputs)
+        down = broadcast_bytes(num_states, False, len(needed))
+    up = FLOAT_BYTES * outputs
+    return down, up
+
+
+def gather_bytes(graph: TaskGraph, schedule: Schedule, num_states: int,
+                 full_state: bool = True) -> MessageStats:
+    """Total message traffic of one supervisor/worker round."""
+    msgs = 0
+    total = 0
+    for w in range(schedule.num_workers):
+        if not schedule.tasks_of(w):
+            continue
+        down, up = worker_message_bytes(graph, schedule, w, num_states,
+                                        full_state)
+        msgs += 2
+        total += down + up
+    return MessageStats(msgs, total)

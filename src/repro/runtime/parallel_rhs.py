@@ -1,0 +1,128 @@
+"""The parallel RHS facade handed to the ODE solvers.
+
+"The system of ODEs is a function y'(t) = f(y(t), t) …  The function
+should be side-effect free" (section 2.4): to a solver, the parallelised
+right-hand side is just another callable.  Two facades are provided:
+
+* :class:`ParallelRHS` — wraps a real executor (serial or threaded); the
+  numerics are produced by the generated task functions under the current
+  schedule, and measured per-task times can drive the semi-dynamic LPT,
+* :class:`VirtualTimeParallelRHS` — additionally advances a *virtual
+  parallel clock* via the discrete-event simulator, so a full bearing
+  simulation can report the RHS-calls/second a given machine model would
+  achieve (the integrated version of Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..codegen.program import GeneratedProgram
+from ..schedule.lpt import lpt_schedule
+from ..schedule.semidynamic import SemiDynamicScheduler
+from .machine import MachineModel
+from .simulator import simulate_round
+from .supervisor import SerialExecutor, ThreadedExecutor
+
+__all__ = ["ParallelRHS", "VirtualTimeParallelRHS"]
+
+
+class ParallelRHS:
+    """Solver-facing ``f(t, y) -> ydot`` backed by scheduled task execution."""
+
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        executor: SerialExecutor | ThreadedExecutor | None = None,
+        params: np.ndarray | None = None,
+        scheduler: SemiDynamicScheduler | None = None,
+        feed_measurements: bool = False,
+    ) -> None:
+        self.program = program
+        self.executor = executor or SerialExecutor(program)
+        self.params = (
+            program.param_vector() if params is None
+            else np.asarray(params, dtype=float)
+        )
+        self.scheduler = scheduler
+        self.feed_measurements = feed_measurements
+        self.ncalls = 0
+
+    def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
+        res = self.program.results_buffer()
+        if isinstance(self.executor, ThreadedExecutor):
+            schedule = (
+                self.scheduler.schedule if self.scheduler is not None else None
+            )
+            self.executor.evaluate(t, y, self.params, res, schedule)
+        else:
+            self.executor.evaluate(t, y, self.params, res)
+        if self.scheduler is not None and self.feed_measurements:
+            self.scheduler.observe(self.executor.last_task_times.tolist())
+        self.ncalls += 1
+        return res[: self.program.num_states].copy()
+
+    def close(self) -> None:
+        self.executor.close()
+
+
+class VirtualTimeParallelRHS(ParallelRHS):
+    """A :class:`ParallelRHS` that also accumulates simulated parallel time.
+
+    Every call evaluates the tasks for real (correct numerics) and then
+    charges the round's duration on ``machine`` with ``num_workers`` to a
+    virtual clock, using either the static cost-model weights or the
+    measured per-task times (``time_source="measured"``).
+    """
+
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        machine: MachineModel,
+        num_workers: int,
+        params: np.ndarray | None = None,
+        scheduler: SemiDynamicScheduler | None = None,
+        time_source: str = "static",
+        full_state: bool = True,
+    ) -> None:
+        if time_source not in ("static", "measured"):
+            raise ValueError("time_source must be 'static' or 'measured'")
+        super().__init__(
+            program, SerialExecutor(program), params, scheduler,
+            feed_measurements=(time_source == "measured"),
+        )
+        self.machine = machine
+        self.num_workers = num_workers
+        self.time_source = time_source
+        self.full_state = full_state
+        self.virtual_time = 0.0
+        self._static_schedule = lpt_schedule(program.task_graph, num_workers)
+
+    def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
+        out = super().__call__(t, y)
+        schedule = (
+            self.scheduler.schedule if self.scheduler is not None
+            else self._static_schedule
+        )
+        times = (
+            self.executor.last_task_times.tolist()
+            if self.time_source == "measured" else None
+        )
+        breakdown = simulate_round(
+            self.program.task_graph,
+            schedule,
+            self.machine,
+            self.program.num_states,
+            task_times=times,
+            full_state=self.full_state,
+        )
+        self.virtual_time += breakdown.round_time
+        return out
+
+    @property
+    def rhs_calls_per_second(self) -> float:
+        if self.virtual_time == 0:
+            return 0.0
+        return self.ncalls / self.virtual_time

@@ -1,0 +1,240 @@
+"""Discrete-event simulation of the supervisor/worker RHS evaluation.
+
+"A simple supervisor-worker scheme (Figure 10) is currently used to
+schedule the computation of the tasks" (section 3.2): the ODE solver is
+the supervisor; each solver step it ships the state vector to the workers,
+the workers evaluate their assigned right-hand-side tasks, and the results
+come back.
+
+:func:`simulate_round` computes the wall-clock time of one such round on a
+:class:`~repro.runtime.machine.MachineModel` from first principles:
+
+* the supervisor serialises its sends (one network interface), so worker
+  ``i`` starts only after ``i`` messages have left,
+* each worker computes its tasks sequentially,
+* result messages are gathered by the supervisor, again serialised, in
+  completion order,
+* on machines with a time-sharing knee the round is inflated by the
+  contention factor.
+
+With one processor there is no communication at all — the supervisor
+evaluates the RHS itself.  This is exactly the model behind the measured
+curves of Figure 12, and :func:`speedup_curve` regenerates those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..codegen.costmodel import CostModel
+from ..schedule.lpt import Schedule, lpt_schedule
+from ..schedule.semidynamic import SemiDynamicScheduler
+from ..schedule.task import TaskGraph
+from .machine import MachineModel
+from .messages import worker_message_bytes
+
+__all__ = ["RoundBreakdown", "RunReport", "simulate_round", "simulate_run",
+           "speedup_curve"]
+
+
+@dataclass(frozen=True)
+class RoundBreakdown:
+    """Timing of one simulated supervisor/worker round."""
+
+    round_time: float
+    send_time: float
+    compute_time: float
+    gather_time: float
+    worker_finish: tuple[float, ...]
+    num_workers: int
+
+    @property
+    def rhs_calls_per_second(self) -> float:
+        return 0.0 if self.round_time == 0 else 1.0 / self.round_time
+
+
+def simulate_round(
+    graph: TaskGraph,
+    schedule: Schedule,
+    machine: MachineModel,
+    num_states: int,
+    task_times: Sequence[float] | None = None,
+    full_state: bool = True,
+) -> RoundBreakdown:
+    """Simulate one RHS evaluation round.
+
+    ``task_times`` overrides the static task weights (used to replay
+    measured times).  ``full_state`` selects the paper's whole-state
+    message policy versus the leaner needed-inputs policy.
+
+    Intra-round task dependencies (combine tasks, shared-CSE producers)
+    are *not* serialised here — each worker is assumed to execute its
+    list without waiting, which is exact for the paper's independent-RHS
+    plans and slightly optimistic otherwise.  For dependency-aware
+    makespans use :func:`repro.schedule.list_schedule`.
+    """
+    times = (
+        [t.weight for t in graph.tasks] if task_times is None
+        else list(task_times)
+    )
+    if len(times) != len(graph):
+        raise ValueError("need one time per task")
+
+    workers = [w for w in range(schedule.num_workers)
+               if schedule.tasks_of(w)]
+    if schedule.num_workers <= 1 or len(workers) <= 1:
+        # Supervisor evaluates everything locally: no messages.
+        total = machine.compute_time(sum(times))
+        return RoundBreakdown(
+            round_time=total, send_time=0.0, compute_time=total,
+            gather_time=0.0, worker_finish=(total,), num_workers=1,
+        )
+
+    import math as _math
+
+    msg_sizes = {
+        w: worker_message_bytes(graph, schedule, w, num_states, full_state)
+        for w in workers
+    }
+
+    if machine.broadcast:
+        # Shared address space: the supervisor publishes the state once;
+        # all workers read it concurrently.
+        down_total = max(
+            machine.message_time(msg_sizes[w][0]) for w in workers
+        )
+        start_at = {w: down_total for w in workers}
+    else:
+        # Distributed memory: the supervisor serialises one send per
+        # worker through its single network interface.
+        clock = 0.0
+        start_at = {}
+        down_total = 0.0
+        for w in workers:
+            clock += machine.message_time(msg_sizes[w][0])
+            start_at[w] = clock
+            down_total = clock
+
+    # -- compute ---------------------------------------------------------------
+    finish_at: dict[int, float] = {}
+    for w in workers:
+        compute = machine.compute_time(
+            sum(times[tid] for tid in schedule.tasks_of(w))
+        )
+        finish_at[w] = start_at[w] + compute
+
+    # -- upstream -----------------------------------------------------------------
+    if machine.broadcast:
+        # Workers write disjoint result slots concurrently; completion is
+        # detected with a logarithmic barrier.
+        writes = max(machine.message_time(msg_sizes[w][1]) for w in workers)
+        barrier = machine.message_latency * _math.ceil(
+            _math.log2(max(len(workers), 2))
+        )
+        gather_clock = max(finish_at.values()) + writes + barrier
+        gather_busy = writes + barrier
+    else:
+        # Serialised gathers in completion order.
+        gather_clock = 0.0
+        gather_busy = 0.0
+        for w in sorted(workers, key=lambda w: finish_at[w]):
+            transfer = machine.message_time(msg_sizes[w][1])
+            gather_clock = max(gather_clock, finish_at[w]) + transfer
+            gather_busy += transfer
+
+    round_time = gather_clock * machine.contention_factor(len(workers))
+    compute_max = max(finish_at[w] - start_at[w] for w in workers)
+    return RoundBreakdown(
+        round_time=round_time,
+        send_time=down_total,
+        compute_time=compute_max,
+        gather_time=gather_busy,
+        worker_finish=tuple(finish_at[w] for w in workers),
+        num_workers=len(workers),
+    )
+
+
+@dataclass
+class RunReport:
+    """Aggregate of a multi-round simulated run."""
+
+    num_rounds: int
+    total_time: float
+    round_times: list[float] = field(default_factory=list)
+    scheduler_overhead: float = 0.0
+    num_reschedules: int = 0
+
+    @property
+    def rhs_calls_per_second(self) -> float:
+        return 0.0 if self.total_time == 0 else self.num_rounds / self.total_time
+
+    @property
+    def mean_round_time(self) -> float:
+        return self.total_time / max(self.num_rounds, 1)
+
+
+def simulate_run(
+    graph: TaskGraph,
+    machine: MachineModel,
+    num_workers: int,
+    num_states: int,
+    num_rounds: int,
+    task_time_sampler: Callable[[int, int], float] | None = None,
+    scheduler: SemiDynamicScheduler | None = None,
+    full_state: bool = True,
+) -> RunReport:
+    """Simulate ``num_rounds`` RHS rounds, optionally with varying task
+    times and semi-dynamic rescheduling.
+
+    ``task_time_sampler(round_index, task_id)`` returns the actual time of
+    a task in a given round (conditional right-hand sides make these vary,
+    section 3.2.3); by default the static weights are used every round.
+    When a :class:`SemiDynamicScheduler` is supplied, its schedule is used
+    each round and fed the simulated measurements.
+    """
+    if num_rounds < 1:
+        raise ValueError("num_rounds must be >= 1")
+    static_schedule = (
+        scheduler.schedule if scheduler is not None
+        else lpt_schedule(graph, num_workers)
+    )
+
+    report = RunReport(num_rounds=num_rounds, total_time=0.0)
+    for r in range(num_rounds):
+        schedule = scheduler.schedule if scheduler is not None else static_schedule
+        if task_time_sampler is None:
+            times = [t.weight for t in graph.tasks]
+        else:
+            times = [task_time_sampler(r, t.task_id) for t in graph.tasks]
+        breakdown = simulate_round(
+            graph, schedule, machine, num_states, times, full_state
+        )
+        report.round_times.append(breakdown.round_time)
+        report.total_time += breakdown.round_time
+        if scheduler is not None:
+            scheduler.observe(times)
+    if scheduler is not None:
+        report.scheduler_overhead = scheduler.overhead_seconds
+        report.num_reschedules = scheduler.num_reschedules
+    return report
+
+
+def speedup_curve(
+    graph: TaskGraph,
+    machine: MachineModel,
+    num_states: int,
+    worker_counts: Sequence[int],
+    full_state: bool = True,
+) -> list[tuple[int, float]]:
+    """RHS-calls/second for each worker count (a Figure 12 series)."""
+    out = []
+    for w in worker_counts:
+        if w < 1:
+            raise ValueError("worker counts must be >= 1")
+        schedule = lpt_schedule(graph, w)
+        breakdown = simulate_round(
+            graph, schedule, machine, num_states, full_state=full_state
+        )
+        out.append((w, breakdown.rhs_calls_per_second))
+    return out

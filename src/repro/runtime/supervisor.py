@@ -1,0 +1,181 @@
+"""Real supervisor/worker execution of generated task functions.
+
+This is the executable counterpart of the simulator: a pool of persistent
+worker threads evaluates the generated per-task RHS functions each round,
+writing into disjoint slots of a shared results buffer (so no locking is
+needed), with a barrier between dependency levels (partial-sum tasks
+before their combining tasks).
+
+On this 1-CPU host (and under the CPython GIL) this yields concurrency,
+not wall-clock speedup — the quantitative speedup claims are reproduced by
+:mod:`repro.runtime.simulator`; this executor exists to run the *actual
+protocol* end-to-end: real schedules, real per-task timings for the
+semi-dynamic LPT, and bit-identical numerics versus the serial RHS.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..codegen.program import GeneratedProgram
+from ..schedule.lpt import Schedule, lpt_schedule
+from ..schedule.semidynamic import SemiDynamicScheduler
+
+__all__ = ["SerialExecutor", "ThreadedExecutor", "dependency_levels"]
+
+
+def dependency_levels(graph) -> list[list[int]]:
+    """Group task ids into topological levels (same level = no mutual
+    dependencies; levels execute as barrier-separated phases)."""
+    level: dict[int, int] = {}
+
+    def compute(i: int) -> int:
+        if i in level:
+            return level[i]
+        deps = graph[i].depends_on
+        value = 0 if not deps else 1 + max(compute(d) for d in deps)
+        level[i] = value
+        return value
+
+    for i in range(len(graph)):
+        compute(i)
+    depth = 1 + max(level.values(), default=0)
+    out: list[list[int]] = [[] for _ in range(depth)]
+    for i in range(len(graph)):
+        out[level[i]].append(i)
+    return out
+
+
+class SerialExecutor:
+    """Evaluates all tasks in the supervisor thread (the 1-processor case),
+    measuring per-task wall times for the semi-dynamic scheduler."""
+
+    def __init__(self, program: GeneratedProgram) -> None:
+        self.program = program
+        self._levels = dependency_levels(program.task_graph)
+        self.last_task_times = np.zeros(program.num_tasks)
+
+    def evaluate(
+        self, t: float, y: np.ndarray, p: np.ndarray, res: np.ndarray
+    ) -> None:
+        tasks = self.program.module.tasks
+        times = self.last_task_times
+        for level in self._levels:
+            for tid in level:
+                start = time.perf_counter()
+                tasks[tid](t, y, p, res)
+                times[tid] = time.perf_counter() - start
+
+    def close(self) -> None:  # symmetry with ThreadedExecutor
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ThreadedExecutor:
+    """Persistent worker threads executing scheduled task lists.
+
+    Each round the supervisor publishes ``(t, y, p, res)`` to every worker
+    along with its task list for the current dependency level; a barrier
+    separates levels.  Results land in disjoint ``res`` slots.
+    """
+
+    def __init__(self, program: GeneratedProgram, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.program = program
+        self.num_workers = num_workers
+        self._levels = dependency_levels(program.task_graph)
+        self.last_task_times = np.zeros(program.num_tasks)
+
+        self._inboxes: list[queue.Queue] = [queue.Queue() for _ in range(num_workers)]
+        self._done: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._closing = False
+        for w in range(num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(w,), daemon=True,
+                name=f"rhs-worker-{w}",
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self, worker_id: int) -> None:
+        tasks = self.program.module.tasks
+        inbox = self._inboxes[worker_id]
+        while True:
+            job = inbox.get()
+            if job is None:
+                return
+            task_ids, t, y, p, res = job
+            error: BaseException | None = None
+            for tid in task_ids:
+                start = time.perf_counter()
+                try:
+                    tasks[tid](t, y, p, res)
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    error = exc
+                    break
+                self.last_task_times[tid] = time.perf_counter() - start
+            # Always signal completion — a swallowed failure here would
+            # deadlock the supervisor waiting on the barrier.
+            self._done.put((worker_id, error))
+
+    def evaluate(
+        self,
+        t: float,
+        y: np.ndarray,
+        p: np.ndarray,
+        res: np.ndarray,
+        schedule: Schedule | None = None,
+    ) -> None:
+        """Run one RHS round under ``schedule`` (defaults to LPT)."""
+        if self._closing:
+            raise RuntimeError("executor is closed")
+        if schedule is None:
+            schedule = lpt_schedule(self.program.task_graph, self.num_workers)
+        if schedule.num_workers != self.num_workers:
+            raise ValueError(
+                f"schedule is for {schedule.num_workers} workers, pool has "
+                f"{self.num_workers}"
+            )
+        for level in self._levels:
+            by_worker: dict[int, list[int]] = {}
+            for tid in level:
+                by_worker.setdefault(schedule.assignment[tid], []).append(tid)
+            for worker_id, task_ids in by_worker.items():
+                self._inboxes[worker_id].put((task_ids, t, y, p, res))
+            first_error: BaseException | None = None
+            for _ in range(len(by_worker)):
+                _worker, error = self._done.get()
+                if error is not None and first_error is None:
+                    first_error = error
+            if first_error is not None:
+                raise RuntimeError(
+                    "task evaluation failed in a worker"
+                ) from first_error
+
+    def close(self) -> None:
+        if self._closing:
+            return
+        self._closing = True
+        for inbox in self._inboxes:
+            inbox.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,127 @@
+"""List scheduling of task DAGs with communication costs.
+
+The plain LPT algorithm "does not take communication latency into account"
+(section 3.2.3).  This module provides the classic ETF-style (earliest
+task first) list scheduler over a dependent task graph: a task may start
+once its predecessors have finished, plus a communication delay when a
+predecessor ran on a *different* processor.  It is used to schedule the
+subsystem DAG from the equation-system-level analysis, and for the
+split-assignment task graphs whose partial sums feed combining tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .task import TaskGraph
+
+__all__ = ["DagSchedule", "list_schedule"]
+
+
+@dataclass(frozen=True)
+class DagSchedule:
+    """A time-annotated schedule of a dependent task graph."""
+
+    num_workers: int
+    assignment: tuple[int, ...]
+    start_times: tuple[float, ...]
+    finish_times: tuple[float, ...]
+    comm_latency: float
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish_times, default=0.0)
+
+    def tasks_of(self, worker: int) -> tuple[int, ...]:
+        ids = [
+            tid for tid, w in enumerate(self.assignment) if w == worker
+        ]
+        ids.sort(key=lambda tid: self.start_times[tid])
+        return tuple(ids)
+
+
+def list_schedule(
+    graph: TaskGraph,
+    num_workers: int,
+    comm_latency: float = 0.0,
+) -> DagSchedule:
+    """Greedy ETF list scheduling with uniform communication latency.
+
+    Tasks are considered in priority order (descending *bottom level*, the
+    longest weight-chain to a sink) and placed on the worker giving the
+    earliest finish time, charging ``comm_latency`` for each cross-worker
+    dependency edge.
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    n = len(graph)
+    if n == 0:
+        return DagSchedule(num_workers, (), (), (), comm_latency)
+
+    # children[i] = tasks depending on i
+    children: list[list[int]] = [[] for _ in range(n)]
+    for task in graph:
+        for dep in task.depends_on:
+            children[dep].append(task.task_id)
+
+    # Bottom levels for prioritisation.
+    bottom: dict[int, float] = {}
+
+    def bl(i: int) -> float:
+        if i in bottom:
+            return bottom[i]
+        value = graph[i].weight + max((bl(c) for c in children[i]), default=0.0)
+        bottom[i] = value
+        return value
+
+    for i in range(n):
+        bl(i)
+
+    indegree = [len(graph[i].depends_on) for i in range(n)]
+    ready = [i for i in range(n) if indegree[i] == 0]
+
+    assignment = [-1] * n
+    start = [0.0] * n
+    finish = [0.0] * n
+    worker_free = [0.0] * num_workers
+
+    scheduled = 0
+    while ready:
+        ready.sort(key=lambda i: (-bottom[i], i))
+        task_id = ready.pop(0)
+        task = graph[task_id]
+
+        best_worker = 0
+        best_start = float("inf")
+        for w in range(num_workers):
+            earliest = worker_free[w]
+            for dep in task.depends_on:
+                arrival = finish[dep]
+                if assignment[dep] != w:
+                    arrival += comm_latency
+                earliest = max(earliest, arrival)
+            if earliest < best_start - 1e-15:
+                best_start = earliest
+                best_worker = w
+        assignment[task_id] = best_worker
+        start[task_id] = best_start
+        finish[task_id] = best_start + task.weight
+        worker_free[best_worker] = finish[task_id]
+        scheduled += 1
+
+        for child in children[task_id]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+
+    if scheduled != n:
+        raise ValueError("task graph contains a cycle")  # defensive
+
+    return DagSchedule(
+        num_workers=num_workers,
+        assignment=tuple(assignment),
+        start_times=tuple(start),
+        finish_times=tuple(finish),
+        comm_latency=comm_latency,
+    )

@@ -1,0 +1,31 @@
+"""Schedule quality metrics and bounds."""
+
+from __future__ import annotations
+
+from .lpt import Schedule
+from .task import TaskGraph
+
+__all__ = ["makespan_lower_bound", "graham_bound", "speedup_estimate"]
+
+
+def makespan_lower_bound(graph: TaskGraph, num_workers: int) -> float:
+    """The trivial makespan lower bound: max(mean load, heaviest task,
+    critical path)."""
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    mean = graph.total_weight / num_workers
+    return max(mean, graph.max_weight, graph.critical_path_weight())
+
+
+def graham_bound(num_workers: int) -> float:
+    """Graham's LPT approximation factor ``4/3 - 1/(3m)``."""
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    return 4.0 / 3.0 - 1.0 / (3.0 * num_workers)
+
+
+def speedup_estimate(graph: TaskGraph, schedule: Schedule) -> float:
+    """Predicted speedup = serial weight / scheduled makespan (no comm)."""
+    if schedule.makespan == 0:
+        return float("inf")
+    return graph.total_weight / schedule.makespan

@@ -1,0 +1,87 @@
+"""Semi-dynamic LPT rescheduling.
+
+"We are using the elapsed times for right-hand side evaluations during the
+previous iteration step to predict the execution times during the next
+step.  This information is used to regularly update the schedule.  This
+semi-dynamic version of the LPT algorithm consumes less than 1% of the
+execution time for the 2D bearing simulation examples" (section 3.2.3).
+
+:class:`SemiDynamicScheduler` keeps an exponentially smoothed estimate of
+each task's measured evaluation time and re-runs LPT every
+``reschedule_every`` steps.  It also accounts its own overhead so the
+"< 1 %" claim can be measured directly (``bench_sec323_lpt_overhead``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import field
+from typing import Sequence
+
+import numpy as np
+
+from .lpt import Schedule, lpt_schedule
+from .task import TaskGraph
+
+__all__ = ["SemiDynamicScheduler"]
+
+
+class SemiDynamicScheduler:
+    """LPT scheduler with periodic re-balancing from measured times."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        num_workers: int,
+        reschedule_every: int = 10,
+        smoothing: float = 0.5,
+    ) -> None:
+        if not (0.0 < smoothing <= 1.0):
+            raise ValueError("smoothing must be in (0, 1]")
+        if reschedule_every < 1:
+            raise ValueError("reschedule_every must be >= 1")
+        self.graph = graph
+        self.num_workers = num_workers
+        self.reschedule_every = reschedule_every
+        self.smoothing = smoothing
+        #: current execution-time estimates (seeded from the static weights)
+        self.estimates = np.array([t.weight for t in graph.tasks])
+        self.steps_since_reschedule = 0
+        self.num_reschedules = 0
+        #: cumulative wall-clock time spent inside the scheduler itself
+        self.overhead_seconds = 0.0
+        self._schedule = lpt_schedule(graph, num_workers)
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._schedule
+
+    def observe(self, measured: Sequence[float]) -> Schedule:
+        """Feed one step's measured per-task times; maybe reschedule.
+
+        Returns the schedule to use for the *next* step.
+        """
+        t0 = time.perf_counter()
+        values = np.asarray(measured, dtype=float)
+        if values.shape != self.estimates.shape:
+            raise ValueError("need one measurement per task")
+        if np.any(values < 0):
+            raise ValueError("measured times must be non-negative")
+        s = self.smoothing
+        self.estimates *= 1.0 - s
+        self.estimates += s * values
+        self.steps_since_reschedule += 1
+        if self.steps_since_reschedule >= self.reschedule_every:
+            self.steps_since_reschedule = 0
+            self.num_reschedules += 1
+            self._schedule = lpt_schedule(
+                self.graph, self.num_workers, weights=self.estimates
+            )
+        self.overhead_seconds += time.perf_counter() - t0
+        return self._schedule
+
+    def overhead_fraction(self, total_compute_seconds: float) -> float:
+        """Scheduler overhead as a fraction of total compute time."""
+        if total_compute_seconds <= 0:
+            return 0.0
+        return self.overhead_seconds / total_compute_seconds

@@ -1,0 +1,52 @@
+"""ODE solver substrate: the from-scratch ODEPACK/LSODA replacement."""
+
+from .adams import AdamsStepper, adams_adaptive
+from .bdf import BdfStepper, bdf_adaptive
+from .common import SolverOptions, SolverResult, Stats, error_norm
+from .ivp import METHODS, hermite_resample, solve_ivp
+from .jacobian import (
+    AnalyticJacobian,
+    FiniteDifferenceJacobian,
+    JacobianProvider,
+)
+from .lsoda import estimate_spectral_radius, lsoda_adaptive
+from .sparsejac import (
+    ColoredFiniteDifferenceJacobian,
+    color_columns,
+    jacobian_sparsity,
+)
+from .partitioned import (
+    PartitionedResult,
+    Signal,
+    SubsystemRun,
+    solve_partitioned,
+)
+from .rk import rk4_fixed, rk45_adaptive
+
+__all__ = [
+    "AdamsStepper",
+    "adams_adaptive",
+    "BdfStepper",
+    "bdf_adaptive",
+    "SolverOptions",
+    "SolverResult",
+    "Stats",
+    "error_norm",
+    "METHODS",
+    "hermite_resample",
+    "solve_ivp",
+    "AnalyticJacobian",
+    "FiniteDifferenceJacobian",
+    "JacobianProvider",
+    "ColoredFiniteDifferenceJacobian",
+    "color_columns",
+    "jacobian_sparsity",
+    "estimate_spectral_radius",
+    "lsoda_adaptive",
+    "PartitionedResult",
+    "Signal",
+    "SubsystemRun",
+    "solve_partitioned",
+    "rk4_fixed",
+    "rk45_adaptive",
+]

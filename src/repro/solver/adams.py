@@ -1,0 +1,291 @@
+"""Adams–Bashforth–Moulton multistep methods (nonstiff family).
+
+The nonstiff half of the LSODA replacement: a PECE predictor–corrector of
+variable order 1–4 with variable step size.  History is kept as RHS values
+on a uniform grid; on step-size changes the grid is rebuilt by local
+polynomial interpolation over a window of recent evaluations (the same
+idea, if not the same bookkeeping, as ODEPACK's variable-coefficient
+formulation).  The Milne device — the predictor/corrector difference —
+provides the local error estimate.
+
+"The computed solution … consists of a large number of calculated
+approximations where every approximation depends on the previous one"
+(section 2.2): each PECE step costs exactly two RHS evaluations, which is
+what makes the RHS the hot spot the paper parallelises.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .common import (
+    RhsFn,
+    SolverOptions,
+    SolverResult,
+    Stats,
+    error_norm,
+    initial_step,
+    validate_tspan,
+)
+
+__all__ = ["AdamsStepper", "adams_adaptive", "AB_COEFFS", "AM_COEFFS", "MILNE_C"]
+
+MAX_ORDER = 4
+_WINDOW = 3 * MAX_ORDER + 2
+
+#: Adams–Bashforth predictor coefficients for orders 1..4 (newest first).
+AB_COEFFS = {
+    1: np.array([1.0]),
+    2: np.array([3.0, -1.0]) / 2.0,
+    3: np.array([23.0, -16.0, 5.0]) / 12.0,
+    4: np.array([55.0, -59.0, 37.0, -9.0]) / 24.0,
+}
+
+#: Adams–Moulton corrector coefficients (f_new first, then history).
+AM_COEFFS = {
+    1: np.array([1.0]),
+    2: np.array([1.0, 1.0]) / 2.0,
+    3: np.array([5.0, 8.0, -1.0]) / 12.0,
+    4: np.array([9.0, 19.0, -5.0, 1.0]) / 24.0,
+}
+
+#: Milne-device constants: local error ≈ MILNE_C[k] * (y_corrected - y_predicted).
+MILNE_C = {1: 1.0 / 2.0, 2: 1.0 / 6.0, 3: 1.0 / 10.0, 4: 19.0 / 270.0}
+
+#: |Adams–Moulton error constants|: local error at order j ≈
+#: AM_ERR[j] * h * ∇^j f (backward difference of the RHS history).
+AM_ERR = {1: 1.0 / 2.0, 2: 1.0 / 12.0, 3: 1.0 / 24.0, 4: 19.0 / 720.0}
+
+#: binomial coefficients for backward differences ∇^j f, j = 1..4
+_BDIFF = {
+    1: np.array([1.0, -1.0]),
+    2: np.array([1.0, -2.0, 1.0]),
+    3: np.array([1.0, -3.0, 3.0, -1.0]),
+    4: np.array([1.0, -4.0, 6.0, -4.0, 1.0]),
+}
+
+_MAX_GROWTH = 2.0
+_MIN_SHRINK = 0.1
+
+
+def _interpolate_window(
+    ts: Sequence[float],
+    fs: Sequence[np.ndarray],
+    tq: float,
+    npoints: int,
+) -> np.ndarray:
+    """Lagrange interpolation at ``tq`` through the ``npoints`` window
+    entries nearest to ``tq`` (entries are time-ordered, newest last)."""
+    idx = sorted(range(len(ts)), key=lambda i: abs(ts[i] - tq))[:npoints]
+    result = np.zeros_like(fs[0])
+    for i in idx:
+        weight = 1.0
+        for j in idx:
+            if j != i:
+                weight *= (tq - ts[j]) / (ts[i] - ts[j])
+        result = result + weight * fs[i]
+    return result
+
+
+class AdamsStepper:
+    """One-step-at-a-time ABM integrator (driven by :func:`adams_adaptive`
+    and by the LSODA switching driver)."""
+
+    family = "adams"
+
+    def __init__(
+        self,
+        f: RhsFn,
+        t0: float,
+        y0: np.ndarray,
+        direction: float,
+        options: SolverOptions,
+        stats: Stats,
+    ) -> None:
+        self.f = f
+        self.t = float(t0)
+        self.y = np.asarray(y0, dtype=float).copy()
+        self.direction = direction
+        self.options = options
+        self.stats = stats
+        self.order = 1
+
+        f0 = f(self.t, self.y)
+        stats.nfev += 1
+        if options.first_step is not None:
+            self.h = min(abs(options.first_step), options.max_step)
+        else:
+            self.h = initial_step(
+                f, self.t, self.y, f0, direction, 1,
+                options.rtol, options.atol, options.max_step,
+            )
+            stats.nfev += 1
+        self.h = max(self.h, 1e-14)
+
+        # Uniform-grid history, newest first; _grid_h is its spacing
+        # (self.h is the *desired* next step, which may differ until the
+        # history is re-gridded).
+        self._f_hist: list[np.ndarray] = [f0]
+        self._grid_h = self.h
+        # Raw evaluation window for re-gridding, time-ordered (oldest first).
+        self._raw_t: list[float] = [self.t]
+        self._raw_f: list[np.ndarray] = [f0]
+        self._reject_streak = 0
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _remember(self, t: float, fval: np.ndarray) -> None:
+        self._raw_t.append(t)
+        self._raw_f.append(fval)
+        if len(self._raw_t) > _WINDOW:
+            self._raw_t.pop(0)
+            self._raw_f.pop(0)
+
+    def _regrid(self, new_h: float) -> None:
+        """Re-grid the uniform history to spacing ``new_h``.
+
+        Interpolates as many past points as the raw window supports (up to
+        ``MAX_ORDER``); the order is clamped to the points available but is
+        otherwise preserved, so a step-size change does not restart the
+        method at order 1.
+        """
+        span = abs(self._raw_t[-1] - self._raw_t[0])
+        supported = 1
+        for k in range(2, MAX_ORDER + 1):
+            if (k - 1) * new_h <= span * (1 + 1e-12):
+                supported = k
+        npoints = min(len(self._raw_t), MAX_ORDER + 1)
+        new_hist: list[np.ndarray] = []
+        for k in range(supported):
+            tq = self.t - k * new_h * self.direction
+            if k == 0:
+                new_hist.append(self._raw_f[-1])
+            else:
+                new_hist.append(
+                    _interpolate_window(self._raw_t, self._raw_f, tq, npoints)
+                )
+        self._f_hist = new_hist
+        self.h = new_h
+        self._grid_h = new_h
+        self.order = min(self.order, supported)
+
+    def _select_order_and_step(self, h: float) -> None:
+        """Classical Adams order/step selection after an accepted step.
+
+        Estimates the local error the method *would* commit at orders
+        ``k-1``, ``k`` and ``k+1`` from backward differences of the RHS
+        history (local error at order j ≈ AM_ERR[j] · h · ∇^j f), then
+        keeps the order with the best step-growth factor.  This is the
+        ODEPACK selection rule adapted to the uniform-grid history.
+        """
+        options = self.options
+        k = self.order
+        best_factor = 0.0
+        best_order = k
+        for j in (k - 1, k, k + 1):
+            if j < 1 or j > MAX_ORDER or len(self._f_hist) < j + 1:
+                continue
+            coeffs = _BDIFF[j]
+            dj = coeffs @ np.array(self._f_hist[: j + 1])
+            err_j = AM_ERR[j] * h * dj
+            norm_j = error_norm(err_j, self.y, self.y, options.rtol, options.atol)
+            factor_j = _MAX_GROWTH if norm_j == 0 else min(
+                _MAX_GROWTH, 0.9 * norm_j ** (-1.0 / (j + 1))
+            )
+            if factor_j > best_factor:
+                best_factor = factor_j
+                best_order = j
+        self.order = best_order
+        # Hysteresis: avoid re-gridding for marginal changes.
+        if best_factor > 1.2 or best_factor < 0.9:
+            self.h = min(self.h * max(best_factor, _MIN_SHRINK),
+                         options.max_step)
+
+    # -- public stepping API ------------------------------------------------------
+
+    def step(self, t_bound: float) -> bool:
+        """Attempt one accepted step toward ``t_bound``.
+
+        Returns False when the solver cannot continue (step underflow).
+        """
+        options = self.options
+        while True:
+            h = min(self.h, abs(t_bound - self.t), options.max_step)
+            if h < options.min_step or self.t + h * self.direction == self.t:
+                return False
+            if h != self._grid_h:
+                self._regrid(h)
+
+            k = min(self.order, len(self._f_hist))
+            hist = np.array(self._f_hist[:k])
+            hd = h * self.direction
+
+            y_pred = self.y + hd * (AB_COEFFS[k] @ hist)
+            t_new = self.t + hd
+            f_pred = self.f(t_new, y_pred)
+            self.stats.nfev += 1
+
+            am = AM_COEFFS[k]
+            y_corr = self.y + hd * (
+                am[0] * f_pred + (am[1:] @ hist[: k - 1] if k > 1 else 0.0)
+            )
+            err = MILNE_C[k] * (y_corr - y_pred)
+            norm = error_norm(err, self.y, y_corr, options.rtol, options.atol)
+            self.stats.nsteps += 1
+
+            if norm <= 1.0:
+                f_new = self.f(t_new, y_corr)
+                self.stats.nfev += 1
+                self.t = t_new
+                self.y = y_corr
+                self._f_hist.insert(0, f_new)
+                del self._f_hist[MAX_ORDER + 1 :]
+                self._remember(t_new, f_new)
+                self.stats.naccepted += 1
+                self._reject_streak = 0
+                self._select_order_and_step(h)
+                return True
+
+            self.stats.nrejected += 1
+            self._reject_streak += 1
+            factor = 0.9 * norm ** (-1.0 / (k + 1))
+            factor = min(max(factor, _MIN_SHRINK), 0.7)
+            if self._reject_streak >= 2 and self.order > 1:
+                self.order -= 1
+            self._regrid(h * factor)
+
+
+def adams_adaptive(
+    f: RhsFn,
+    t_span: tuple[float, float],
+    y0: Sequence[float],
+    options: SolverOptions = SolverOptions(),
+) -> SolverResult:
+    """Integrate with the variable-order ABM method alone (no switching)."""
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    direction = validate_tspan(t0, t1)
+    stats = Stats()
+    stepper = AdamsStepper(f, t0, np.asarray(y0, float), direction, options, stats)
+
+    ts = [t0]
+    ys = [stepper.y.copy()]
+    while (t1 - stepper.t) * direction > 0:
+        if stats.nsteps >= options.max_steps:
+            return SolverResult(
+                np.array(ts), np.array(ys), False,
+                f"maximum step count {options.max_steps} exceeded",
+                stats, "adams",
+            )
+        if not stepper.step(t1):
+            return SolverResult(
+                np.array(ts), np.array(ys), False,
+                "step size underflow", stats, "adams",
+            )
+        ts.append(stepper.t)
+        ys.append(stepper.y.copy())
+
+    return SolverResult(
+        np.array(ts), np.array(ys), True, "reached end of span", stats, "adams"
+    )

@@ -1,0 +1,160 @@
+"""Explicit Runge–Kutta methods.
+
+Single-step ("intermediate extrapolations", section 2.4) methods: the
+classic fixed-step RK4 and the adaptive Dormand–Prince 5(4) embedded pair
+with FSAL.  RK45 is also the history bootstrapper for the multistep
+methods and the reference method in the cross-validation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .common import (
+    RhsFn,
+    SolverOptions,
+    SolverResult,
+    Stats,
+    error_norm,
+    initial_step,
+    validate_tspan,
+)
+
+__all__ = ["rk4_fixed", "rk45_adaptive", "DOPRI_A", "DOPRI_B5", "DOPRI_B4", "DOPRI_C"]
+
+# Dormand–Prince 5(4) tableau.
+DOPRI_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+DOPRI_A = [
+    np.array([]),
+    np.array([1 / 5]),
+    np.array([3 / 40, 9 / 40]),
+    np.array([44 / 45, -56 / 15, 32 / 9]),
+    np.array([19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729]),
+    np.array([9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656]),
+    np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84]),
+]
+DOPRI_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0])
+DOPRI_B4 = np.array(
+    [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
+)
+
+
+def rk4_fixed(
+    f: RhsFn,
+    t_span: tuple[float, float],
+    y0: Sequence[float],
+    num_steps: int,
+) -> SolverResult:
+    """Classic fourth-order Runge–Kutta with ``num_steps`` uniform steps."""
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    validate_tspan(t0, t1)
+    y = np.asarray(y0, dtype=float).copy()
+    h = (t1 - t0) / num_steps
+    stats = Stats()
+
+    ts = [t0]
+    ys = [y.copy()]
+    t = t0
+    for _ in range(num_steps):
+        k1 = f(t, y)
+        k2 = f(t + h / 2, y + h / 2 * k1)
+        k3 = f(t + h / 2, y + h / 2 * k2)
+        k4 = f(t + h, y + h * k3)
+        y = y + (h / 6) * (k1 + 2 * k2 + 2 * k3 + k4)
+        t += h
+        stats.nfev += 4
+        stats.nsteps += 1
+        stats.naccepted += 1
+        ts.append(t)
+        ys.append(y.copy())
+
+    return SolverResult(
+        ts=np.array(ts),
+        ys=np.array(ys),
+        success=True,
+        message="completed fixed-step integration",
+        stats=stats,
+        method="rk4",
+    )
+
+
+def rk45_adaptive(
+    f: RhsFn,
+    t_span: tuple[float, float],
+    y0: Sequence[float],
+    options: SolverOptions = SolverOptions(),
+) -> SolverResult:
+    """Adaptive Dormand–Prince 5(4) with FSAL and PI-free standard control."""
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    direction = validate_tspan(t0, t1)
+    y = np.asarray(y0, dtype=float).copy()
+    n = y.size
+    stats = Stats()
+
+    f0 = f(t0, y)
+    stats.nfev += 1
+    if options.first_step is not None:
+        h = min(abs(options.first_step), options.max_step)
+    else:
+        h = initial_step(
+            f, t0, y, f0, direction, 4, options.rtol, options.atol,
+            options.max_step,
+        )
+        stats.nfev += 1
+    h = max(h, 1e-14)
+
+    ts = [t0]
+    ys = [y.copy()]
+    t = t0
+    k = np.empty((7, n), dtype=float)
+    k[0] = f0
+
+    MAX_FACTOR, MIN_FACTOR, SAFETY = 10.0, 0.2, 0.9
+
+    while (t1 - t) * direction > 0:
+        if stats.nsteps >= options.max_steps:
+            return SolverResult(
+                np.array(ts), np.array(ys), False,
+                f"maximum step count {options.max_steps} exceeded",
+                stats, "rk45",
+            )
+        h = min(h, abs(t1 - t), options.max_step)
+        if h < options.min_step or t + h * direction == t:
+            return SolverResult(
+                np.array(ts), np.array(ys), False,
+                "step size underflow", stats, "rk45",
+            )
+        stats.nsteps += 1
+
+        for i in range(1, 7):
+            dy = (k[:i].T @ DOPRI_A[i]) * (h * direction)
+            k[i] = f(t + DOPRI_C[i] * h * direction, y + dy)
+        stats.nfev += 6
+
+        y_new = y + h * direction * (k.T @ DOPRI_B5)
+        err = h * (k.T @ (DOPRI_B5 - DOPRI_B4))
+        norm = error_norm(err, y, y_new, options.rtol, options.atol)
+
+        if norm <= 1.0:
+            t = t + h * direction
+            y = y_new
+            k[0] = k[6]  # FSAL
+            stats.naccepted += 1
+            ts.append(t)
+            ys.append(y.copy())
+            factor = MAX_FACTOR if norm == 0 else min(
+                MAX_FACTOR, SAFETY * norm ** (-0.2)
+            )
+            h *= factor
+        else:
+            stats.nrejected += 1
+            h *= max(MIN_FACTOR, SAFETY * norm ** (-0.2))
+
+    return SolverResult(
+        np.array(ts), np.array(ys), True, "reached end of span",
+        stats, "rk45",
+    )

@@ -1,0 +1,117 @@
+"""Sparsity-exploiting finite-difference Jacobians.
+
+The dependency analysis already knows the Jacobian's *structure*: state j
+can only appear in row i if ``state_names[j]`` occurs in ``rhs[i]``.
+Columns whose row sets are disjoint can be perturbed together, so a
+Curtis–Powell–Reid coloring of the column conflict graph cuts the
+finite-difference cost from ``n`` RHS evaluations to one per color —
+the sparse-Jacobian capability production ODE codes of the ODEPACK era
+offered (banded ``MF`` options in LSODA), generalised to arbitrary
+structure.
+
+For the bearing models the state graph is dense inside the big SCC, so
+the win is modest there; for the power plant and for method-of-lines PDE
+discretisations (tridiagonal structure) the reduction is dramatic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..codegen.transform import OdeSystem
+from ..symbolic.expr import free_symbols
+from .jacobian import JacobianProvider
+
+__all__ = [
+    "jacobian_sparsity",
+    "color_columns",
+    "ColoredFiniteDifferenceJacobian",
+]
+
+_EPS = float(np.finfo(float).eps)
+
+
+def jacobian_sparsity(system: OdeSystem) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix: entry ``[i, j]`` is True when
+    ``rhs[i]`` structurally depends on state ``j``."""
+    n = system.num_states
+    index = {name: j for j, name in enumerate(system.state_names)}
+    pattern = np.zeros((n, n), dtype=bool)
+    for i, rhs in enumerate(system.rhs):
+        for sym in free_symbols(rhs):
+            j = index.get(sym.name)
+            if j is not None:
+                pattern[i, j] = True
+    return pattern
+
+
+def color_columns(pattern: np.ndarray) -> np.ndarray:
+    """Greedy CPR coloring: columns sharing any row get distinct colors.
+
+    Returns an integer color per column; columns are processed in order
+    of decreasing degree (number of nonzero rows), the classic heuristic.
+    """
+    if pattern.ndim != 2 or pattern.shape[0] != pattern.shape[1]:
+        raise ValueError("pattern must be a square boolean matrix")
+    n = pattern.shape[1]
+    colors = np.full(n, -1, dtype=int)
+    degree = pattern.sum(axis=0)
+    order = np.argsort(-degree, kind="stable")
+    # rows_covered[c] marks rows already "used" by columns of color c.
+    rows_covered: list[np.ndarray] = []
+    for j in order:
+        col_rows = pattern[:, j]
+        for c, covered in enumerate(rows_covered):
+            if not np.any(covered & col_rows):
+                colors[j] = c
+                covered |= col_rows
+                break
+        else:
+            colors[j] = len(rows_covered)
+            rows_covered.append(col_rows.copy())
+    return colors
+
+
+class ColoredFiniteDifferenceJacobian(JacobianProvider):
+    """Finite-difference Jacobian using one RHS evaluation per color."""
+
+    def __init__(
+        self,
+        f: Callable[[float, np.ndarray], np.ndarray],
+        system_or_pattern: OdeSystem | np.ndarray,
+    ) -> None:
+        self.f = f
+        if isinstance(system_or_pattern, OdeSystem):
+            self.pattern = jacobian_sparsity(system_or_pattern)
+        else:
+            self.pattern = np.asarray(system_or_pattern, dtype=bool)
+        self.n = self.pattern.shape[0]
+        self.colors = color_columns(self.pattern)
+        self.num_colors = int(self.colors.max()) + 1 if self.n else 0
+        self.nevals = 0
+
+    def __call__(
+        self, t: float, y: np.ndarray, f0: np.ndarray | None
+    ) -> np.ndarray:
+        if f0 is None:
+            f0 = self.f(t, y)
+        n = self.n
+        jac = np.zeros((n, n), dtype=float)
+        sqrt_eps = np.sqrt(_EPS)
+        for color in range(self.num_colors):
+            cols = np.flatnonzero(self.colors == color)
+            h = sqrt_eps * np.maximum(np.abs(y[cols]), 1.0)
+            yp = y.copy()
+            yp[cols] += h
+            df = self.f(t, yp) - f0
+            for k, j in enumerate(cols):
+                rows = self.pattern[:, j]
+                jac[rows, j] = df[rows] / h[k]
+        self.nevals += 1
+        return jac
+
+    @property
+    def rhs_evals_per_call(self) -> int:
+        return self.num_colors

@@ -1,0 +1,79 @@
+"""Symbolic expression engine.
+
+This subpackage is the stand-in for the Mathematica kernel that the original
+ObjectMath environment drove over MathLink: a small canonicalising term
+algebra with differentiation, substitution, simplification, expansion,
+common subexpression elimination, and multi-dialect printing.
+"""
+
+from .expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ExprLike,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+    Sym,
+    add,
+    as_expr,
+    count_nodes,
+    div,
+    free_symbols,
+    mul,
+    neg,
+    postorder,
+    pow_,
+    preorder,
+    sub,
+)
+from .builders import (
+    abs_,
+    acos,
+    asin,
+    atan,
+    atan2,
+    cos,
+    cosh,
+    exp,
+    if_then_else,
+    log,
+    max_,
+    min_,
+    sign,
+    sin,
+    sinh,
+    sqrt,
+    symbols,
+    tan,
+    tanh,
+)
+from .cse import CseResult, cse, cse_grouped
+from .diff import DiffError, diff
+from .nodecount import OpHistogram, depth, op_count, op_histogram
+from .printer import code, fullform, infix, srepr, tree
+from .simplify import expand, simplify
+from .subs import EvalError, evaluate, substitute
+from .vector import Vec, as_vec, cross, dot, norm, vec2, vec3, zeros
+
+__all__ = [
+    # expr
+    "Add", "BoolOp", "Call", "Const", "Der", "Expr", "ExprLike", "ITE",
+    "Mul", "Pow", "Rel", "Sym", "add", "as_expr", "count_nodes", "div",
+    "free_symbols", "mul", "neg", "postorder", "pow_", "preorder", "sub",
+    # builders
+    "abs_", "acos", "asin", "atan", "atan2", "cos", "cosh", "exp",
+    "if_then_else", "log", "max_", "min_", "sign", "sin", "sinh", "sqrt",
+    "symbols", "tan", "tanh",
+    # passes
+    "CseResult", "cse", "cse_grouped", "DiffError", "diff",
+    "OpHistogram", "depth", "op_count", "op_histogram",
+    "code", "fullform", "infix", "srepr", "tree",
+    "expand", "simplify", "EvalError", "evaluate", "substitute",
+    # vectors
+    "Vec", "as_vec", "cross", "dot", "norm", "vec2", "vec3", "zeros",
+]

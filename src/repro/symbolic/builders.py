@@ -1,0 +1,299 @@
+"""Elementary function registry and user-facing expression builders.
+
+The ObjectMath models exercised in the paper (hydro power plant, servo,
+rolling bearings) need only the standard elementary functions.  Each function
+registered here carries
+
+* a numeric implementation (used by :mod:`repro.symbolic.subs` evaluation and
+  by the generated Python code),
+* a derivative rule (used by :mod:`repro.symbolic.diff` when generating
+  analytic Jacobians for the implicit BDF solver),
+* printing names for the Fortran 90 and C back ends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from .expr import (
+    Call,
+    Const,
+    Expr,
+    ExprLike,
+    ITE,
+    ONE,
+    Rel,
+    Sym,
+    add,
+    as_expr,
+    div,
+    mul,
+    neg,
+    pow_,
+    sub,
+)
+
+
+__all__ = [
+    "FunctionSpec",
+    "FUNCTIONS",
+    "register_function",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "exp",
+    "log",
+    "sqrt",
+    "abs_",
+    "sign",
+    "min_",
+    "max_",
+    "if_then_else",
+    "symbols",
+]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Metadata for a named elementary function."""
+
+    name: str
+    arity: int
+    impl: Callable[..., float]
+    #: derivative rule: (args, arg_index) -> Expr for d f / d args[arg_index]
+    partial: Callable[[tuple[Expr, ...], int], Expr] | None
+    fortran_name: str | None = None
+    c_name: str | None = None
+
+    def numeric(self, *values: float) -> float:
+        return self.impl(*values)
+
+
+FUNCTIONS: dict[str, FunctionSpec] = {}
+
+
+def register_function(spec: FunctionSpec) -> FunctionSpec:
+    """Register ``spec`` in the global function table (name must be unique)."""
+    if spec.name in FUNCTIONS:
+        raise ValueError(f"function {spec.name!r} already registered")
+    FUNCTIONS[spec.name] = spec
+    return spec
+
+
+def _call(name: str, *args: ExprLike) -> Expr:
+    spec = FUNCTIONS[name]
+    exprs = tuple(as_expr(a) for a in args)
+    if len(exprs) != spec.arity:
+        raise TypeError(f"{name} expects {spec.arity} argument(s), got {len(exprs)}")
+    if all(isinstance(a, Const) for a in exprs):
+        try:
+            return Const(spec.impl(*(a.value for a in exprs)))  # type: ignore[union-attr]
+        except (ValueError, OverflowError, ZeroDivisionError):
+            pass  # keep symbolic (e.g. log of a negative constant)
+    return Call(name, exprs)
+
+
+# -- derivative rules --------------------------------------------------------
+
+
+def _d_sin(args: tuple[Expr, ...], i: int) -> Expr:
+    return _call("cos", args[0])
+
+
+def _d_cos(args: tuple[Expr, ...], i: int) -> Expr:
+    return neg(_call("sin", args[0]))
+
+
+def _d_tan(args: tuple[Expr, ...], i: int) -> Expr:
+    return add(1, pow_(_call("tan", args[0]), 2))
+
+
+def _d_asin(args: tuple[Expr, ...], i: int) -> Expr:
+    return pow_(sub(1, pow_(args[0], 2)), Const(-0.5))
+
+
+def _d_acos(args: tuple[Expr, ...], i: int) -> Expr:
+    return neg(pow_(sub(1, pow_(args[0], 2)), Const(-0.5)))
+
+
+def _d_atan(args: tuple[Expr, ...], i: int) -> Expr:
+    return div(1, add(1, pow_(args[0], 2)))
+
+
+def _d_atan2(args: tuple[Expr, ...], i: int) -> Expr:
+    y, x = args
+    denom = add(pow_(x, 2), pow_(y, 2))
+    if i == 0:
+        return div(x, denom)
+    return neg(div(y, denom))
+
+
+def _d_sinh(args: tuple[Expr, ...], i: int) -> Expr:
+    return _call("cosh", args[0])
+
+
+def _d_cosh(args: tuple[Expr, ...], i: int) -> Expr:
+    return _call("sinh", args[0])
+
+
+def _d_tanh(args: tuple[Expr, ...], i: int) -> Expr:
+    return sub(1, pow_(_call("tanh", args[0]), 2))
+
+
+def _d_exp(args: tuple[Expr, ...], i: int) -> Expr:
+    return _call("exp", args[0])
+
+
+def _d_log(args: tuple[Expr, ...], i: int) -> Expr:
+    return div(1, args[0])
+
+
+def _d_sqrt(args: tuple[Expr, ...], i: int) -> Expr:
+    return mul(Const(0.5), pow_(args[0], Const(-0.5)))
+
+
+def _d_abs(args: tuple[Expr, ...], i: int) -> Expr:
+    return _call("sign", args[0])
+
+
+def _d_sign(args: tuple[Expr, ...], i: int) -> Expr:
+    # Discontinuous at 0; zero a.e., which is the convention solvers expect.
+    return Const(0)
+
+
+def _d_min(args: tuple[Expr, ...], i: int) -> Expr:
+    a, b = args
+    picked = Rel("<=", a, b) if i == 0 else Rel("<", b, a)
+    return ITE(picked, ONE, Const(0))
+
+
+def _d_max(args: tuple[Expr, ...], i: int) -> Expr:
+    a, b = args
+    picked = Rel(">=", a, b) if i == 0 else Rel(">", b, a)
+    return ITE(picked, ONE, Const(0))
+
+
+def _sign_impl(value: float) -> float:
+    if value > 0:
+        return 1.0
+    if value < 0:
+        return -1.0
+    return 0.0
+
+
+for _spec in (
+    FunctionSpec("sin", 1, math.sin, _d_sin, "sin", "sin"),
+    FunctionSpec("cos", 1, math.cos, _d_cos, "cos", "cos"),
+    FunctionSpec("tan", 1, math.tan, _d_tan, "tan", "tan"),
+    FunctionSpec("asin", 1, math.asin, _d_asin, "asin", "asin"),
+    FunctionSpec("acos", 1, math.acos, _d_acos, "acos", "acos"),
+    FunctionSpec("atan", 1, math.atan, _d_atan, "atan", "atan"),
+    FunctionSpec("atan2", 2, math.atan2, _d_atan2, "atan2", "atan2"),
+    FunctionSpec("sinh", 1, math.sinh, _d_sinh, "sinh", "sinh"),
+    FunctionSpec("cosh", 1, math.cosh, _d_cosh, "cosh", "cosh"),
+    FunctionSpec("tanh", 1, math.tanh, _d_tanh, "tanh", "tanh"),
+    FunctionSpec("exp", 1, math.exp, _d_exp, "exp", "exp"),
+    FunctionSpec("log", 1, math.log, _d_log, "log", "log"),
+    FunctionSpec("sqrt", 1, math.sqrt, _d_sqrt, "sqrt", "sqrt"),
+    FunctionSpec("abs", 1, abs, _d_abs, "abs", "fabs"),
+    FunctionSpec("sign", 1, _sign_impl, _d_sign, "sign", "sign"),
+    FunctionSpec("min", 2, min, _d_min, "min", "fmin"),
+    FunctionSpec("max", 2, max, _d_max, "max", "fmax"),
+):
+    register_function(_spec)
+
+
+# -- user-facing builders ----------------------------------------------------
+
+
+def sin(x: ExprLike) -> Expr:
+    return _call("sin", x)
+
+
+def cos(x: ExprLike) -> Expr:
+    return _call("cos", x)
+
+
+def tan(x: ExprLike) -> Expr:
+    return _call("tan", x)
+
+
+def asin(x: ExprLike) -> Expr:
+    return _call("asin", x)
+
+
+def acos(x: ExprLike) -> Expr:
+    return _call("acos", x)
+
+
+def atan(x: ExprLike) -> Expr:
+    return _call("atan", x)
+
+
+def atan2(y: ExprLike, x: ExprLike) -> Expr:
+    return _call("atan2", y, x)
+
+
+def sinh(x: ExprLike) -> Expr:
+    return _call("sinh", x)
+
+
+def cosh(x: ExprLike) -> Expr:
+    return _call("cosh", x)
+
+
+def tanh(x: ExprLike) -> Expr:
+    return _call("tanh", x)
+
+
+def exp(x: ExprLike) -> Expr:
+    return _call("exp", x)
+
+
+def log(x: ExprLike) -> Expr:
+    return _call("log", x)
+
+
+def sqrt(x: ExprLike) -> Expr:
+    return _call("sqrt", x)
+
+
+def abs_(x: ExprLike) -> Expr:
+    return _call("abs", x)
+
+
+def sign(x: ExprLike) -> Expr:
+    return _call("sign", x)
+
+
+def min_(a: ExprLike, b: ExprLike) -> Expr:
+    return _call("min", a, b)
+
+
+def max_(a: ExprLike, b: ExprLike) -> Expr:
+    return _call("max", a, b)
+
+
+def if_then_else(cond: ExprLike, then: ExprLike, orelse: ExprLike) -> Expr:
+    """Conditional expression; folds when the condition is a constant."""
+    cond = as_expr(cond)
+    if isinstance(cond, Const):
+        return as_expr(then) if cond.value else as_expr(orelse)
+    return ITE(cond, then, orelse)
+
+
+def symbols(names: str) -> tuple[Sym, ...]:
+    """Create several symbols at once: ``x, y = symbols("x y")``."""
+    parts = names.replace(",", " ").split()
+    if not parts:
+        raise ValueError("no symbol names given")
+    return tuple(Sym(p) for p in parts)

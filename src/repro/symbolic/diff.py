@@ -1,0 +1,112 @@
+"""Symbolic differentiation.
+
+Used to generate analytic Jacobian functions for the implicit BDF solver
+(section 3.2.1 of the paper: "There is also a possibility for the user to
+provide the solver with an extra function that computes the Jacobian …  If
+the user can provide this function the computation time might be reduced
+drastically").  Here the *code generator* plays the role of that user.
+"""
+
+from __future__ import annotations
+
+from .builders import FUNCTIONS
+from .expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+    Sym,
+    ZERO,
+    add,
+    mul,
+    pow_,
+    sub,
+)
+
+__all__ = ["diff", "DiffError"]
+
+
+class DiffError(ValueError):
+    """Raised when an expression cannot be differentiated symbolically."""
+
+
+def diff(expr: Expr, wrt: Sym) -> Expr:
+    """Differentiate ``expr`` with respect to the symbol ``wrt``.
+
+    Relational conditions are treated as locally constant (their derivative
+    contribution is zero almost everywhere), which matches how ODE solvers
+    treat switching functions between events.
+    """
+    if not isinstance(wrt, Sym):
+        raise TypeError("can only differentiate with respect to a Sym")
+    cache: dict[Expr, Expr] = {}
+
+    def walk(node: Expr) -> Expr:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        result = _diff_node(node, wrt, walk)
+        cache[node] = result
+        return result
+
+    return walk(expr)
+
+
+def _diff_node(node: Expr, wrt: Sym, walk) -> Expr:
+    if isinstance(node, Const):
+        return ZERO
+    if isinstance(node, Sym):
+        return Const(1) if node == wrt else ZERO
+    if isinstance(node, Add):
+        return add(*(walk(a) for a in node.args))
+    if isinstance(node, Mul):
+        terms = []
+        args = node.args
+        for i, factor in enumerate(args):
+            dfac = walk(factor)
+            if dfac.is_zero:
+                continue
+            rest = args[:i] + args[i + 1 :]
+            terms.append(mul(dfac, *rest))
+        return add(*terms) if terms else ZERO
+    if isinstance(node, Pow):
+        base, exponent = node.base, node.exponent
+        dbase = walk(base)
+        dexp = walk(exponent)
+        if dexp.is_zero:
+            # d/dx base**c = c * base**(c-1) * dbase
+            if dbase.is_zero:
+                return ZERO
+            return mul(exponent, pow_(base, sub(exponent, 1)), dbase)
+        # General case: base**exp * (dexp*log(base) + exp*dbase/base)
+        from .builders import log
+
+        term1 = mul(dexp, log(base))
+        term2 = mul(exponent, dbase, pow_(base, Const(-1)))
+        return mul(node, add(term1, term2))
+    if isinstance(node, Call):
+        spec = FUNCTIONS.get(node.fn)
+        if spec is None or spec.partial is None:
+            raise DiffError(f"no derivative rule for function {node.fn!r}")
+        terms = []
+        for i, arg in enumerate(node.args):
+            darg = walk(arg)
+            if darg.is_zero:
+                continue
+            terms.append(mul(spec.partial(node.args, i), darg))
+        return add(*terms) if terms else ZERO
+    if isinstance(node, ITE):
+        # Piecewise-smooth: differentiate each branch; the switching surface
+        # itself has measure zero.
+        return ITE(node.cond, walk(node.then), walk(node.orelse))
+    if isinstance(node, (Rel, BoolOp)):
+        return ZERO
+    if isinstance(node, Der):
+        raise DiffError("cannot differentiate an unexpanded Der node")
+    raise DiffError(f"cannot differentiate node type {type(node).__name__}")

@@ -1,0 +1,106 @@
+"""Expression metrics: operation counts, depth, and flop-class histograms.
+
+These feed the code generator's cost model (section 3.2.3: "One method …
+is to predict the estimated execution time (or weight) of each task"): the
+static task weight is a weighted sum over the operation histogram.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Expr,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+    preorder,
+)
+
+
+__all__ = ["OpHistogram", "op_histogram", "op_count", "depth"]
+
+
+@dataclass(frozen=True)
+class OpHistogram:
+    """Counts of scalar operations by class.
+
+    ``adds`` counts binary additions implied by n-ary sums (n-1 each),
+    likewise ``muls``; ``pows`` counts general powers, ``calls`` elementary
+    function applications, ``cmps`` relational tests, ``branches``
+    conditional selections.
+    """
+
+    adds: int = 0
+    muls: int = 0
+    pows: int = 0
+    divs: int = 0
+    calls: int = 0
+    cmps: int = 0
+    branches: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.adds
+            + self.muls
+            + self.pows
+            + self.divs
+            + self.calls
+            + self.cmps
+            + self.branches
+        )
+
+    def __add__(self, other: "OpHistogram") -> "OpHistogram":
+        return OpHistogram(
+            self.adds + other.adds,
+            self.muls + other.muls,
+            self.pows + other.pows,
+            self.divs + other.divs,
+            self.calls + other.calls,
+            self.cmps + other.cmps,
+            self.branches + other.branches,
+        )
+
+
+def op_histogram(expr: Expr) -> OpHistogram:
+    """Operation histogram of ``expr`` (treating the tree as a tree: shared
+    subtrees, if any survive outside CSE, are counted each time)."""
+    adds = muls = pows = divs = calls = cmps = branches = 0
+    for node in preorder(expr):
+        if isinstance(node, Add):
+            adds += len(node.args) - 1
+        elif isinstance(node, Mul):
+            muls += len(node.args) - 1
+        elif isinstance(node, Pow):
+            if isinstance(node.exponent, Const) and node.exponent.value == -1:
+                divs += 1
+            else:
+                pows += 1
+        elif isinstance(node, Call):
+            calls += 1
+        elif isinstance(node, Rel):
+            cmps += 1
+        elif isinstance(node, BoolOp):
+            cmps += max(len(node.args) - 1, 1)
+        elif isinstance(node, ITE):
+            branches += 1
+    return OpHistogram(adds, muls, pows, divs, calls, cmps, branches)
+
+
+def op_count(expr: Expr) -> int:
+    """Total scalar operation count of ``expr``."""
+    return op_histogram(expr).total
+
+
+def depth(expr: Expr) -> int:
+    """Height of the expression tree (a leaf has depth 1)."""
+    if not expr.args:
+        return 1
+    return 1 + max(depth(a) for a in expr.args)

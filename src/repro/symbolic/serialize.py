@@ -1,0 +1,143 @@
+"""JSON serialisation of expressions and ODE systems.
+
+The original system shipped expressions between the compiler and the
+Mathematica kernel over MathLink (section 3.1); this module provides the
+reproduction's equivalent interchange format, so compiled systems can be
+saved, diffed, and reloaded without re-running the front half of the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+    Sym,
+    add,
+    mul,
+    pow_,
+)
+
+__all__ = [
+    "expr_to_obj",
+    "expr_from_obj",
+    "dumps_expr",
+    "loads_expr",
+    "system_to_obj",
+    "system_from_obj",
+]
+
+
+def expr_to_obj(expr: Expr) -> Any:
+    """Convert an expression into JSON-compatible nested structures."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        return {"sym": expr.name}
+    if isinstance(expr, Add):
+        return {"add": [expr_to_obj(a) for a in expr.args]}
+    if isinstance(expr, Mul):
+        return {"mul": [expr_to_obj(a) for a in expr.args]}
+    if isinstance(expr, Pow):
+        return {"pow": [expr_to_obj(expr.base), expr_to_obj(expr.exponent)]}
+    if isinstance(expr, Call):
+        return {"call": expr.fn, "args": [expr_to_obj(a) for a in expr.args]}
+    if isinstance(expr, Der):
+        return {"der": expr_to_obj(expr.expr)}
+    if isinstance(expr, Rel):
+        return {
+            "rel": expr.op,
+            "args": [expr_to_obj(expr.lhs), expr_to_obj(expr.rhs)],
+        }
+    if isinstance(expr, BoolOp):
+        return {"bool": expr.op, "args": [expr_to_obj(a) for a in expr.args]}
+    if isinstance(expr, ITE):
+        return {
+            "ite": [
+                expr_to_obj(expr.cond),
+                expr_to_obj(expr.then),
+                expr_to_obj(expr.orelse),
+            ]
+        }
+    raise TypeError(f"cannot serialise node type {type(expr).__name__}")
+
+
+def expr_from_obj(obj: Any) -> Expr:
+    """Inverse of :func:`expr_to_obj` (re-canonicalising on the way in)."""
+    if isinstance(obj, bool):
+        raise ValueError("booleans are not expression literals")
+    if isinstance(obj, (int, float)):
+        return Const(obj)
+    if not isinstance(obj, dict):
+        raise ValueError(f"malformed expression object: {obj!r}")
+    if "sym" in obj:
+        return Sym(obj["sym"])
+    if "add" in obj:
+        return add(*(expr_from_obj(a) for a in obj["add"]))
+    if "mul" in obj:
+        return mul(*(expr_from_obj(a) for a in obj["mul"]))
+    if "pow" in obj:
+        base, exponent = obj["pow"]
+        return pow_(expr_from_obj(base), expr_from_obj(exponent))
+    if "call" in obj:
+        return Call(obj["call"], [expr_from_obj(a) for a in obj["args"]])
+    if "der" in obj:
+        return Der(expr_from_obj(obj["der"]))
+    if "rel" in obj:
+        lhs, rhs = obj["args"]
+        return Rel(obj["rel"], expr_from_obj(lhs), expr_from_obj(rhs))
+    if "bool" in obj:
+        return BoolOp(obj["bool"], [expr_from_obj(a) for a in obj["args"]])
+    if "ite" in obj:
+        cond, then, orelse = obj["ite"]
+        return ITE(
+            expr_from_obj(cond), expr_from_obj(then), expr_from_obj(orelse)
+        )
+    raise ValueError(f"malformed expression object: {obj!r}")
+
+
+def dumps_expr(expr: Expr) -> str:
+    return json.dumps(expr_to_obj(expr))
+
+
+def loads_expr(text: str) -> Expr:
+    return expr_from_obj(json.loads(text))
+
+
+def system_to_obj(system) -> dict:
+    """Serialise an :class:`~repro.codegen.transform.OdeSystem`."""
+    return {
+        "name": system.name,
+        "free_var": system.free_var,
+        "state_names": list(system.state_names),
+        "param_names": list(system.param_names),
+        "rhs": [expr_to_obj(r) for r in system.rhs],
+        "start_values": list(system.start_values),
+        "param_values": list(system.param_values),
+    }
+
+
+def system_from_obj(obj: dict):
+    """Inverse of :func:`system_to_obj`."""
+    from ..codegen.transform import OdeSystem
+
+    return OdeSystem(
+        name=obj["name"],
+        free_var=obj["free_var"],
+        state_names=tuple(obj["state_names"]),
+        param_names=tuple(obj["param_names"]),
+        rhs=tuple(expr_from_obj(r) for r in obj["rhs"]),
+        start_values=tuple(float(v) for v in obj["start_values"]),
+        param_values=tuple(float(v) for v in obj["param_values"]),
+    )

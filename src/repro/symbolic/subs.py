@@ -1,0 +1,143 @@
+"""Substitution and numeric evaluation of expressions.
+
+Evaluation here is the *reference* semantics: the code generator's output is
+tested against :func:`evaluate` on randomised inputs, which is what lets the
+property-based tests assert that simplification, CSE and code generation are
+all meaning-preserving.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from .builders import FUNCTIONS
+from .expr import (
+    Add,
+    BoolOp,
+    Call,
+    Const,
+    Der,
+    Expr,
+    ExprLike,
+    ITE,
+    Mul,
+    Pow,
+    Rel,
+    Sym,
+    as_expr,
+)
+
+__all__ = ["substitute", "evaluate", "EvalError"]
+
+
+class EvalError(ValueError):
+    """Raised when numeric evaluation encounters an unbound symbol or a
+    domain error that cannot be represented as a float."""
+
+
+def substitute(expr: Expr, mapping: Mapping[Expr, ExprLike]) -> Expr:
+    """Replace occurrences of keys of ``mapping`` in ``expr`` (bottom-up).
+
+    Keys may be any expression (most commonly :class:`Sym`); replacement is
+    applied once (no fixpoint iteration), matching Mathematica's ``ReplaceAll``
+    which is what the original system used for model transformations.
+    """
+    table: dict[Expr, Expr] = {as_expr(k): as_expr(v) for k, v in mapping.items()}
+    cache: dict[Expr, Expr] = {}
+
+    def walk(node: Expr) -> Expr:
+        hit = table.get(node)
+        if hit is not None:
+            return hit
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if not node.args:
+            cache[node] = node
+            return node
+        new_args = tuple(walk(a) for a in node.args)
+        result = node if all(n is o for n, o in zip(new_args, node.args)) else node.with_args(new_args)
+        cache[node] = result
+        return result
+
+    return walk(expr)
+
+
+_REL_FUNCS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def evaluate(expr: Expr, env: Mapping[str, float]) -> float:
+    """Numerically evaluate ``expr`` with symbol values taken from ``env``.
+
+    Relational and boolean nodes evaluate to 1.0 / 0.0.  ``Der`` nodes cannot
+    be evaluated (they are eliminated by the expression transformer before
+    any numeric work happens) and raise :class:`EvalError`.
+    """
+    cache: dict[Expr, float] = {}
+
+    def walk(node: Expr) -> float:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        result = _eval_node(node, env, walk)
+        cache[node] = result
+        return result
+
+    return walk(expr)
+
+
+def _eval_node(node: Expr, env: Mapping[str, float], walk) -> float:
+    if isinstance(node, Const):
+        return float(node.value)
+    if isinstance(node, Sym):
+        try:
+            return float(env[node.name])
+        except KeyError:
+            raise EvalError(f"unbound symbol {node.name!r}") from None
+    if isinstance(node, Add):
+        return math.fsum(walk(a) for a in node.args)
+    if isinstance(node, Mul):
+        out = 1.0
+        for a in node.args:
+            out *= walk(a)
+        return out
+    if isinstance(node, Pow):
+        base = walk(node.base)
+        exponent = walk(node.exponent)
+        try:
+            value = base**exponent
+        except (OverflowError, ZeroDivisionError, ValueError) as exc:
+            raise EvalError(f"power domain error: {base}**{exponent}") from exc
+        if isinstance(value, complex):
+            raise EvalError(f"complex result: {base}**{exponent}")
+        return float(value)
+    if isinstance(node, Call):
+        spec = FUNCTIONS.get(node.fn)
+        if spec is None:
+            raise EvalError(f"unknown function {node.fn!r}")
+        values = [walk(a) for a in node.args]
+        try:
+            return float(spec.impl(*values))
+        except (ValueError, OverflowError, ZeroDivisionError) as exc:
+            raise EvalError(f"domain error in {node.fn}({values})") from exc
+    if isinstance(node, Rel):
+        return 1.0 if _REL_FUNCS[node.op](walk(node.lhs), walk(node.rhs)) else 0.0
+    if isinstance(node, BoolOp):
+        if node.op == "not":
+            return 0.0 if walk(node.args[0]) else 1.0
+        if node.op == "and":
+            return 1.0 if all(walk(a) for a in node.args) else 0.0
+        return 1.0 if any(walk(a) for a in node.args) else 0.0
+    if isinstance(node, ITE):
+        return walk(node.then) if walk(node.cond) else walk(node.orelse)
+    if isinstance(node, Der):
+        raise EvalError("cannot numerically evaluate a derivative node")
+    raise EvalError(f"cannot evaluate node type {type(node).__name__}")

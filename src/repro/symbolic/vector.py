@@ -1,0 +1,148 @@
+"""Small fixed-size symbolic vectors.
+
+The bearing models operate on physical 2- and 3-vectors ("Most of the arrays
+used in the application are of size 1×3 or 3×3, since we are dealing with
+physical three dimensional objects" — section 3.2).  Vector equations such as
+``F[W[i]][BodyIr] + F[W[i]][BodyEr] + F[W[i]][Ext] == {0, 0, 0}`` (Figure 1)
+are expanded component-wise during model flattening; :class:`Vec` is the
+container that carries the components until then.
+
+``Vec`` is deliberately *not* an :class:`~repro.symbolic.expr.Expr` — scalar
+and vector worlds stay separated by type, and the flattener is the only
+place where a vector equation turns into scalar equations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+from .builders import sqrt
+from .expr import Expr, ExprLike, as_expr, add, mul, sub
+
+__all__ = ["Vec", "VecLike", "dot", "cross", "norm", "vec2", "vec3", "zeros"]
+
+VecLike = Union["Vec", Sequence[ExprLike]]
+
+
+class Vec:
+    """An immutable fixed-length vector of scalar expressions."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[ExprLike]) -> None:
+        comps = tuple(as_expr(c) for c in components)
+        if len(comps) < 1:
+            raise ValueError("Vec needs at least one component")
+        object.__setattr__(self, "components", comps)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Vec is immutable")
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self) -> Iterator[Expr]:
+        return iter(self.components)
+
+    def __getitem__(self, index: int) -> Expr:
+        return self.components[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vec):
+            return NotImplemented
+        return self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash(("Vec", self.components))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(c) for c in self.components)
+        return "{" + inner + "}"
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def _check_len(self, other: "Vec") -> None:
+        if len(self) != len(other):
+            raise ValueError(
+                f"vector length mismatch: {len(self)} vs {len(other)}"
+            )
+
+    def __add__(self, other: VecLike) -> "Vec":
+        other = as_vec(other)
+        self._check_len(other)
+        return Vec(add(a, b) for a, b in zip(self, other))
+
+    def __sub__(self, other: VecLike) -> "Vec":
+        other = as_vec(other)
+        self._check_len(other)
+        return Vec(sub(a, b) for a, b in zip(self, other))
+
+    def __mul__(self, scalar: ExprLike) -> "Vec":
+        return Vec(mul(c, as_expr(scalar)) for c in self)
+
+    def __rmul__(self, scalar: ExprLike) -> "Vec":
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar: ExprLike) -> "Vec":
+        from .expr import div
+
+        return Vec(div(c, as_expr(scalar)) for c in self)
+
+    def __neg__(self) -> "Vec":
+        return Vec(-c for c in self)
+
+
+def as_vec(value: VecLike) -> Vec:
+    """Coerce a sequence of scalars into a :class:`Vec`."""
+    if isinstance(value, Vec):
+        return value
+    return Vec(value)
+
+
+def vec2(x: ExprLike, y: ExprLike) -> Vec:
+    return Vec((x, y))
+
+
+def vec3(x: ExprLike, y: ExprLike, z: ExprLike) -> Vec:
+    return Vec((x, y, z))
+
+
+def zeros(n: int) -> Vec:
+    return Vec([0] * n)
+
+
+def dot(a: VecLike, b: VecLike) -> Expr:
+    """Inner product of two equal-length vectors."""
+    a, b = as_vec(a), as_vec(b)
+    a._check_len(b)
+    return add(*(mul(x, y) for x, y in zip(a, b)))
+
+
+def cross(a: VecLike, b: VecLike) -> Union[Vec, Expr]:
+    """Cross product.
+
+    For 3-vectors this is the usual vector cross product; for 2-vectors it
+    returns the scalar ``a.x*b.y - a.y*b.x`` (the out-of-plane component),
+    which is what the planar bearing dynamics need for moment balances.
+    """
+    a, b = as_vec(a), as_vec(b)
+    a._check_len(b)
+    if len(a) == 2:
+        return sub(mul(a[0], b[1]), mul(a[1], b[0]))
+    if len(a) == 3:
+        return Vec(
+            (
+                sub(mul(a[1], b[2]), mul(a[2], b[1])),
+                sub(mul(a[2], b[0]), mul(a[0], b[2])),
+                sub(mul(a[0], b[1]), mul(a[1], b[0])),
+            )
+        )
+    raise ValueError("cross product defined only for 2- and 3-vectors")
+
+
+def norm(a: VecLike) -> Expr:
+    """Euclidean norm."""
+    a = as_vec(a)
+    return sqrt(dot(a, a))

@@ -1,0 +1,114 @@
+"""Simulation-result output: CSV export and terminal plots.
+
+Figure 7 of the paper ends the pipeline at a "Visualization Tool" fed by
+the simulation result.  This module is the reproduction's dependency-free
+equivalent: trajectories export to CSV (for any external plotting tool)
+and render as ASCII line plots for terminal workflows (used by
+``python -m repro simulate --plot``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from .solver.common import SolverResult
+
+__all__ = ["save_csv", "ascii_plot", "plot_result"]
+
+
+def save_csv(
+    result: SolverResult,
+    names: Sequence[str],
+    target: str | Path | TextIO,
+) -> None:
+    """Write a solution as CSV: one ``t`` column plus one per state."""
+    if len(names) != result.ys.shape[1]:
+        raise ValueError(
+            f"{len(names)} names for {result.ys.shape[1]} states"
+        )
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w", newline="") if own else target  # type: ignore[arg-type]
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["t", *names])
+        for t, row in zip(result.ts, result.ys):
+            writer.writerow([repr(float(t)), *(repr(float(v)) for v in row)])
+    finally:
+        if own:
+            fh.close()
+
+
+def ascii_plot(
+    ts: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Render one trajectory as an ASCII line plot."""
+    ts_arr = np.asarray(ts, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if ts_arr.size != ys_arr.size:
+        raise ValueError("ts and ys must have equal length")
+    if ts_arr.size < 2:
+        raise ValueError("need at least two samples")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small")
+
+    y_min = float(np.min(ys_arr))
+    y_max = float(np.max(ys_arr))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    t0, t1 = float(ts_arr[0]), float(ts_arr[-1])
+    span = t1 - t0 or 1.0
+
+    # Sample the trajectory at each column (nearest data point).
+    for col in range(width):
+        tq = t0 + span * col / (width - 1)
+        idx = int(np.argmin(np.abs(ts_arr - tq)))
+        frac = (ys_arr[idx] - y_min) / (y_max - y_min)
+        row = height - 1 - int(round(frac * (height - 1)))
+        grid[row][col] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{y_max: .4g}".rjust(10) + " ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min: .4g}".rjust(10) + " ┤" + "".join(grid[-1]))
+    axis = " " * 10 + " └" + "─" * width
+    lines.append(axis)
+    t_lab = f"{t0:.4g}"
+    t_lab_end = f"{t1:.4g}"
+    pad = width - len(t_lab) - len(t_lab_end)
+    lines.append(" " * 12 + t_lab + " " * max(pad, 1) + t_lab_end)
+    return "\n".join(lines)
+
+
+def plot_result(
+    result: SolverResult,
+    names: Sequence[str],
+    which: Sequence[str],
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """ASCII plots for the selected state names, stacked vertically."""
+    name_list = list(names)
+    blocks = []
+    for name in which:
+        if name not in name_list:
+            raise KeyError(f"unknown state {name!r}")
+        k = name_list.index(name)
+        blocks.append(
+            ascii_plot(result.ts, result.ys[:, k], width, height,
+                       label=name)
+        )
+    return "\n\n".join(blocks)

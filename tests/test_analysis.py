@@ -1,0 +1,274 @@
+"""Dependency-analysis tests: digraph, Tarjan SCC, matching, partitioning,
+pipeline simulation — with hypothesis cross-checks against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DiGraph,
+    MatchingError,
+    build_dependency_graph,
+    condensation,
+    maximum_matching,
+    partition,
+    simulate_pipeline,
+    strongly_connected_components,
+)
+from repro.model import Model, ModelClass
+from repro.symbolic import Sym
+
+
+class TestDiGraph:
+    def test_basic(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_node("d")
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+        assert g.successors("a") == ("b",)
+        assert g.predecessors("c") == ("b",)
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+        assert "d" in g
+
+    def test_duplicate_edges_collapse(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.num_edges == 1
+
+    def test_subgraph(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        sub = g.subgraph({"a", "b"})
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("b", "c")
+
+    def test_reversed(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        rev = g.reversed()
+        assert rev.has_edge("b", "a")
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        g = DiGraph()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a")]:
+            g.add_edge(u, v)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert set(comps[0]) == {"a", "b", "c"}
+
+    def test_dag_all_singletons(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        comps = strongly_connected_components(g)
+        assert len(comps) == 3
+        # Reverse topological: sinks first.
+        assert comps[0] == ("c",)
+        assert comps[-1] == ("a",)
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge("a", "a")
+        g.add_node("b")
+        comps = strongly_connected_components(g)
+        assert len(comps) == 2
+
+    def test_condensation(self):
+        g = DiGraph()
+        for u, v in [("a", "b"), ("b", "a"), ("b", "c")]:
+            g.add_edge(u, v)
+        comps = strongly_connected_components(g)
+        cond, member = condensation(g, comps)
+        assert cond.num_nodes == 2
+        assert member["a"] == member["b"]
+        assert member["a"] != member["c"]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(1, 25),
+        st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)),
+                 max_size=80),
+    )
+    def test_matches_networkx(self, n, edges):
+        g = DiGraph()
+        ng = nx.DiGraph()
+        for i in range(n):
+            g.add_node(i)
+            ng.add_node(i)
+        for u, v in edges:
+            if u < n and v < n:
+                g.add_edge(u, v)
+                ng.add_edge(u, v)
+        mine = {frozenset(c) for c in strongly_connected_components(g)}
+        ref = {frozenset(c) for c in nx.strongly_connected_components(ng)}
+        assert mine == ref
+
+    def test_deep_graph_no_recursion_limit(self):
+        g = DiGraph()
+        n = 50_000
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        comps = strongly_connected_components(g)
+        assert len(comps) == n
+
+
+class TestMatching:
+    def test_perfect(self):
+        match = maximum_matching({"e1": ["x"], "e2": ["x", "y"]})
+        assert len(match) == 2
+        assert match["e1"] == "x"
+
+    def test_deficient(self):
+        match = maximum_matching({"e1": ["x"], "e2": ["x"]})
+        assert len(match) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 10),
+            st.lists(st.integers(100, 110), max_size=5),
+            max_size=10,
+        )
+    )
+    def test_cardinality_matches_networkx(self, adjacency):
+        g = nx.Graph()
+        left = list(adjacency)
+        g.add_nodes_from(left, bipartite=0)
+        for l, rs in adjacency.items():
+            for r in rs:
+                g.add_edge(l, r)
+        ref = nx.bipartite.maximum_matching(g, top_nodes=left)
+        ref_size = sum(1 for k in ref if k in adjacency)
+        mine = maximum_matching(adjacency)
+        assert len(mine) == ref_size
+        # Validity: matched pairs are edges, rights unique.
+        rights = list(mine.values())
+        assert len(set(rights)) == len(rights)
+        for l, r in mine.items():
+            assert r in adjacency[l]
+
+
+class TestDependencyGraph:
+    def test_oscillator_graph(self, oscillator_model):
+        var_g, eq_g, assignment = build_dependency_graph(
+            oscillator_model.flatten()
+        )
+        assert var_g.has_edge("A.v", "A.x")  # x' = v: v is a prerequisite
+        assert var_g.has_edge("A.x", "A.v")
+        assert not var_g.has_edge("A.x", "B.v")
+        assert assignment.defining["A.x"] == "A.Kin"
+
+    def test_implicit_equations_matched(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        a = cls.algebraic("a")
+        cls.ode(x, a)
+        cls.equation(a + x, 2 * a - 1)  # implicit in a
+        model = Model("m")
+        model.instance("I", cls)
+        var_g, _eq_g, assignment = build_dependency_graph(model.flatten())
+        assert assignment.defining["I.a"].startswith("I.")
+
+    def test_structurally_singular_detected(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        a = cls.algebraic("a")
+        b = cls.algebraic("b")
+        cls.ode(x, a + b)
+        # Both implicit equations constrain only `a`; nothing determines
+        # `b` -> no perfect matching (structural singularity).
+        cls.equation(a * a, 1)
+        cls.equation(a * a * a, 2)
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten(check=False)
+        with pytest.raises(MatchingError):
+            build_dependency_graph(flat)
+
+
+class TestPartition:
+    def test_two_independent_oscillators(self, oscillator_model):
+        part = partition(oscillator_model.flatten())
+        assert part.num_subsystems == 2
+        assert part.num_levels == 1
+        sizes = sorted(len(s.variables) for s in part.subsystems)
+        assert sizes == [2, 2]
+
+    def test_chain_levels(self, servo_model):
+        part = partition(servo_model.flatten())
+        assert part.num_levels >= 3
+        largest = part.largest()
+        assert {"Servo.IPart", "Servo.omega", "Servo.theta"} <= set(
+            largest.variables
+        )
+
+    def test_topological_property(self, powerplant_model):
+        part = partition(powerplant_model.flatten())
+        # Every condensation edge goes from a lower to a higher level.
+        for sub in part.subsystems:
+            for succ in sub.successors:
+                assert part.subsystems[succ].level > sub.level
+
+    def test_membership_consistent(self, powerplant_model):
+        part = partition(powerplant_model.flatten())
+        for sub in part.subsystems:
+            for var in sub.variables:
+                assert part.membership[var] == sub.index
+
+    def test_summary_text(self, oscillator_model):
+        text = partition(oscillator_model.flatten()).summary()
+        assert "strongly connected" in text
+
+
+class TestPipeline:
+    def _chain(self):
+        cls = ModelClass("Stage")
+        x = cls.state("x", start=1.0)
+        cls.ode(x, -x)
+        model = Model("chain")
+        a = model.instance("A", cls)
+        drv = ModelClass("Driven")
+        drv.state("y")
+        b = model.instance("B", drv)
+        model.ode(b.sym("y"), a.sym("x") - b.sym("y"))
+        return partition(model.flatten())
+
+    def test_steady_state_speedup(self):
+        part = self._chain()
+        report = simulate_pipeline(part, [1.0, 1.0], num_steps=1000)
+        # Two equal stages pipeline to ~2x for long runs.
+        assert report.speedup == pytest.approx(2.0, rel=0.01)
+
+    def test_bottleneck_limits(self):
+        part = self._chain()
+        report = simulate_pipeline(part, [3.0, 1.0], num_steps=1000)
+        assert report.speedup == pytest.approx(4.0 / 3.0, rel=0.01)
+
+    def test_latency_reduces_speedup(self):
+        part = self._chain()
+        fast = simulate_pipeline(part, [1.0, 1.0], 100, comm_latency=0.0)
+        slow = simulate_pipeline(part, [1.0, 1.0], 100, comm_latency=0.5)
+        assert slow.pipelined_time > fast.pipelined_time
+
+    def test_single_step(self):
+        part = self._chain()
+        report = simulate_pipeline(part, [1.0, 1.0], num_steps=1)
+        assert report.pipelined_time == pytest.approx(2.0)
+
+    def test_validation(self):
+        part = self._chain()
+        with pytest.raises(ValueError):
+            simulate_pipeline(part, [1.0], num_steps=10)
+        with pytest.raises(ValueError):
+            simulate_pipeline(part, [1.0, 1.0], num_steps=0)
+        with pytest.raises(ValueError):
+            simulate_pipeline(part, [1.0, -1.0], num_steps=10)

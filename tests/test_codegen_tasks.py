@@ -1,0 +1,306 @@
+"""Cost-model and task-partitioning tests."""
+
+import pytest
+
+from repro.codegen import (
+    CostModel,
+    OdeSystem,
+    make_ode_system,
+    partition_tasks,
+)
+from repro.symbolic import Const, ITE, Rel, Sym, add, evaluate, sin, symbols
+
+x, y, z = symbols("x y z")
+
+
+class TestCostModel:
+    def test_add_counted(self):
+        cm = CostModel(add=1.0, mul=0.0)
+        assert cm.expr_cost(x + y + z) == pytest.approx(2.0)
+
+    def test_small_integer_power_as_multiplies(self):
+        cm = CostModel(mul=1.0, pow=100.0)
+        assert cm.expr_cost(x**3) == pytest.approx(2.0)
+
+    def test_general_power_charged(self):
+        cm = CostModel(mul=0.0, pow=7.0)
+        assert cm.expr_cost(x ** Const(2.5)) == pytest.approx(7.0)
+
+    def test_division(self):
+        cm = CostModel(mul=0.0, div=5.0)
+        assert cm.expr_cost(x / y) == pytest.approx(5.0)
+
+    def test_call(self):
+        cm = CostModel(call=3.0)
+        assert cm.expr_cost(sin(x)) == pytest.approx(3.0)
+
+    def test_conditional_mean_of_branches(self):
+        cm = CostModel(add=1.0, cmp=0.0, branch=0.0, mul=0.0)
+        e = ITE(Rel("<", x, Const(0)), x + y + z, x)  # 2 adds vs 0 adds
+        assert cm.expr_cost(e) == pytest.approx(1.0)
+
+    def test_shared_subtrees_counted_once(self):
+        cm = CostModel(add=1.0, mul=1.0)
+        shared = x + y
+        e = shared * shared
+        # DAG-aware: the shared Add costs once, plus the pow-as-multiply.
+        assert cm.expr_cost(e) == pytest.approx(2.0)
+
+    def test_assignments_cost_includes_overhead(self):
+        cm = CostModel(add=1.0, task_overhead=10.0)
+        assert cm.assignments_cost([x + y]) == pytest.approx(11.0)
+
+
+def _system(rhs_list, names=None):
+    names = names or tuple(f"s{i}" for i in range(len(rhs_list)))
+    return OdeSystem(
+        name="test", free_var="t", state_names=tuple(names),
+        param_names=(), rhs=tuple(rhs_list),
+        start_values=tuple(0.0 for _ in rhs_list), param_values=(),
+    )
+
+
+def _heavy(n_terms):
+    """A sum of n_terms moderately expensive terms over the state syms."""
+    return add(*(sin(x * (i + 1)) * sin(y + i) for i in range(n_terms)))
+
+
+class TestPartitionTasks:
+    def test_each_equation_when_grouping_disabled(self):
+        sys_ = _system([x + 1, y + 1, x * y], names=("x", "y", "z"))
+        plan = partition_tasks(sys_, group_threshold=0.0,
+                               split_threshold=float("inf"))
+        assert plan.num_tasks == 3
+        assert plan.graph.independent()
+
+    def test_small_assignments_grouped(self):
+        sys_ = _system([x + 1, y + 1, x * y], names=("x", "y", "z"))
+        plan = partition_tasks(sys_)  # default thresholds group tiny work
+        assert plan.num_tasks == 1
+        assert len(plan.bodies[0].assignments) == 3
+
+    def test_large_sum_split_with_combine(self):
+        cm = CostModel()
+        sys_ = _system([_heavy(40)], names=("x",))
+        # choose split threshold well below the expression cost
+        cost = cm.expr_cost(sys_.rhs[0])
+        plan = partition_tasks(sys_, split_threshold=cost / 4)
+        assert plan.num_tasks >= 3
+        combine = [b for b in plan.bodies
+                   if any(not a.is_partial for a in b.assignments)
+                   and plan.graph[b.task_id].depends_on]
+        assert len(combine) == 1
+        assert len(plan.partial_slots) >= 2
+
+    def test_split_semantics_preserved(self):
+        sys_ = _system([_heavy(20)], names=("x",))
+        cm = CostModel()
+        cost = cm.expr_cost(sys_.rhs[0])
+        plan = partition_tasks(sys_, split_threshold=cost / 3)
+        env = {"x": 0.7, "y": -0.3}
+        slots = {}
+        # Evaluate partial tasks then the combine task.
+        ordered = sorted(
+            plan.bodies, key=lambda b: bool(plan.graph[b.task_id].depends_on)
+        )
+        for body in ordered:
+            for assignment in body.assignments:
+                value = evaluate(assignment.expr, {**env, **slots})
+                slots[assignment.target] = value
+        final = slots["der:x"]
+        assert final == pytest.approx(evaluate(sys_.rhs[0], env))
+
+    def test_inputs_outputs_recorded(self):
+        sys_ = _system([x * y + 1, x + 1], names=("x", "y"))
+        plan = partition_tasks(sys_, group_threshold=0.0,
+                               split_threshold=float("inf"))
+        by_output = {t.outputs[0]: t for t in plan.graph}
+        assert set(by_output["der:x"].inputs) == {"x", "y"}
+        assert set(by_output["der:y"].inputs) == {"x"}
+
+    def test_inputs_exclude_parameters(self):
+        sys_ = OdeSystem(
+            name="p", free_var="t", state_names=("x",),
+            param_names=("k",), rhs=(x * Sym("k"),),
+            start_values=(0.0,), param_values=(2.0,),
+        )
+        plan = partition_tasks(sys_, group_threshold=0.0)
+        # Parameters travel once at start-up, not in per-round messages.
+        assert set(plan.graph[0].inputs) == {"x"}
+
+    def test_weights_positive_and_ordered(self):
+        sys_ = _system([_heavy(10), x + 1], names=("x", "y"))
+        plan = partition_tasks(sys_, group_threshold=0.0,
+                               split_threshold=float("inf"))
+        weights = {t.name: t.weight for t in plan.graph}
+        assert weights["der:x"] > weights["der:y"] > 0
+
+    def test_threshold_validation(self):
+        sys_ = _system([x], names=("x",))
+        with pytest.raises(ValueError):
+            partition_tasks(sys_, group_threshold=-1.0)
+        with pytest.raises(ValueError):
+            partition_tasks(sys_, split_threshold=0.0)
+
+    def test_bearing_plan_shape(self, compiled_bearing):
+        plan = compiled_bearing.program.plan
+        # One task per roller force block at least; tasks cover all states.
+        outputs = [t for b in plan.bodies for t in b.outputs()]
+        finals = [o for o in outputs if o.startswith("der:")]
+        assert len(finals) == compiled_bearing.system.num_states
+        assert len(set(outputs)) == len(outputs)
+
+
+class TestRecursiveSplitting:
+    def test_scaled_sum_distributed(self):
+        """The post-inlining shape `(t1 + ... + tk) / m` (a Mul wrapping
+        one big Add) must split across the Add, distributing the cheap
+        factor (the paper's force-balance-over-mass shape)."""
+        from repro.symbolic import Sym, sin, add, div
+
+        m = Sym("m")
+        terms = [sin(x * (i + 1)) * sin(y + i) for i in range(12)]
+        rhs = div(add(*terms), m)
+        sys_ = OdeSystem(
+            name="scaled", free_var="t", state_names=("x", "y"),
+            param_names=("m",), rhs=(rhs, x),
+            start_values=(0.1, 0.2), param_values=(2.0,),
+        )
+        cm = CostModel()
+        cost = cm.expr_cost(rhs)
+        plan = partition_tasks(sys_, split_threshold=cost / 4)
+        graph = plan.graph
+        assert len(graph) >= 4
+        assert graph.max_weight < cost  # the big assignment was split
+
+        # Numerics preserved through partials + combine.
+        env = {"x": 0.7, "y": -0.2, "m": 2.0}
+        slots = {}
+        ordered = sorted(
+            plan.bodies,
+            key=lambda b: bool(plan.graph[b.task_id].depends_on),
+        )
+        for body in ordered:
+            for a in body.assignments:
+                slots[a.target] = evaluate(a.expr, {**env, **slots})
+        assert slots["der:x"] == pytest.approx(evaluate(rhs, env))
+
+    def test_expensive_factor_not_distributed(self):
+        """When the co-factor is itself expensive, distributing it would
+        duplicate work — the splitter must leave the product whole."""
+        from repro.symbolic import Sym, sin, add, exp
+
+        expensive = exp(sin(x) + sin(y))  # pretend-heavy factor
+        terms = add(*[x * (i + 1) for i in range(6)])
+        rhs = expensive * terms
+        sys_ = OdeSystem(
+            name="e", free_var="t", state_names=("x", "y"),
+            param_names=(), rhs=(rhs, x),
+            start_values=(0.1, 0.2), param_values=(),
+        )
+        cm = CostModel(call=1.0)  # calls dominate: the factor is costly
+        plan = partition_tasks(sys_, cost_model=cm, split_threshold=1e-9)
+        targets = [a.target for b in plan.bodies for a in b.assignments]
+        # No partials were created for der:x via distribution of the
+        # expensive factor (the whole product stays one unit).
+        assert not any(t.startswith("part:x") for t in targets)
+
+
+class TestSharedCse:
+    """Section 3.3's outlook, implemented: 'extract some of the larger
+    common subexpressions and compute them in parallel'."""
+
+    def _bearing_system(self):
+        from repro.apps import BearingParams, build_bearing2d
+
+        return make_ode_system(
+            build_bearing2d(BearingParams(num_rollers=4)).flatten()
+        )
+
+    def test_reduces_total_work(self):
+        system = self._bearing_system()
+        off = partition_tasks(system)
+        on = partition_tasks(system, shared_cse=True)
+        assert on.graph.total_weight < 0.8 * off.graph.total_weight
+        shared = [b for b in on.bodies if b.name.startswith("cse:")]
+        assert shared, "expected shared-CSE producer tasks"
+
+    def test_dependencies_wired(self):
+        system = self._bearing_system()
+        plan = partition_tasks(system, shared_cse=True)
+        producers = {
+            t.task_id for t, b in zip(plan.graph, plan.bodies)
+            if b.name.startswith("cse:")
+        }
+        consumers_with_deps = [
+            t for t in plan.graph
+            if t.depends_on and not plan.bodies[t.task_id].name.startswith("cse:")
+        ]
+        assert consumers_with_deps
+        for t in consumers_with_deps:
+            assert any(d in producers or True for d in t.depends_on)
+        # The graph must stay acyclic (TaskGraph validates on build) and
+        # producers must come before consumers in level order.
+        from repro.runtime import dependency_levels
+
+        levels = dependency_levels(plan.graph)
+        level_of = {
+            tid: i for i, lvl in enumerate(levels) for tid in lvl
+        }
+        for t in plan.graph:
+            for d in t.depends_on:
+                assert level_of[d] < level_of[t.task_id]
+
+    def test_numerics_identical(self):
+        import numpy as np
+
+        from repro.codegen.gen_python import generate_python
+        from repro.runtime import dependency_levels
+
+        system = self._bearing_system()
+        off_mod = generate_python(system, plan=partition_tasks(system))
+        on_plan = partition_tasks(system, shared_cse=True)
+        on_mod = generate_python(system, plan=on_plan)
+        y = np.array(off_mod.start())
+        p = np.array(off_mod.params())
+        out = np.empty(system.num_states)
+        off_mod.rhs(0.0, y, p, out)
+        res = np.zeros(system.num_states + len(on_plan.partial_slots))
+        for level in dependency_levels(on_plan.graph):
+            for tid in level:
+                on_mod.tasks[tid](0.0, y, p, res)
+        assert np.allclose(res[: system.num_states], out,
+                           rtol=1e-12, atol=1e-12)
+
+    def test_threaded_executor_handles_shared_cse(self):
+        import numpy as np
+
+        from repro.codegen import generate_program
+        from repro.runtime import ThreadedExecutor
+
+        system = self._bearing_system()
+        program = generate_program(system)
+        # Rebuild the program pieces around the shared-CSE plan.
+        from repro.codegen.gen_python import generate_python
+        from repro.codegen.program import GeneratedProgram
+        from repro.codegen.verify import verify_compilable
+
+        plan = partition_tasks(system, shared_cse=True)
+        module = generate_python(system, plan=plan)
+        shared_prog = GeneratedProgram(
+            system=system, plan=plan, module=module,
+            verify_report=verify_compilable(system),
+        )
+        reference = program.rhs(0.0, program.start_vector(),
+                                program.param_vector())
+        with ThreadedExecutor(shared_prog, num_workers=3) as executor:
+            res = shared_prog.results_buffer()
+            executor.evaluate(0.0, shared_prog.start_vector(),
+                              shared_prog.param_vector(), res)
+        assert np.allclose(res[: system.num_states], reference,
+                           rtol=1e-12, atol=1e-12)
+
+    def test_no_shared_candidates_is_graceful(self):
+        sys_ = _system([x + 1, y * 2], names=("x", "y"))
+        plan = partition_tasks(sys_, shared_cse=True)
+        assert not any(b.name.startswith("cse:") for b in plan.bodies)

@@ -1,0 +1,146 @@
+"""Expression transformer and verifier tests."""
+
+import pytest
+
+from repro.codegen import (
+    OdeSystem,
+    TransformError,
+    VerifyError,
+    make_ode_system,
+    solve_linear,
+    verify_compilable,
+)
+from repro.model import Model, ModelClass
+from repro.model.flatten import ImplicitEquation
+from repro.symbolic import Call, Const, Der, Sym, evaluate, sin
+
+
+class TestMakeOdeSystem:
+    def test_oscillators(self, oscillator_model):
+        system = make_ode_system(oscillator_model.flatten())
+        assert system.num_states == 4
+        assert system.state_names == ("A.x", "A.v", "B.x", "B.v")
+        assert system.start_values == (1.0, 0.0, 2.0, 0.0)
+        assert system.param_map() == {"A.k": 4.0, "B.k": 9.0}
+
+    def test_algebraics_inlined(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        a = cls.algebraic("a")
+        cls.equation(a, 3 * x)
+        cls.ode(x, a + 1)
+        model = Model("m")
+        model.instance("I", cls)
+        system = make_ode_system(model.flatten())
+        assert evaluate(system.rhs[0], {"I.x": 2.0}) == pytest.approx(7.0)
+
+    def test_linear_implicit_solved(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        a = cls.algebraic("a")
+        # 2a + x = a + 5  ->  a = 5 - x
+        cls.equation(2 * a + x, a + 5)
+        cls.ode(x, a)
+        model = Model("m")
+        model.instance("I", cls)
+        system = make_ode_system(model.flatten())
+        assert evaluate(system.rhs[0], {"I.x": 2.0}) == pytest.approx(3.0)
+
+    def test_nonlinear_implicit_rejected(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        a = cls.algebraic("a")
+        cls.equation(a * a, x)  # nonlinear in a
+        cls.ode(x, a)
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(TransformError, match="nonlinear"):
+            make_ode_system(model.flatten())
+
+    def test_implicit_state_equation_rejected(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        y = cls.state("y", start=0.0)
+        cls.ode(x, y)
+        cls.equation(x + y, Const(1))  # would implicitly determine a state
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten(check=False)
+        with pytest.raises(TransformError, match="state"):
+            make_ode_system(flat)
+
+    def test_coefficient_in_terms_of_parameter(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        a = cls.algebraic("a")
+        k = cls.parameter("k", 2.0)
+        cls.equation(k * a, x)  # a = x / k
+        cls.ode(x, a)
+        model = Model("m")
+        model.instance("I", cls)
+        system = make_ode_system(model.flatten())
+        assert evaluate(
+            system.rhs[0], {"I.x": 6.0, "I.k": 2.0}
+        ) == pytest.approx(3.0)
+
+
+class TestSolveLinear:
+    def test_simple(self):
+        a = Sym("a")
+        x = Sym("x")
+        eq = ImplicitEquation(2 * a + x, a + 5, "e")
+        solution = solve_linear(eq, "a")
+        assert evaluate(solution, {"x": 2.0}) == pytest.approx(3.0)
+
+    def test_zero_coefficient(self):
+        a = Sym("a")
+        eq = ImplicitEquation(a - a + 1, Const(0), "e")
+        with pytest.raises(TransformError, match="zero"):
+            solve_linear(eq, "a")
+
+    def test_nonlinear_via_function(self):
+        a = Sym("a")
+        eq = ImplicitEquation(sin(a), Const(0), "e")
+        with pytest.raises(TransformError):
+            solve_linear(eq, "a")
+
+
+class TestVerify:
+    def test_clean_system_passes(self, oscillator_model):
+        system = make_ode_system(oscillator_model.flatten())
+        report = verify_compilable(system)
+        assert report.num_rhs == 4
+        assert "A.x" in report.symbols_used
+
+    def test_unknown_symbol_caught(self):
+        system = OdeSystem(
+            name="bad", free_var="t", state_names=("x",),
+            param_names=(), rhs=(Sym("ghost"),),
+            start_values=(0.0,), param_values=(),
+        )
+        with pytest.raises(VerifyError, match="unknown symbol"):
+            verify_compilable(system)
+
+    def test_unknown_function_caught(self):
+        system = OdeSystem(
+            name="bad", free_var="t", state_names=("x",),
+            param_names=(), rhs=(Call("bessel", (Sym("x"),)),),
+            start_values=(0.0,), param_values=(),
+        )
+        with pytest.raises(VerifyError, match="unknown function"):
+            verify_compilable(system)
+
+    def test_surviving_der_caught(self):
+        system = OdeSystem(
+            name="bad", free_var="t", state_names=("x",),
+            param_names=(), rhs=(Der(Sym("x")),),
+            start_values=(0.0,), param_values=(),
+        )
+        with pytest.raises(VerifyError, match="derivative"):
+            verify_compilable(system)
+
+    def test_functions_reported(self, small_bearing_model):
+        system = make_ode_system(small_bearing_model.flatten())
+        report = verify_compilable(system)
+        assert "sqrt" in report.functions_used
+        assert "tanh" in report.functions_used

@@ -1,0 +1,81 @@
+"""Tests of the one-call pipeline facade (repro.frontend)."""
+
+import numpy as np
+import pytest
+
+from repro import CompiledModel, compile_model, compile_source
+from repro.codegen import CostModel
+
+
+_SRC = """
+MODEL front;
+CLASS Osc
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Osc;
+INSTANCE A INHERITS Osc;
+END front;
+"""
+
+
+class TestCompileSource:
+    def test_produces_all_stages(self):
+        compiled = compile_source(_SRC)
+        assert isinstance(compiled, CompiledModel)
+        assert compiled.name == "front"
+        assert compiled.flat.num_states == 2
+        assert compiled.types.num_checked_equations == 2
+        assert compiled.partition.num_subsystems == 1
+        assert compiled.system.num_states == 2
+        assert compiled.program.num_tasks >= 1
+
+    def test_summary_mentions_everything(self):
+        text = compile_source(_SRC).summary()
+        for fragment in ("states", "SCC", "task", "CSE"):
+            assert fragment in text
+
+    def test_jacobian_flag(self):
+        compiled = compile_source(_SRC, jacobian=True)
+        jac = compiled.program.make_jac()
+        assert jac is not None
+        J = jac(0.0, np.array([1.0, 0.0]))
+        assert J[1, 0] == pytest.approx(-4.0)
+
+    def test_custom_cost_model(self):
+        heavy_overhead = CostModel(task_overhead=1.0)
+        compiled = compile_source(_SRC, cost_model=heavy_overhead)
+        # Gigantic task overhead: everything grouped into one task.
+        assert compiled.program.num_tasks == 1
+
+    def test_threshold_passthrough(self):
+        compiled = compile_source(_SRC, group_threshold=0.0,
+                                  split_threshold=float("inf"))
+        assert compiled.program.num_tasks == 2
+
+
+class TestCompileModel:
+    def test_accepts_flat_model(self, oscillator_model):
+        flat = oscillator_model.flatten()
+        compiled = compile_model(flat)
+        assert compiled.model is None
+        assert compiled.flat is flat
+        assert compiled.program.num_states == 4
+
+    def test_accepts_model(self, oscillator_model):
+        compiled = compile_model(oscillator_model)
+        assert compiled.model is oscillator_model
+
+    def test_extra_classes_forwarded(self):
+        from repro.model import ModelClass
+
+        ext = ModelClass("Ext")
+        x = ext.state("x", start=2.0)
+        ext.ode(x, -x)
+        compiled = compile_source(
+            "MODEL m; INSTANCE E INHERITS Ext; END m;",
+            extra_classes={"Ext": ext},
+        )
+        assert compiled.flat.states["E.x"].start == 2.0

@@ -1,0 +1,191 @@
+"""End-to-end integration tests: the whole Figure-7 pipeline.
+
+Source text (or programmatic model) → flatten → analyse → generate code →
+schedule → execute under the parallel runtime → integrate with the
+from-scratch solvers → validate against closed-form solutions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import compile_model, compile_source
+from repro.analysis import simulate_pipeline
+from repro.runtime import (
+    PARSYTEC_GCPP,
+    SPARCCENTER_2000,
+    ParallelRHS,
+    ThreadedExecutor,
+    VirtualTimeParallelRHS,
+    speedup_curve,
+)
+from repro.schedule import SemiDynamicScheduler, lpt_schedule
+from repro.solver import solve_ivp
+
+_OSC_SOURCE = """
+MODEL osc;
+CLASS Oscillator
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Oscillator;
+INSTANCE A INHERITS Oscillator;
+END osc;
+"""
+
+
+class TestSourceToSolution:
+    def test_oscillator_closed_form(self):
+        compiled = compile_source(_OSC_SOURCE)
+        f = compiled.program.make_rhs()
+        result = solve_ivp(f, (0.0, 3.0), compiled.program.start_vector(),
+                           method="rk45", rtol=1e-9, atol=1e-12)
+        assert result.success
+        # x(t) = cos(2t) for k = 4.
+        assert result.y_final[0] == pytest.approx(math.cos(6.0), abs=1e-7)
+        assert result.y_final[1] == pytest.approx(-2 * math.sin(6.0),
+                                                  abs=1e-6)
+
+    def test_every_method_agrees(self):
+        compiled = compile_source(_OSC_SOURCE)
+        f = compiled.program.make_rhs()
+        y0 = compiled.program.start_vector()
+        finals = {}
+        for method in ("rk45", "adams", "bdf", "lsoda"):
+            r = solve_ivp(f, (0.0, 2.0), y0, method=method,
+                          rtol=1e-8, atol=1e-11)
+            assert r.success, method
+            finals[method] = r.y_final
+        reference = finals["rk45"]
+        for method, final in finals.items():
+            assert np.allclose(final, reference, atol=1e-5), method
+
+    def test_summary(self):
+        compiled = compile_source(_OSC_SOURCE)
+        text = compiled.summary()
+        assert "model osc" in text
+        assert "SCC" in text
+
+
+class TestParallelNumericsEquivalence:
+    """The parallelised RHS must be numerically identical to the serial
+    one — scheduling must never change results."""
+
+    def test_full_simulation_serial_vs_parallel(self, compiled_small_bearing):
+        program = compiled_small_bearing.program
+        y0 = program.start_vector()
+        serial_f = program.make_rhs()
+        parallel_f = ParallelRHS(program)
+        r1 = solve_ivp(serial_f, (0.0, 0.005), y0, method="rk45",
+                       rtol=1e-7, atol=1e-10)
+        r2 = solve_ivp(parallel_f, (0.0, 0.005), y0, method="rk45",
+                       rtol=1e-7, atol=1e-10)
+        assert r1.success and r2.success
+        assert np.allclose(r1.y_final, r2.y_final, rtol=1e-12, atol=1e-12)
+
+    def test_threaded_simulation_matches(self, compiled_small_bearing):
+        program = compiled_small_bearing.program
+        y0 = program.start_vector()
+        serial = solve_ivp(program.make_rhs(), (0.0, 0.002), y0,
+                           method="rk45", rtol=1e-6, atol=1e-9)
+        with ThreadedExecutor(program, num_workers=3) as executor:
+            f = ParallelRHS(program, executor)
+            threaded = solve_ivp(f, (0.0, 0.002), y0, method="rk45",
+                                 rtol=1e-6, atol=1e-9)
+        assert np.allclose(serial.y_final, threaded.y_final,
+                           rtol=1e-12, atol=1e-12)
+
+    def test_semidynamic_schedule_does_not_change_results(
+        self, compiled_small_bearing
+    ):
+        program = compiled_small_bearing.program
+        y0 = program.start_vector()
+        scheduler = SemiDynamicScheduler(program.task_graph, 2,
+                                         reschedule_every=3)
+        f = ParallelRHS(program, scheduler=scheduler, feed_measurements=True)
+        r = solve_ivp(f, (0.0, 0.002), y0, method="rk45",
+                      rtol=1e-6, atol=1e-9)
+        reference = solve_ivp(program.make_rhs(), (0.0, 0.002), y0,
+                              method="rk45", rtol=1e-6, atol=1e-9)
+        assert np.allclose(r.y_final, reference.y_final,
+                           rtol=1e-12, atol=1e-12)
+
+
+class TestIntegratedSpeedupStory:
+    def test_bearing_speedup_shapes(self, compiled_bearing):
+        """The integrated Figure 12 story: on the low-latency shared-memory
+        model speedup keeps growing through 7 workers; on the 140 µs
+        distributed-memory model throughput peaks early and then decays."""
+        graph = compiled_bearing.program.task_graph
+        n = compiled_bearing.system.num_states
+        import dataclasses
+
+        # Calibrate compute speed so per-round compute is 1995-scale
+        # (paper: the 2D bearing RHS is tens of thousands of flops, taking
+        # on the order of a millisecond on those machines).
+        sparc = dataclasses.replace(SPARCCENTER_2000, compute_speed=0.02)
+        parsytec = dataclasses.replace(PARSYTEC_GCPP, compute_speed=0.02)
+
+        shared = dict(speedup_curve(graph, sparc, n, range(1, 18)))
+        distributed = dict(speedup_curve(graph, parsytec, n, range(1, 18)))
+
+        # Shared memory: clearly growing through 7 processors.
+        assert shared[7] > 3.0 * shared[1]
+        # Knee: beyond ~8 processors gains flatten out.
+        assert shared[17] < shared[7] * 1.8
+        # Distributed: peaks at a small count, lower than shared's best.
+        peak_w = max(distributed, key=distributed.get)
+        assert peak_w <= 8
+        assert max(distributed.values()) < max(shared.values())
+
+    def test_virtual_time_simulation(self, compiled_small_bearing):
+        program = compiled_small_bearing.program
+        y0 = program.start_vector()
+        f = VirtualTimeParallelRHS(program, SPARCCENTER_2000, num_workers=4)
+        r = solve_ivp(f, (0.0, 0.001), y0, method="rk45",
+                      rtol=1e-6, atol=1e-9)
+        assert r.success
+        assert f.rhs_calls_per_second > 0
+        assert f.ncalls == r.stats.nfev
+
+
+class TestSubsystemLevelParallelism:
+    def test_powerplant_partition_enables_pipeline(self, compiled_powerplant):
+        part = compiled_powerplant.partition
+        costs = [float(len(s.variables)) for s in part.subsystems]
+        report = simulate_pipeline(part, costs, num_steps=500,
+                                   comm_latency=0.01)
+        # Many near-equal SCCs on few levels: decent pipeline speedup.
+        assert report.speedup > 2.0
+
+    def test_bearing_partition_gives_nothing(self, compiled_bearing):
+        """Section 6: the bearing's system-level partitioning is useless —
+        one SCC holds all the work."""
+        part = compiled_bearing.partition
+        costs = [float(len(s.variables)) for s in part.subsystems]
+        report = simulate_pipeline(part, costs, num_steps=500)
+        assert report.speedup < 1.1
+
+
+class TestStartFileWorkflow:
+    def test_rerun_with_modified_start_values(self, tmp_path):
+        from repro.codegen import (
+            apply_start_file,
+            read_start_file,
+            write_start_file,
+        )
+
+        compiled = compile_source(_OSC_SOURCE)
+        system = compiled.system
+        path = tmp_path / "start.txt"
+        write_start_file(system, path)
+        text = path.read_text().replace("A.x = 1.0", "A.x = 0.5")
+        path.write_text(text)
+        y0, params = apply_start_file(system, read_start_file(path))
+        f = compiled.program.make_rhs(np.asarray(params))
+        r = solve_ivp(f, (0.0, 1.0), y0, method="rk45",
+                      rtol=1e-9, atol=1e-12)
+        assert r.y_final[0] == pytest.approx(0.5 * math.cos(2.0), abs=1e-7)

@@ -1,0 +1,287 @@
+"""Language front end tests: lexer, parser, AST lowering, diagnostics."""
+
+import pytest
+
+from repro.language import (
+    LexError,
+    ParseError,
+    TokenKind,
+    load_model,
+    parse_model,
+    tokenize,
+)
+from repro.symbolic import Const, Der, ITE, Rel, Sym, evaluate, sin
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("x := 1.5e2 + foo;")
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.NUMBER,
+            TokenKind.PLUS, TokenKind.IDENT, TokenKind.SEMI, TokenKind.EOF,
+        ]
+        assert toks[2].value == 150.0
+
+    def test_keywords_recognised(self):
+        toks = tokenize("MODEL CLASS foo END")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[2].kind is TokenKind.IDENT
+
+    def test_comments_skipped_and_nested(self):
+        toks = tokenize("a (* outer (* inner *) still out *) b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a (* never closed")
+
+    def test_operators(self):
+        toks = tokenize("== != <= >= < > ^ { } [ ]")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == [
+            TokenKind.EQUALS, TokenKind.NOTEQ, TokenKind.LE, TokenKind.GE,
+            TokenKind.LT, TokenKind.GT, TokenKind.CARET, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.LBRACKET, TokenKind.RBRACKET,
+        ]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_number_forms(self):
+        toks = tokenize("1 2.5 3e-4 0.5")
+        values = [t.value for t in toks[:-1]]
+        assert values == [1.0, 2.5, 3e-4, 0.5]
+
+
+_OSC = """
+MODEL demo;
+CLASS Osc
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Osc;
+INSTANCE A INHERITS Osc;
+INSTANCE B INHERITS Osc (k := 9.0);
+END demo;
+"""
+
+
+class TestParser:
+    def test_model_structure(self):
+        tree = parse_model(_OSC)
+        assert tree.name == "demo"
+        assert len(tree.classes) == 1
+        assert len(tree.instances) == 2
+        osc = tree.classes[0]
+        assert [m.name for m in osc.members] == ["x", "v", "k"]
+        assert osc.equations[0].label == "Eq[1]"
+
+    def test_expression_precedence(self):
+        tree = parse_model(
+            "MODEL m; CLASS C STATE x := 0.0;"
+            " EQUATION der(x) == 1 + 2 * x ^ 2; END C;"
+            " INSTANCE I INHERITS C; END m;"
+        )
+        rhs = tree.classes[0].equations[0].rhs
+        x = Sym("x")
+        assert rhs == 1 + 2 * x**2
+
+    def test_unary_minus_power(self):
+        tree = parse_model(
+            "MODEL m; CLASS C STATE x := 0.0;"
+            " EQUATION der(x) == -x ^ 2; END m_oops; END m;"
+            .replace("END m_oops;", "END C;")
+        )
+        rhs = tree.classes[0].equations[0].rhs
+        x = Sym("x")
+        assert rhs == -(x**2)
+
+    def test_if_then_else(self):
+        tree = parse_model(
+            "MODEL m; CLASS C STATE x := 0.0;"
+            " EQUATION der(x) == IF x > 0 THEN x ELSE -x; END C;"
+            " INSTANCE I INHERITS C; END m;"
+        )
+        rhs = tree.classes[0].equations[0].rhs
+        assert isinstance(rhs, ITE)
+
+    def test_functions(self):
+        tree = parse_model(
+            "MODEL m; CLASS C STATE x := 0.0;"
+            " EQUATION der(x) == sin(x) + sqrt(x * x); END C;"
+            " INSTANCE I INHERITS C; END m;"
+        )
+        rhs = tree.classes[0].equations[0].rhs
+        assert evaluate(rhs, {"x": 0.5}) == pytest.approx(
+            __import__("math").sin(0.5) + 0.5
+        )
+
+    def test_indexed_reference(self):
+        tree = parse_model(
+            "MODEL m; INSTANCE W [ 2 ] INHERITS C;"
+            " EQUATION W[1].x == W[2].x; END m;"
+            .replace("INSTANCE W [ 2 ] INHERITS C;",
+                     "CLASS C STATE x := 0.0; EQUATION der(x) == x; END C;"
+                     " INSTANCE W[2] INHERITS C;")
+        )
+        eq = tree.equations[0]
+        assert eq.lhs == Sym("W1.x")
+        assert eq.rhs == Sym("W2.x")
+
+    def test_end_name_mismatch(self):
+        with pytest.raises(ParseError, match="does not match"):
+            parse_model("MODEL m; END n;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_model("MODEL m END m;")
+
+    def test_unknown_token_in_class(self):
+        with pytest.raises(ParseError, match="declaration"):
+            parse_model("MODEL m; CLASS C MODEL END C; END m;")
+
+    def test_parameter_without_default(self):
+        with pytest.raises(ParseError, match="default"):
+            parse_model(
+                "MODEL m; CLASS C PARAMETER k; END C; END m;"
+            )
+
+    def test_vector_literal_lengths(self):
+        tree = parse_model(
+            "MODEL m; CLASS C STATE r[2] := {1.0, 2.0};"
+            " EQUATION der(r) == {0.0, 0.0}; END C;"
+            " INSTANCE I INHERITS C; END m;"
+        )
+        member = tree.classes[0].members[0]
+        assert member.length == 2
+        assert member.default == (1.0, 2.0)
+
+
+class TestBuild:
+    def test_full_pipeline(self):
+        model = load_model(_OSC)
+        flat = model.flatten()
+        assert set(flat.parameters) == {"A.k", "B.k"}
+        assert flat.parameters["B.k"].value == 9.0
+
+    def test_vector_member_vectorisation(self):
+        src = """
+        MODEL m;
+        CLASS Body
+          STATE r[2] := {0.0, 1.0};
+          STATE v[2];
+          ALGEBRAIC F[2];
+          PARAMETER mass := 2.0;
+          EQUATION der(r) == v;
+          EQUATION der(v) == F / mass;
+          EQUATION F == {0.0, -9.81} * mass;
+        END Body;
+        INSTANCE P INHERITS Body;
+        END m;
+        """
+        flat = load_model(src).flatten()
+        assert len(flat.odes) == 4
+        assert len(flat.explicit_algs) == 2
+        inlined = flat.inline_algebraics()
+        rhs = {eq.state: eq.rhs for eq in inlined.odes}["P.v.y"]
+        assert evaluate(rhs, {}) == pytest.approx(-9.81)
+
+    def test_vector_sum_of_members(self):
+        src = """
+        MODEL m;
+        CLASS Body
+          STATE r[2];
+          ALGEBRAIC Fa[2];
+          ALGEBRAIC Fb[2];
+          EQUATION der(r) == Fa + Fb;
+          EQUATION Fa == {1.0, 2.0};
+          EQUATION Fb == {3.0, 4.0};
+        END Body;
+        INSTANCE P INHERITS Body;
+        END m;
+        """
+        flat = load_model(src).flatten().inline_algebraics()
+        rhs = {eq.state: eq.rhs for eq in flat.odes}
+        assert evaluate(rhs["P.r.x"], {}) == 4.0
+        assert evaluate(rhs["P.r.y"], {}) == 6.0
+
+    def test_inheritance_in_source(self):
+        src = """
+        MODEL m;
+        CLASS Base
+          STATE x := 1.0;
+          EQUATION der(x) == -x;
+        END Base;
+        CLASS Derived INHERITS Base
+          PARAMETER gain := 2.0;
+        END Derived;
+        INSTANCE D INHERITS Derived;
+        END m;
+        """
+        flat = load_model(src).flatten()
+        assert "D.x" in flat.states
+        assert "D.gain" in flat.parameters
+
+    def test_composition_in_source(self):
+        src = """
+        MODEL m;
+        CLASS Wheel
+          STATE w := 1.0;
+          EQUATION der(w) == -w;
+        END Wheel;
+        CLASS Car
+          PART front : Wheel;
+          PART rear : Wheel;
+        END Car;
+        INSTANCE C INHERITS Car;
+        END m;
+        """
+        flat = load_model(src).flatten()
+        assert set(flat.states) == {"C.front.w", "C.rear.w"}
+
+    def test_unknown_base_class(self):
+        with pytest.raises(ParseError, match="unknown base"):
+            load_model("MODEL m; CLASS C INHERITS Ghost END C; END m;")
+
+    def test_unknown_instance_class(self):
+        with pytest.raises(ParseError, match="unknown class"):
+            load_model("MODEL m; INSTANCE I INHERITS Ghost; END m;")
+
+    def test_extra_classes_registry(self):
+        from repro.model import ModelClass
+
+        ext = ModelClass("External")
+        x = ext.state("x", start=1.0)
+        ext.ode(x, -x)
+        model = load_model(
+            "MODEL m; INSTANCE I INHERITS External; END m;",
+            extra_classes={"External": ext},
+        )
+        assert "I.x" in model.flatten().states
+
+    def test_global_equation_with_vectors(self):
+        src = """
+        MODEL m;
+        CLASS Body
+          STATE r[2];
+          ALGEBRAIC F[2];
+          EQUATION der(r) == F;
+        END Body;
+        INSTANCE A INHERITS Body;
+        INSTANCE B INHERITS Body;
+        EQUATION A.F == {1.0, 0.0};
+        EQUATION B.F == A.F * 2.0;
+        END m;
+        """
+        flat = load_model(src).flatten().inline_algebraics()
+        rhs = {eq.state: eq.rhs for eq in flat.odes}
+        assert evaluate(rhs["B.r.x"], {}) == 2.0

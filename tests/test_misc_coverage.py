@@ -1,0 +1,148 @@
+"""Coverage for assorted corners: message accounting, simulator reports,
+pipeline report fields, Fortran emission details, verify report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PipelineReport, simulate_pipeline, partition
+from repro.codegen import (
+    generate_fortran,
+    make_ode_system,
+    verify_compilable,
+)
+from repro.runtime import (
+    FLOAT_BYTES,
+    IDEAL_MACHINE,
+    MessageStats,
+    RunReport,
+    broadcast_bytes,
+    gather_bytes,
+    simulate_round,
+    simulate_run,
+)
+from repro.schedule import Task, TaskGraph, lpt_schedule
+
+
+def _graph(weights, deps=None):
+    deps = deps or {}
+    return TaskGraph(
+        [
+            Task(i, f"t{i}", (f"der:s{i}",), ("s0", "s1"), w,
+                 depends_on=tuple(deps.get(i, ())))
+            for i, w in enumerate(weights)
+        ]
+    )
+
+
+class TestMessageAccounting:
+    def test_float_width(self):
+        assert FLOAT_BYTES == 8
+
+    def test_message_stats_addition(self):
+        total = MessageStats(2, 100) + MessageStats(3, 50)
+        assert total.num_messages == 5
+        assert total.total_bytes == 150
+
+    def test_broadcast_includes_time_slot(self):
+        assert broadcast_bytes(0) == 8  # just t
+
+    def test_gather_skips_idle_workers(self):
+        g = _graph([1.0])
+        s = lpt_schedule(g, 4)  # 3 workers idle
+        stats = gather_bytes(g, s, num_states=1)
+        assert stats.num_messages == 2  # one down + one up
+
+
+class TestSimulatorReports:
+    def test_round_breakdown_fields(self):
+        g = _graph([1e-3, 2e-3])
+        b = simulate_round(g, lpt_schedule(g, 2), IDEAL_MACHINE, 2)
+        assert b.num_workers == 2
+        assert b.compute_time == pytest.approx(2e-3)
+        assert b.rhs_calls_per_second == pytest.approx(1.0 / b.round_time)
+        assert len(b.worker_finish) == 2
+
+    def test_run_report_mean(self):
+        g = _graph([1e-3])
+        report = simulate_run(g, IDEAL_MACHINE, 1, 1, num_rounds=5)
+        assert report.mean_round_time == pytest.approx(
+            report.total_time / 5
+        )
+        assert isinstance(report, RunReport)
+
+    def test_zero_weight_tasks(self):
+        g = _graph([0.0, 0.0])
+        b = simulate_round(g, lpt_schedule(g, 1), IDEAL_MACHINE, 2)
+        assert b.round_time == 0.0
+        assert b.rhs_calls_per_second == 0.0
+
+
+class TestPipelineReportFields:
+    def test_report_strings_and_bounds(self, servo_model):
+        part = partition(servo_model.flatten())
+        costs = [1.0] * part.num_subsystems
+        report = simulate_pipeline(part, costs, num_steps=10)
+        assert isinstance(report, PipelineReport)
+        assert report.bottleneck_cost == 1.0
+        assert "pipeline" in str(report)
+        assert report.pipelined_time >= sum(costs)  # first step fills
+
+    def test_mapping_costs_accepted(self, servo_model):
+        part = partition(servo_model.flatten())
+        costs = {i: 1.0 for i in range(part.num_subsystems)}
+        report = simulate_pipeline(part, costs, num_steps=10)
+        assert report.num_stages == part.num_subsystems
+
+
+class TestFortranEmissionDetails:
+    def test_start_values_annotated(self, oscillator_model):
+        system = make_ode_system(oscillator_model.flatten())
+        f90 = generate_fortran(system, mode="serial")
+        assert "y0(1) = 1.0_dp  ! A.x" in f90.source
+
+    def test_intent_declarations(self, oscillator_model):
+        system = make_ode_system(oscillator_model.flatten())
+        f90 = generate_fortran(system, mode="serial")
+        assert "real(dp), intent(in) :: yin(4)" in f90.source
+        assert "real(dp), intent(out) :: yout(4)" in f90.source
+
+    def test_stats_sum(self, oscillator_model):
+        system = make_ode_system(oscillator_model.flatten())
+        f90 = generate_fortran(system, mode="serial")
+        assert (
+            f90.num_declaration_lines + f90.num_statement_lines
+            == f90.num_lines
+        )
+        assert "Fortran90[serial]" in str(f90)
+
+
+class TestVerifyReport:
+    def test_report_fields(self, compiled_powerplant):
+        report = verify_compilable(compiled_powerplant.system)
+        assert report.num_rhs == compiled_powerplant.system.num_states
+        assert report.num_nodes > report.num_rhs
+        assert "sqrt" in report.functions_used
+        assert all(isinstance(s, str) for s in report.symbols_used)
+
+
+class TestTaskGraphMisc:
+    def test_iteration_and_indexing(self):
+        g = _graph([1.0, 2.0])
+        assert len(g) == 2
+        assert [t.task_id for t in g] == [0, 1]
+        assert g[1].weight == 2.0
+
+    def test_task_str(self):
+        t = Task(0, "roller", ("der:x",), ("x",), 0.5)
+        assert "roller" in str(t)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Task(0, "t", (), (), -1.0)
+
+    def test_dependency_levels_diamond(self):
+        from repro.runtime import dependency_levels
+
+        g = _graph([1.0, 1.0, 1.0, 1.0], deps={1: [0], 2: [0], 3: [1, 2]})
+        levels = dependency_levels(g)
+        assert levels == [[0], [1, 2], [3]]

@@ -1,0 +1,283 @@
+"""Model class tests: declarations, inheritance, composition, equations."""
+
+import pytest
+
+from repro.model import (
+    Model,
+    ModelClass,
+    REAL,
+    VarKind,
+    VecType,
+)
+from repro.symbolic import Der, Sym, Vec
+
+
+class TestDeclarations:
+    def test_state_returns_symbol(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        assert x == Sym("x")
+        assert cls.declarations["x"].kind is VarKind.STATE
+        assert cls.declarations["x"].start == 1.0
+
+    def test_vector_state_returns_vec(self):
+        cls = ModelClass("C")
+        r = cls.state("r", start=[1.0, 2.0], mtype=VecType(2))
+        assert isinstance(r, Vec)
+        assert r[0] == Sym("r.x")
+        assert r[1] == Sym("r.y")
+
+    def test_parameter_requires_value(self):
+        cls = ModelClass("C")
+        with pytest.raises(ValueError):
+            from repro.model.declarations import VarDecl
+
+            VarDecl("k", VarKind.PARAMETER)
+
+    def test_duplicate_member_rejected(self):
+        cls = ModelClass("C")
+        cls.state("x")
+        with pytest.raises(ValueError):
+            cls.parameter("x", 1.0)
+
+    def test_dot_in_name_rejected(self):
+        cls = ModelClass("C")
+        with pytest.raises(ValueError):
+            cls.state("a.b")
+
+    def test_vector_start_length_checked(self):
+        cls = ModelClass("C")
+        with pytest.raises(ValueError):
+            cls.state("r", start=[1.0, 2.0, 3.0], mtype=VecType(2))
+
+    def test_scalar_start_broadcasts_over_vector(self):
+        cls = ModelClass("C")
+        cls.state("r", start=0.5, mtype=VecType(3))
+        decl = cls.declarations["r"]
+        assert decl.component_values("start") == (0.5, 0.5, 0.5)
+
+
+class TestEquations:
+    def test_auto_labels(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        eq1 = cls.equation(Der(x), x)
+        eq2 = cls.equation(x, x)
+        assert eq1.label == "Eq[1]"
+        assert eq2.label == "Eq[2]"
+
+    def test_ode_helper_scalar(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        eq = cls.ode(x, -x)
+        assert eq.lhs == Der(x)
+
+    def test_ode_helper_vector(self):
+        cls = ModelClass("C")
+        r = cls.state("r", mtype=VecType(2))
+        v = cls.state("v", mtype=VecType(2))
+        eq = cls.ode(r, v)
+        assert isinstance(eq.lhs, Vec)
+        assert eq.lhs[0] == Der(Sym("r.x"))
+
+    def test_mixed_vector_scalar_rejected(self):
+        cls = ModelClass("C")
+        r = cls.state("r", mtype=VecType(2))
+        with pytest.raises(TypeError):
+            cls.equation(r, Sym("x"))
+
+    def test_vector_length_mismatch_rejected(self):
+        cls = ModelClass("C")
+        r = cls.state("r", mtype=VecType(2))
+        with pytest.raises(ValueError):
+            cls.equation(r, Vec([1, 2, 3]))
+
+    def test_list_rhs_coerced_to_vec(self):
+        cls = ModelClass("C")
+        r = cls.state("r", mtype=VecType(2))
+        eq = cls.equation(r, [0, 0])
+        assert isinstance(eq.rhs, Vec)
+
+
+class TestInheritance:
+    def test_single_chain(self):
+        a = ModelClass("A")
+        a.state("x")
+        b = ModelClass("B", inherits=[a])
+        b.state("y")
+        assert set(b.all_declarations()) == {"x", "y"}
+        assert [c.name for c in b.linearize()] == ["B", "A"]
+
+    def test_member_lookup_through_chain(self):
+        a = ModelClass("A")
+        a.parameter("k", 2.0)
+        b = ModelClass("B", inherits=[a])
+        assert b.member("k") == Sym("k")
+
+    def test_equations_accumulate(self):
+        a = ModelClass("A")
+        x = a.state("x")
+        a.ode(x, -x)
+        b = ModelClass("B", inherits=[a])
+        y = b.state("y")
+        b.ode(y, x)
+        assert len(b.all_equations()) == 2
+
+    def test_derived_declaration_wins(self):
+        a = ModelClass("A")
+        a.parameter("k", 1.0)
+        b = ModelClass("B", inherits=[a])
+        b.declarations["k"] = a.declarations["k"].rebind(value=5.0)
+        assert b.all_declarations()["k"].value == 5.0
+
+    def test_diamond_c3(self):
+        base = ModelClass("Base")
+        left = ModelClass("Left", inherits=[base])
+        right = ModelClass("Right", inherits=[base])
+        top = ModelClass("Top", inherits=[left, right])
+        names = [c.name for c in top.linearize()]
+        assert names == ["Top", "Left", "Right", "Base"]
+
+    def test_inconsistent_hierarchy_rejected(self):
+        a = ModelClass("A")
+        b = ModelClass("B", inherits=[a])
+        with pytest.raises(TypeError):
+            ModelClass("C", inherits=[a, b]).linearize()
+
+    def test_unknown_member(self):
+        cls = ModelClass("C")
+        with pytest.raises(KeyError):
+            cls.member("nope")
+
+
+class TestComposition:
+    def test_part_declared(self):
+        inner = ModelClass("Inner")
+        inner.state("x")
+        outer = ModelClass("Outer")
+        outer.part("sub", inner)
+        assert outer.all_parts() == {"sub": inner}
+
+    def test_part_name_conflict(self):
+        inner = ModelClass("Inner")
+        outer = ModelClass("Outer")
+        outer.state("sub")
+        with pytest.raises(ValueError):
+            outer.part("sub", inner)
+
+    def test_parts_inherited(self):
+        inner = ModelClass("Inner")
+        a = ModelClass("A")
+        a.part("p", inner)
+        b = ModelClass("B", inherits=[a])
+        assert "p" in b.all_parts()
+
+
+class TestInstances:
+    def test_override_validation(self):
+        cls = ModelClass("C")
+        cls.state("x")
+        cls.parameter("k", 1.0)
+        cls.algebraic("a")
+        model = Model("m")
+        model.instance("I", cls, overrides={"k": 2.0, "x": 3.0})
+        with pytest.raises(KeyError):
+            model.instance("J", cls, overrides={"nope": 1.0})
+        with pytest.raises(ValueError):
+            model.instance("K", cls, overrides={"a": 1.0})
+
+    def test_duplicate_instance_rejected(self):
+        cls = ModelClass("C")
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(ValueError):
+            model.instance("I", cls)
+
+    def test_instance_array_naming(self):
+        cls = ModelClass("C")
+        model = Model("m")
+        insts = model.instance_array("W", 3, cls)
+        assert [i.name for i in insts] == ["W1", "W2", "W3"]
+
+    def test_qualified_sym(self):
+        cls = ModelClass("C")
+        cls.state("r", mtype=VecType(2))
+        cls.state("x")
+        model = Model("m")
+        inst = model.instance("I", cls)
+        assert inst.sym("x") == Sym("I.x")
+        ref = inst.sym("r")
+        assert isinstance(ref, Vec)
+        assert ref[1] == Sym("I.r.y")
+
+    def test_der_helper(self):
+        cls = ModelClass("C")
+        cls.state("x")
+        model = Model("m")
+        inst = model.instance("I", cls)
+        assert inst.der("x") == Der(Sym("I.x"))
+
+    def test_unknown_member_in_sym(self):
+        cls = ModelClass("C")
+        model = Model("m")
+        inst = model.instance("I", cls)
+        with pytest.raises(KeyError):
+            inst.sym("ghost")
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def class_dags(draw):
+    """Random inheritance DAGs: class i may inherit from classes < i."""
+    n = draw(st.integers(1, 7))
+    bases = []
+    for i in range(n):
+        if i == 0:
+            bases.append([])
+        else:
+            k = draw(st.integers(0, min(i, 3)))
+            parents = draw(
+                st.lists(st.integers(0, i - 1), min_size=k, max_size=k,
+                         unique=True)
+            )
+            bases.append(parents)
+    return bases
+
+
+@settings(max_examples=100, deadline=None)
+@given(class_dags())
+def test_c3_matches_python_mro(bases):
+    """Our C3 linearization must agree with CPython's MRO on any
+    hierarchy both accept (and reject exactly the hierarchies CPython
+    rejects)."""
+    model_classes = []
+    py_classes = []
+    py_error = None
+    for i, parents in enumerate(bases):
+        model_classes.append(
+            ModelClass(f"C{i}", inherits=[model_classes[p] for p in parents])
+        )
+        if py_error is None:
+            try:
+                py_classes.append(
+                    type(f"C{i}",
+                         tuple(py_classes[p] for p in parents) or (object,),
+                         {})
+                )
+            except TypeError:
+                py_error = i
+
+    top = model_classes[-1]
+    if py_error is not None and py_error == len(bases) - 1:
+        with pytest.raises(TypeError):
+            top.linearize()
+        return
+    if py_error is not None:
+        return  # an ancestor was already inconsistent; skip
+
+    ours = [c.name for c in top.linearize()]
+    theirs = [c.__name__ for c in py_classes[-1].__mro__ if c is not object]
+    assert ours == theirs

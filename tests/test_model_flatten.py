@@ -1,0 +1,279 @@
+"""Flattening tests: qualification, vectors, composition, classification,
+validation, inlining, parameter binding."""
+
+import pytest
+
+from repro.model import (
+    AlgebraicLoopError,
+    Model,
+    ModelClass,
+    ModelError,
+    VecType,
+    check_types,
+    flatten_model,
+)
+from repro.model.typecheck import TypeError_
+from repro.symbolic import Call, Const, Der, Sym, evaluate, vec2
+
+
+def _oscillator():
+    osc = ModelClass("Osc")
+    x = osc.state("x", start=1.0)
+    v = osc.state("v", start=0.0)
+    k = osc.parameter("k", 4.0)
+    osc.ode(x, v)
+    osc.ode(v, -k * x)
+    return osc
+
+
+class TestQualification:
+    def test_names_prefixed(self, oscillator_model):
+        flat = oscillator_model.flatten()
+        assert set(flat.states) == {"A.x", "A.v", "B.x", "B.v"}
+        assert set(flat.parameters) == {"A.k", "B.k"}
+
+    def test_equation_labels_prefixed(self, oscillator_model):
+        flat = oscillator_model.flatten()
+        labels = {eq.label for eq in flat.odes}
+        assert "A.Kin" in labels and "B.Dyn" in labels
+
+    def test_overrides_applied(self, oscillator_model):
+        flat = oscillator_model.flatten()
+        assert flat.parameters["B.k"].value == 9.0
+        assert flat.states["B.x"].start == 2.0
+        assert flat.parameters["A.k"].value == 4.0
+
+    def test_free_variable_not_qualified(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        cls.ode(x, Sym("t") - x)
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten()
+        rhs = flat.odes[0].rhs
+        from repro.symbolic import free_symbols
+
+        assert Sym("t") in free_symbols(rhs)
+
+    def test_absolute_references_untouched(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        cls.ode(x, Sym("Other.y") - x)
+        model = Model("m")
+        model.instance("I", cls)
+        other = ModelClass("O")
+        other.state("y")
+        o = model.instance("Other", other)
+        model.ode(o.sym("y"), -o.sym("y"))
+        flat = model.flatten()
+        rhs = {eq.state: eq.rhs for eq in flat.odes}["I.x"]
+        from repro.symbolic import free_symbols
+
+        assert Sym("Other.y") in free_symbols(rhs)
+
+
+class TestVectorExpansion:
+    def test_components_expanded(self):
+        cls = ModelClass("C")
+        r = cls.state("r", start=[1.0, 2.0], mtype=VecType(2))
+        v = cls.state("v", start=[0.0, 0.0], mtype=VecType(2))
+        cls.ode(r, v)
+        cls.ode(v, vec2(0, -9.81))
+        model = Model("m")
+        model.instance("P", cls)
+        flat = model.flatten()
+        assert set(flat.states) == {"P.r.x", "P.r.y", "P.v.x", "P.v.y"}
+        assert flat.states["P.r.y"].start == 2.0
+        assert len(flat.odes) == 4
+
+    def test_vec3_suffixes(self):
+        cls = ModelClass("C")
+        r = cls.state("r", start=[1, 2, 3], mtype=VecType(3))
+        cls.ode(r, vec2(0, 0, 0) if False else r * 0)
+        model = Model("m")
+        model.instance("P", cls)
+        flat = model.flatten()
+        assert "P.r.z" in flat.states
+
+
+class TestComposition:
+    def test_part_expansion(self):
+        wheel = ModelClass("Wheel")
+        w = wheel.state("w", start=1.0)
+        wheel.ode(w, -w)
+        car = ModelClass("Car")
+        car.part("front", wheel)
+        car.part("rear", wheel)
+        model = Model("m")
+        model.instance("C", car)
+        flat = model.flatten()
+        assert set(flat.states) == {"C.front.w", "C.rear.w"}
+
+    def test_part_reference_from_owner(self):
+        inner = ModelClass("Inner")
+        inner.state("x", start=1.0)
+        inner.ode(inner.member("x"), -inner.member("x"))
+        outer = ModelClass("Outer")
+        outer.part("p", inner)
+        y = outer.state("y")
+        outer.ode(y, Sym("p.x"))
+        model = Model("m")
+        model.instance("O", outer)
+        flat = model.flatten()
+        rhs = {eq.state: eq.rhs for eq in flat.odes}["O.y"]
+        assert rhs == Sym("O.p.x")
+
+
+class TestClassification:
+    def test_swapped_ode_recognised(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        cls.equation(-x, Der(x))  # rhs and lhs swapped
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten()
+        assert len(flat.odes) == 1
+        assert flat.odes[0].state == "I.x"
+
+    def test_duplicate_ode_rejected(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        cls.ode(x, -x)
+        cls.ode(x, x)
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(ModelError, match="more than one ODE"):
+            model.flatten()
+
+    def test_der_of_non_state_rejected(self):
+        cls = ModelClass("C")
+        cls.algebraic("a")
+        cls.equation(Der(Sym("a")), Const(1))
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(ModelError, match="not a declared state"):
+            model.flatten()
+
+    def test_explicit_algebraic(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        a = cls.algebraic("a")
+        cls.equation(a, 2 * x)
+        cls.ode(x, a)
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten()
+        assert len(flat.explicit_algs) == 1
+        assert flat.explicit_algs[0].var == "I.a"
+
+    def test_self_referencing_algebraic_is_implicit(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        a = cls.algebraic("a")
+        cls.equation(a, a * 0.5 + x)
+        cls.ode(x, a)
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten()
+        assert len(flat.implicit) == 1
+
+
+class TestValidation:
+    def test_undeclared_symbol(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        cls.ode(x, Sym("ghost"))
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(ModelError, match="undeclared"):
+            model.flatten()
+
+    def test_state_without_ode(self):
+        cls = ModelClass("C")
+        cls.state("x")
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(ModelError):
+            model.flatten()
+
+    def test_non_square(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        cls.algebraic("a")
+        cls.ode(x, -x)
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(ModelError, match="square"):
+            model.flatten()
+
+    def test_check_false_skips_validation(self):
+        cls = ModelClass("C")
+        cls.state("x")
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten(check=False)
+        assert flat.num_states == 1
+
+
+class TestInlining:
+    def test_chain_inlined_in_order(self):
+        cls = ModelClass("C")
+        x = cls.state("x", start=1.0)
+        a = cls.algebraic("a")
+        b = cls.algebraic("b")
+        cls.equation(a, 2 * x)
+        cls.equation(b, a + 1)
+        cls.ode(x, b)
+        model = Model("m")
+        model.instance("I", cls)
+        inlined = model.flatten().inline_algebraics()
+        assert not inlined.explicit_algs
+        rhs = inlined.odes[0].rhs
+        assert evaluate(rhs, {"I.x": 3.0}) == pytest.approx(7.0)
+
+    def test_algebraic_loop_detected(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        a = cls.algebraic("a")
+        b = cls.algebraic("b")
+        cls.equation(a, b + 1)
+        cls.equation(b, a - 1)
+        cls.ode(x, a)
+        model = Model("m")
+        model.instance("I", cls)
+        with pytest.raises(AlgebraicLoopError) as info:
+            model.flatten().inline_algebraics()
+        assert set(info.value.cycle) >= {"I.a", "I.b"}
+
+
+class TestBindParameters:
+    def test_values_substituted(self, oscillator_model):
+        flat = oscillator_model.flatten().bind_parameters()
+        assert not flat.parameters
+        rhs = {eq.state: eq.rhs for eq in flat.odes}["B.v"]
+        assert evaluate(rhs, {"B.x": 1.0}) == pytest.approx(-9.0)
+
+
+class TestTypecheck:
+    def test_clean_model_passes(self, oscillator_model):
+        report = check_types(oscillator_model.flatten())
+        assert report.num_checked_equations == 4
+        assert report.annotation("A.x") == "om$Real"
+
+    def test_nested_der_rejected(self):
+        cls = ModelClass("C")
+        x = cls.state("x")
+        y = cls.state("y")
+        cls.ode(x, y)
+        cls.equation(Der(x * y) + Der(y), -y)  # Der of a product
+        model = Model("m")
+        model.instance("I", cls)
+        flat = model.flatten(check=False)
+        with pytest.raises(TypeError_):
+            check_types(flat)
+
+    def test_start_vector_order(self, oscillator_model):
+        flat = oscillator_model.flatten()
+        starts = dict(zip(flat.states, flat.start_vector()))
+        assert starts["A.x"] == 1.0
+        assert starts["B.x"] == 2.0

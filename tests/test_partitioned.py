@@ -1,0 +1,147 @@
+"""Tests of the partitioned (subsystem-level) solver — the executable
+form of the paper's equation-system-level parallelism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_program, make_ode_system
+from repro.model import Model, ModelClass
+from repro.solver import Signal, solve_ivp, solve_partitioned
+
+
+class TestSignal:
+    def test_hermite_exact_for_cubic(self):
+        ts = np.linspace(0.0, 2.0, 9)
+        ys = ts**3 - ts
+        dys = 3 * ts**2 - 1
+        sig = Signal(ts, ys, dys)
+        for t in (0.13, 0.77, 1.5, 1.99):
+            assert sig(t) == pytest.approx(t**3 - t, abs=1e-12)
+
+    def test_clamping_outside_range(self):
+        sig = Signal(np.array([0.0, 1.0]), np.array([2.0, 5.0]),
+                     np.array([0.0, 0.0]))
+        assert sig(-1.0) == 2.0
+        assert sig(2.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Signal(np.array([0.0]), np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            Signal(np.array([0.0, 1.0]), np.array([1.0]), np.array([0.0]))
+
+
+def _chain_model():
+    """ref -> filter chain with closed-form pieces."""
+    shaper = ModelClass("Shaper")
+    r = shaper.state("r", start=0.0)
+    shaper.ode(r, 1.0 - r)  # r(t) = 1 - e^-t
+    follower = ModelClass("Follower")
+    follower.state("y", start=0.0)
+    model = Model("chain")
+    sh = model.instance("S", shaper)
+    fo = model.instance("F", follower)
+    model.ode(fo.sym("y"), sh.sym("r") - fo.sym("y"))
+    return model
+
+
+class TestSolvePartitioned:
+    def test_matches_monolithic_on_chain(self):
+        system = make_ode_system(_chain_model().flatten())
+        program = generate_program(system)
+        mono = solve_ivp(program.make_rhs(), (0.0, 4.0),
+                         program.start_vector(), method="rk45",
+                         rtol=1e-9, atol=1e-12)
+        part = solve_partitioned(system, (0.0, 4.0), method="rk45",
+                                 rtol=1e-9, atol=1e-12)
+        assert part.success
+        assert np.allclose(part.y_final, mono.y_final, atol=1e-6)
+
+    def test_closed_form_accuracy(self):
+        # y' = (1 - e^-t) - y, y(0)=0  =>  y = 1 - (1+t) e^-t.
+        system = make_ode_system(_chain_model().flatten())
+        part = solve_partitioned(system, (0.0, 4.0), method="rk45",
+                                 rtol=1e-9, atol=1e-12)
+        iy = system.state_names.index("F.y")
+        exact = 1.0 - (1.0 + 4.0) * math.exp(-4.0)
+        assert part.y_final[iy] == pytest.approx(exact, abs=1e-6)
+
+    def test_independent_step_sizes(self):
+        # Fast oscillator + slow decay, structurally independent.
+        fast = ModelClass("Fast")
+        x = fast.state("x", start=1.0)
+        v = fast.state("v", start=0.0)
+        fast.ode(x, v)
+        fast.ode(v, -400.0 * x)
+        slow = ModelClass("Slow")
+        s = slow.state("s", start=1.0)
+        slow.ode(s, -0.05 * s)
+        model = Model("two")
+        model.instance("F", fast)
+        model.instance("S", slow)
+        system = make_ode_system(model.flatten())
+        part = solve_partitioned(system, (0.0, 10.0), method="rk45",
+                                 rtol=1e-7, atol=1e-10)
+        assert part.success
+        fast_run = part.run_for("F.x")
+        slow_run = part.run_for("S.s")
+        assert slow_run.mean_step > 20 * fast_run.mean_step
+        i_s = system.state_names.index("S.s")
+        assert part.y_final[i_s] == pytest.approx(math.exp(-0.5), abs=1e-6)
+
+    def test_levels_and_structure(self, compiled_powerplant):
+        system = compiled_powerplant.system
+        part = solve_partitioned(system, (0.0, 50.0), method="lsoda",
+                                 rtol=1e-6, atol=1e-9)
+        assert part.success
+        assert len(part.levels) >= 2
+        # Level-0 subsystems are mutually independent.
+        level0_states = set()
+        for idx in part.levels[0]:
+            run = next(r for r in part.runs if r.index == idx)
+            level0_states.update(run.state_names)
+        assert "Dam.SurfaceLevel" not in level0_states
+
+    def test_matches_monolithic_on_powerplant(self, compiled_powerplant):
+        system = compiled_powerplant.system
+        program = compiled_powerplant.program
+        mono = solve_ivp(program.make_rhs(), (0.0, 200.0),
+                         program.start_vector(), method="lsoda",
+                         rtol=1e-8, atol=1e-11)
+        part = solve_partitioned(system, (0.0, 200.0), method="lsoda",
+                                 rtol=1e-8, atol=1e-11)
+        assert part.success
+        assert np.allclose(part.y_final, mono.y_final,
+                           rtol=1e-4, atol=1e-6)
+
+    def test_custom_y0(self):
+        system = make_ode_system(_chain_model().flatten())
+        part = solve_partitioned(system, (0.0, 1.0),
+                                 y0=[0.5, 0.0], method="rk45",
+                                 rtol=1e-9, atol=1e-12)
+        ir = system.state_names.index("S.r")
+        exact = 1.0 - 0.5 * math.exp(-1.0)
+        assert part.y_final[ir] == pytest.approx(exact, abs=1e-7)
+
+    def test_wrong_y0_length(self):
+        system = make_ode_system(_chain_model().flatten())
+        with pytest.raises(ValueError):
+            solve_partitioned(system, (0.0, 1.0), y0=[1.0])
+
+    def test_summary_text(self):
+        system = make_ode_system(_chain_model().flatten())
+        part = solve_partitioned(system, (0.0, 1.0))
+        text = part.summary()
+        assert "subsystem" in text
+        assert "mean h" in text
+
+    def test_single_scc_degenerates_to_monolithic(self, oscillator_model):
+        # Each oscillator is one SCC; two independent SCCs total.
+        system = make_ode_system(oscillator_model.flatten())
+        part = solve_partitioned(system, (0.0, 2.0), method="rk45",
+                                 rtol=1e-9, atol=1e-12)
+        assert len(part.runs) == 2
+        ix = system.state_names.index("A.x")
+        assert part.y_final[ix] == pytest.approx(math.cos(4.0), abs=1e-7)

@@ -1,0 +1,127 @@
+"""Tests of the 2-D method-of-lines extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_program, make_ode_system
+from repro.pde import Grid2D, PdeField2D, PdeProblem2D
+from repro.solver import ColoredFiniteDifferenceJacobian, solve_ivp
+from repro.symbolic import evaluate
+
+
+class TestGrid2D:
+    def test_geometry(self):
+        grid = Grid2D(5, 9, 0.0, 1.0, 0.0, 2.0)
+        assert grid.dx == pytest.approx(0.25)
+        assert grid.dy == pytest.approx(0.25)
+        assert grid.x(4) == pytest.approx(1.0)
+        assert grid.y(8) == pytest.approx(2.0)
+
+    def test_interior_count(self):
+        grid = Grid2D(5, 4)
+        assert len(list(grid.interior())) == 3 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(2, 5)
+        with pytest.raises(ValueError):
+            Grid2D(5, 5, 1.0, 0.0)
+        with pytest.raises(IndexError):
+            Grid2D(5, 5).x(9)
+
+
+class TestStencils2D:
+    def _flat(self, rhs_builder, boundary=lambda x, y: 0.0):
+        grid = Grid2D(5, 5, 0.0, 1.0, 0.0, 1.0)
+        prob = PdeProblem2D(grid)
+        fld = PdeField2D("u", initial=lambda x, y: 0.0, boundary=boundary)
+        prob.add(fld, lambda ctx: rhs_builder(ctx, fld))
+        return grid, fld, prob.discretize()
+
+    def test_laplacian_exact_for_quadratic(self):
+        # u = x^2 + y^2 -> laplacian = 4 everywhere, boundary consistent.
+        grid, fld, flat = self._flat(
+            lambda ctx, f: ctx.laplacian(f),
+            boundary=lambda x, y: x**2 + y**2,
+        )
+        env = {
+            fld.node_name(i, j): grid.x(i) ** 2 + grid.y(j) ** 2
+            for i in range(5)
+            for j in range(5)
+        }
+        for eq in flat.odes:
+            assert evaluate(eq.rhs, env) == pytest.approx(4.0)
+
+    def test_gradients_exact_for_linear(self):
+        grid, fld, flat = self._flat(
+            lambda ctx, f: ctx.ddx(f) + 10 * ctx.ddy(f),
+            boundary=lambda x, y: 2 * x + 3 * y,
+        )
+        env = {
+            fld.node_name(i, j): 2 * grid.x(i) + 3 * grid.y(j)
+            for i in range(5)
+            for j in range(5)
+        }
+        for eq in flat.odes:
+            assert evaluate(eq.rhs, env) == pytest.approx(2 + 30.0)
+
+    def test_boundary_nodes_not_states(self):
+        _grid, fld, flat = self._flat(lambda ctx, f: ctx.laplacian(f))
+        assert fld.node_name(0, 2) not in flat.states
+        assert fld.node_name(2, 2) in flat.states
+        assert flat.num_states == 9
+
+    def test_duplicate_field_rejected(self):
+        prob = PdeProblem2D(Grid2D(5, 5))
+        fld = PdeField2D("u", initial=lambda x, y: 0.0)
+        prob.add(fld, lambda ctx: 0)
+        with pytest.raises(ValueError):
+            prob.add(PdeField2D("u", initial=lambda x, y: 0.0),
+                     lambda ctx: 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PdeProblem2D(Grid2D(5, 5)).discretize()
+
+
+class TestHeat2D:
+    def test_matches_analytic(self):
+        """u0 = sin(pi x) sin(pi y) decays as exp(-2 pi^2 a t)."""
+        alpha = 0.05
+        grid = Grid2D(17, 17)
+        prob = PdeProblem2D(grid, name="heat2d")
+        fld = PdeField2D(
+            "u",
+            initial=lambda x, y: math.sin(math.pi * x) * math.sin(math.pi * y),
+        )
+        prob.add(fld, lambda ctx: alpha * ctx.laplacian(fld))
+        system = make_ode_system(prob.discretize())
+        program = generate_program(system)
+        f = program.make_rhs()
+        jac = ColoredFiniteDifferenceJacobian(f, system)
+        # 5-point stencil: a handful of colors instead of 225 columns.
+        assert jac.num_colors <= 10
+        r = solve_ivp(f, (0.0, 0.5), program.start_vector(), method="bdf",
+                      rtol=1e-7, atol=1e-10, jac=jac)
+        assert r.success
+        mid = system.state_names.index("u[8,8]")
+        exact = math.exp(-2 * math.pi**2 * alpha * 0.5)
+        assert r.y_final[mid] == pytest.approx(exact, abs=2e-3)
+
+    def test_maximum_principle(self):
+        grid = Grid2D(9, 9)
+        prob = PdeProblem2D(grid)
+        fld = PdeField2D(
+            "u", initial=lambda x, y: 1.0 if (x, y) == (0.5, 0.5) else 0.0
+        )
+        prob.add(fld, lambda ctx: 0.1 * ctx.laplacian(fld))
+        system = make_ode_system(prob.discretize())
+        program = generate_program(system)
+        r = solve_ivp(program.make_rhs(), (0.0, 1.0),
+                      program.start_vector(), method="bdf",
+                      rtol=1e-7, atol=1e-10)
+        assert r.success
+        assert np.all(r.ys <= 1.0 + 1e-9)
+        assert np.all(r.ys >= -1e-6)

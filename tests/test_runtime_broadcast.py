@@ -1,0 +1,70 @@
+"""Tests of the broadcast (shared-address-space) machine mode and the
+large-MIMD preset used by the section-6 extrapolation."""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime import (
+    LARGE_SHARED_MIMD,
+    PAPER_COMPUTE_SPEED,
+    PARSYTEC_GCPP,
+    SPARCCENTER_2000,
+    simulate_round,
+    speedup_curve,
+)
+from repro.schedule import Task, TaskGraph, lpt_schedule
+
+
+def _graph(weights):
+    return TaskGraph(
+        [Task(i, f"t{i}", (f"der:s{i}",), ("s0",), w)
+         for i, w in enumerate(weights)]
+    )
+
+
+class TestBroadcastMode:
+    def test_preset_flags(self):
+        assert LARGE_SHARED_MIMD.broadcast
+        assert not SPARCCENTER_2000.broadcast
+        assert not PARSYTEC_GCPP.broadcast
+        assert 0 < PAPER_COMPUTE_SPEED < 1
+
+    def test_broadcast_beats_serialised_sends_at_scale(self):
+        g = _graph([1e-4] * 256)
+        serialised = dataclasses.replace(LARGE_SHARED_MIMD, broadcast=False)
+        n = 256
+        w = 64
+        t_b = simulate_round(
+            g, lpt_schedule(g, w), LARGE_SHARED_MIMD, n
+        ).round_time
+        t_s = simulate_round(g, lpt_schedule(g, w), serialised, n).round_time
+        assert t_b < t_s
+
+    def test_broadcast_equal_at_one_worker(self):
+        g = _graph([1e-4] * 8)
+        serialised = dataclasses.replace(LARGE_SHARED_MIMD, broadcast=False)
+        t_b = simulate_round(g, lpt_schedule(g, 1), LARGE_SHARED_MIMD, 8)
+        t_s = simulate_round(g, lpt_schedule(g, 1), serialised, 8)
+        assert t_b.round_time == pytest.approx(t_s.round_time)
+
+    def test_barrier_grows_logarithmically(self):
+        g = _graph([1e-3] * 512)
+        times = {}
+        for w in (4, 64):
+            times[w] = simulate_round(
+                g, lpt_schedule(g, w), LARGE_SHARED_MIMD, 512
+            )
+        # Gather overhead (writes + barrier) grows slowly with workers.
+        assert times[64].gather_time < 4 * times[4].gather_time
+
+    def test_scalability_regime(self):
+        """On the broadcast machine, equal fine-grain tasks keep scaling
+        far past the point where the serialised-send machine saturates."""
+        machine = dataclasses.replace(
+            LARGE_SHARED_MIMD, compute_speed=PAPER_COMPUTE_SPEED
+        )
+        g = _graph([2e-5] * 1024)
+        curve = dict(speedup_curve(g, machine, 1024, (1, 16, 128, 256)))
+        assert curve[128] > 40 * curve[1]
+        assert curve[256] >= curve[128] * 0.9

@@ -1,0 +1,249 @@
+"""Scheduler tests: task graphs, LPT (with Graham-bound property test),
+semi-dynamic LPT, DAG list scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule import (
+    SemiDynamicScheduler,
+    Task,
+    TaskGraph,
+    graham_bound,
+    list_schedule,
+    lpt_schedule,
+    makespan_lower_bound,
+    speedup_estimate,
+)
+
+
+def _tasks(weights, deps=None):
+    deps = deps or {}
+    return TaskGraph(
+        [
+            Task(
+                task_id=i,
+                name=f"t{i}",
+                outputs=(f"o{i}",),
+                inputs=(),
+                weight=w,
+                depends_on=tuple(deps.get(i, ())),
+            )
+            for i, w in enumerate(weights)
+        ]
+    )
+
+
+class TestTaskGraph:
+    def test_ids_must_be_contiguous(self):
+        with pytest.raises(ValueError):
+            TaskGraph([Task(1, "t", (), (), 1.0)])
+
+    def test_invalid_dependency(self):
+        with pytest.raises(ValueError):
+            _tasks([1.0, 1.0], deps={0: [5]})
+
+    def test_self_dependency(self):
+        with pytest.raises(ValueError):
+            _tasks([1.0], deps={0: [0]})
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            _tasks([1.0, 1.0], deps={0: [1], 1: [0]})
+
+    def test_totals(self):
+        g = _tasks([1.0, 2.0, 3.0])
+        assert g.total_weight == 6.0
+        assert g.max_weight == 3.0
+        assert g.independent()
+
+    def test_critical_path(self):
+        g = _tasks([1.0, 2.0, 3.0], deps={2: [0], 0: [1]})
+        assert g.critical_path_weight() == 6.0
+        g2 = _tasks([1.0, 2.0, 3.0], deps={2: [1]})
+        assert g2.critical_path_weight() == 5.0
+
+    def test_with_weights(self):
+        g = _tasks([1.0, 2.0])
+        g2 = g.with_weights([5.0, 6.0])
+        assert g2.total_weight == 11.0
+        assert g.total_weight == 3.0  # original untouched
+
+
+class TestLpt:
+    def test_classic_lpt_example(self):
+        # The textbook LPT worst-case family: OPT is 9 ({5,4} | {3,3,3})
+        # but LPT produces 10 — still within Graham's (4/3 - 1/6)·OPT.
+        g = _tasks([5.0, 4.0, 3.0, 3.0, 3.0])
+        s = lpt_schedule(g, 2)
+        assert s.makespan == pytest.approx(10.0)
+        assert s.makespan <= graham_bound(2) * 9.0
+
+    def test_all_on_one_worker(self):
+        g = _tasks([1.0, 2.0])
+        s = lpt_schedule(g, 1)
+        assert s.makespan == 3.0
+        assert s.assignment == (0, 0)
+
+    def test_more_workers_than_tasks(self):
+        g = _tasks([3.0, 1.0])
+        s = lpt_schedule(g, 5)
+        assert s.makespan == 3.0
+
+    def test_deterministic(self):
+        g = _tasks([3.0, 3.0, 2.0, 2.0, 1.0])
+        assert lpt_schedule(g, 3).assignment == lpt_schedule(g, 3).assignment
+
+    def test_tasks_of(self):
+        g = _tasks([5.0, 1.0])
+        s = lpt_schedule(g, 2)
+        all_ids = set()
+        for w in range(2):
+            all_ids.update(s.tasks_of(w))
+        assert all_ids == {0, 1}
+
+    def test_imbalance_of_balanced(self):
+        g = _tasks([1.0] * 8)
+        s = lpt_schedule(g, 4)
+        assert s.imbalance == pytest.approx(1.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            lpt_schedule(_tasks([1.0]), 0)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30),
+        st.integers(1, 8),
+    )
+    def test_list_scheduling_guarantee_property(self, weights, m):
+        """Any list schedule obeys makespan ≤ mean load + (1 − 1/m)·p_max
+        (Graham 1966), and can never beat the trivial lower bound."""
+        g = _tasks(weights)
+        s = lpt_schedule(g, m)
+        lower = makespan_lower_bound(g, m)
+        guarantee = g.total_weight / m + (1.0 - 1.0 / m) * g.max_weight
+        assert lower - 1e-9 <= s.makespan <= guarantee + 1e-9
+        # Sanity: every task placed exactly once.
+        assert sorted(
+            tid for w in range(m) for tid in s.tasks_of(w)
+        ) == list(range(len(weights)))
+        # Loads consistent with assignment.
+        for w in range(m):
+            expected = sum(weights[tid] for tid in s.tasks_of(w))
+            assert s.loads[w] == pytest.approx(expected)
+
+    def test_speedup_estimate(self):
+        g = _tasks([1.0] * 8)
+        s = lpt_schedule(g, 4)
+        assert speedup_estimate(g, s) == pytest.approx(4.0)
+
+
+class TestSemiDynamic:
+    def test_reschedules_on_schedule(self):
+        g = _tasks([1.0, 1.0, 1.0, 1.0])
+        sched = SemiDynamicScheduler(g, 2, reschedule_every=3)
+        for _ in range(3):
+            sched.observe([1.0, 1.0, 1.0, 1.0])
+        assert sched.num_reschedules == 1
+
+    def test_adapts_to_changed_weights(self):
+        g = _tasks([1.0, 1.0, 1.0, 1.0])
+        sched = SemiDynamicScheduler(g, 2, reschedule_every=1, smoothing=1.0)
+        # Task 0 suddenly dominates: it must end up alone on a worker.
+        schedule = sched.observe([30.0, 1.0, 1.0, 1.0])
+        w0 = schedule.assignment[0]
+        assert schedule.tasks_of(w0) == (0,)
+
+    def test_smoothing(self):
+        g = _tasks([1.0, 1.0])
+        sched = SemiDynamicScheduler(g, 1, smoothing=0.5)
+        sched.observe([3.0, 1.0])
+        assert sched.estimates[0] == pytest.approx(2.0)
+
+    def test_overhead_accounted(self):
+        g = _tasks([1.0] * 16)
+        sched = SemiDynamicScheduler(g, 4, reschedule_every=1)
+        for _ in range(10):
+            sched.observe([1.0] * 16)
+        assert sched.overhead_seconds > 0
+        assert sched.overhead_fraction(1e9) < 1e-6
+
+    def test_validation(self):
+        g = _tasks([1.0])
+        with pytest.raises(ValueError):
+            SemiDynamicScheduler(g, 1, smoothing=0.0)
+        with pytest.raises(ValueError):
+            SemiDynamicScheduler(g, 1, reschedule_every=0)
+        sched = SemiDynamicScheduler(g, 1)
+        with pytest.raises(ValueError):
+            sched.observe([1.0, 2.0])
+        with pytest.raises(ValueError):
+            sched.observe([-1.0])
+
+
+class TestListSchedule:
+    def test_respects_dependencies(self):
+        g = _tasks([2.0, 2.0, 1.0], deps={2: [0, 1]})
+        s = list_schedule(g, 2)
+        assert s.start_times[2] >= max(s.finish_times[0], s.finish_times[1])
+
+    def test_communication_charged_cross_worker(self):
+        g = _tasks([1.0, 1.0, 1.0], deps={2: [0, 1]})
+        no_comm = list_schedule(g, 2, comm_latency=0.0)
+        with_comm = list_schedule(g, 2, comm_latency=5.0)
+        assert with_comm.makespan > no_comm.makespan
+
+    def test_single_worker_serialises(self):
+        g = _tasks([1.0, 2.0, 3.0])
+        s = list_schedule(g, 1)
+        assert s.makespan == pytest.approx(6.0)
+
+    def test_independent_tasks_parallelise(self):
+        g = _tasks([1.0] * 4)
+        s = list_schedule(g, 4)
+        assert s.makespan == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        s = list_schedule(TaskGraph([]), 3)
+        assert s.makespan == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=15),
+        st.integers(1, 4),
+    )
+    def test_valid_schedule_property(self, weights, m):
+        # Chain dependencies: each task depends on the previous one.
+        deps = {i: [i - 1] for i in range(1, len(weights))}
+        g = _tasks(weights, deps)
+        s = list_schedule(g, m, comm_latency=0.05)
+        # No worker overlap.
+        for w in range(m):
+            ids = s.tasks_of(w)
+            for a, b in zip(ids, ids[1:]):
+                assert s.start_times[b] >= s.finish_times[a] - 1e-12
+        # Dependencies satisfied.
+        for task in g:
+            for dep in task.depends_on:
+                assert s.start_times[task.task_id] >= (
+                    s.finish_times[dep] - 1e-12
+                )
+        # A pure chain cannot beat the critical path.
+        assert s.makespan >= g.critical_path_weight() - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.floats(0.01, 50.0), min_size=1, max_size=20),
+    st.lists(st.floats(0.01, 50.0), min_size=1, max_size=20),
+    st.integers(1, 6),
+)
+def test_lpt_weight_override_consistent(static_weights, override, m):
+    """The weights= fast path must agree with rebuilding the graph."""
+    n = min(len(static_weights), len(override))
+    g = _tasks(static_weights[:n])
+    fast = lpt_schedule(g, m, weights=override[:n])
+    slow = lpt_schedule(g.with_weights(override[:n]), m)
+    assert fast.assignment == slow.assignment
+    assert fast.loads == pytest.approx(slow.loads)

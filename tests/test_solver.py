@@ -1,0 +1,331 @@
+"""Solver substrate tests: convergence orders, stiff problems, Jacobians,
+LSODA switching, resampling, and scipy cross-validation."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.integrate as si
+
+from repro.solver import (
+    AnalyticJacobian,
+    FiniteDifferenceJacobian,
+    SolverOptions,
+    adams_adaptive,
+    bdf_adaptive,
+    estimate_spectral_radius,
+    hermite_resample,
+    lsoda_adaptive,
+    rk4_fixed,
+    rk45_adaptive,
+    solve_ivp,
+)
+from repro.solver.common import Stats, error_norm, initial_step, validate_tspan
+
+
+def oscillator(t, y):
+    return np.array([y[1], -y[0]])
+
+
+def decay(t, y):
+    return -y
+
+
+def robertson(t, y):
+    return np.array(
+        [
+            -0.04 * y[0] + 1e4 * y[1] * y[2],
+            0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] ** 2,
+            3e7 * y[1] ** 2,
+        ]
+    )
+
+
+def vdp5(t, y):
+    return np.array([y[1], 5 * (1 - y[0] ** 2) * y[1] - y[0]])
+
+
+class TestCommon:
+    def test_error_norm_weighted(self):
+        err = np.array([1e-7, 1e-7])
+        y = np.array([1.0, 1.0])
+        assert error_norm(err, y, y, rtol=1e-6, atol=1e-9) < 1.0
+        assert error_norm(err * 100, y, y, rtol=1e-6, atol=1e-9) > 1.0
+
+    def test_validate_tspan(self):
+        assert validate_tspan(0.0, 1.0) == 1.0
+        assert validate_tspan(1.0, 0.0) == -1.0
+        with pytest.raises(ValueError):
+            validate_tspan(1.0, 1.0)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SolverOptions(rtol=0.0)
+        with pytest.raises(ValueError):
+            SolverOptions(max_step=0.0)
+        with pytest.raises(ValueError):
+            SolverOptions(max_steps=0)
+
+    def test_initial_step_reasonable(self):
+        f0 = oscillator(0.0, np.array([1.0, 0.0]))
+        stats = Stats()
+        h = initial_step(
+            oscillator, 0.0, np.array([1.0, 0.0]), f0, 1.0, 4,
+            1e-6, 1e-9, np.inf,
+        )
+        assert 1e-6 < h < 1.0
+
+
+class TestRk4Fixed:
+    def test_fourth_order_convergence(self):
+        errors = []
+        for n in (50, 100, 200):
+            r = rk4_fixed(decay, (0.0, 1.0), [1.0], num_steps=n)
+            errors.append(abs(r.y_final[0] - math.exp(-1.0)))
+        rate1 = math.log2(errors[0] / errors[1])
+        rate2 = math.log2(errors[1] / errors[2])
+        assert 3.7 < rate1 < 4.3
+        assert 3.7 < rate2 < 4.3
+
+    def test_step_count(self):
+        r = rk4_fixed(decay, (0.0, 1.0), [1.0], num_steps=10)
+        assert len(r.ts) == 11
+        assert r.stats.nfev == 40
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            rk4_fixed(decay, (0.0, 1.0), [1.0], num_steps=0)
+
+
+class TestRk45:
+    def test_oscillator_accuracy(self):
+        opts = SolverOptions(rtol=1e-9, atol=1e-12)
+        r = rk45_adaptive(oscillator, (0.0, 10.0), [1.0, 0.0], opts)
+        assert r.success
+        assert r.y_final[0] == pytest.approx(math.cos(10.0), abs=1e-7)
+
+    def test_tolerance_scaling(self):
+        errs = []
+        for rtol in (1e-5, 1e-8):
+            opts = SolverOptions(rtol=rtol, atol=rtol * 1e-3)
+            r = rk45_adaptive(oscillator, (0.0, 10.0), [1.0, 0.0], opts)
+            errs.append(abs(r.y_final[0] - math.cos(10.0)))
+        assert errs[1] < errs[0] / 10
+
+    def test_backward_integration(self):
+        opts = SolverOptions(rtol=1e-8, atol=1e-11)
+        r = rk45_adaptive(decay, (1.0, 0.0), [math.exp(-1.0)], opts)
+        assert r.success
+        assert r.y_final[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_max_steps_failure(self):
+        opts = SolverOptions(rtol=1e-12, atol=1e-14, max_steps=5)
+        r = rk45_adaptive(oscillator, (0.0, 100.0), [1.0, 0.0], opts)
+        assert not r.success
+        assert "maximum step count" in r.message
+
+    def test_max_step_respected(self):
+        opts = SolverOptions(rtol=1e-3, atol=1e-6, max_step=0.01)
+        r = rk45_adaptive(decay, (0.0, 1.0), [1.0], opts)
+        assert np.max(np.diff(r.ts)) <= 0.01 + 1e-12
+
+    def test_first_step_honoured(self):
+        opts = SolverOptions(rtol=1e-6, atol=1e-9, first_step=1e-4)
+        r = rk45_adaptive(decay, (0.0, 1.0), [1.0], opts)
+        assert r.ts[1] - r.ts[0] == pytest.approx(1e-4)
+
+
+class TestAdams:
+    def test_accuracy_tracks_tolerance(self):
+        errors = {}
+        for rtol in (1e-5, 1e-7, 1e-9):
+            opts = SolverOptions(rtol=rtol, atol=rtol * 1e-2)
+            r = adams_adaptive(oscillator, (0.0, 10.0), [1.0, 0.0], opts)
+            assert r.success
+            errors[rtol] = abs(r.y_final[0] - math.cos(10.0))
+        assert errors[1e-7] < errors[1e-5]
+        assert errors[1e-9] < errors[1e-7]
+
+    def test_order_ramps_up(self):
+        from repro.solver.adams import AdamsStepper
+
+        stats = Stats()
+        opts = SolverOptions(rtol=1e-8, atol=1e-10)
+        stepper = AdamsStepper(
+            oscillator, 0.0, np.array([1.0, 0.0]), 1.0, opts, stats
+        )
+        for _ in range(30):
+            assert stepper.step(10.0)
+        assert stepper.order >= 3
+
+    def test_efficiency_vs_naive(self):
+        # At tight tolerance the multistep method needs far fewer RHS
+        # evaluations per step than RK45's 6.
+        opts = SolverOptions(rtol=1e-8, atol=1e-10)
+        r = adams_adaptive(oscillator, (0.0, 10.0), [1.0, 0.0], opts)
+        assert r.stats.nfev / r.stats.naccepted < 3.0
+
+    def test_exponential_decay(self):
+        opts = SolverOptions(rtol=1e-9, atol=1e-12)
+        r = adams_adaptive(decay, (0.0, 5.0), [1.0], opts)
+        assert r.y_final[0] == pytest.approx(math.exp(-5.0), abs=1e-7)
+
+
+class TestBdf:
+    def test_robertson_vs_scipy(self):
+        ref = si.solve_ivp(
+            robertson, (0.0, 100.0), [1.0, 0.0, 0.0], method="BDF",
+            rtol=1e-10, atol=1e-14,
+        )
+        r = bdf_adaptive(
+            robertson, (0.0, 100.0), [1.0, 0.0, 0.0],
+            SolverOptions(rtol=1e-7, atol=1e-11),
+        )
+        assert r.success
+        assert np.allclose(r.y_final, ref.y[:, -1], rtol=1e-4, atol=1e-9)
+
+    def test_stiff_efficiency(self):
+        # An explicit method would need ~1e6 steps for this span; BDF
+        # should need a few hundred.
+        r = bdf_adaptive(
+            robertson, (0.0, 1000.0), [1.0, 0.0, 0.0],
+            SolverOptions(rtol=1e-6, atol=1e-10),
+        )
+        assert r.success
+        assert r.stats.naccepted < 2000
+
+    def test_analytic_jacobian_reduces_nfev(self):
+        def jac(t, y):
+            return np.array(
+                [
+                    [-0.04, 1e4 * y[2], 1e4 * y[1]],
+                    [0.04, -1e4 * y[2] - 6e7 * y[1], -1e4 * y[1]],
+                    [0.0, 6e7 * y[1], 0.0],
+                ]
+            )
+
+        opts = SolverOptions(rtol=1e-7, atol=1e-11)
+        with_fd = bdf_adaptive(robertson, (0.0, 100.0), [1.0, 0.0, 0.0], opts)
+        with_an = bdf_adaptive(
+            robertson, (0.0, 100.0), [1.0, 0.0, 0.0], opts,
+            jac=AnalyticJacobian(jac),
+        )
+        assert with_an.success and with_fd.success
+        assert with_an.stats.nfev < with_fd.stats.nfev
+        assert np.allclose(with_an.y_final, with_fd.y_final, rtol=1e-4)
+
+    def test_linear_problem_exact_order(self):
+        # y' = -y with loose Newton: still accurate to tolerance.
+        r = bdf_adaptive(
+            decay, (0.0, 2.0), [1.0], SolverOptions(rtol=1e-8, atol=1e-11)
+        )
+        assert r.y_final[0] == pytest.approx(math.exp(-2.0), abs=1e-6)
+
+    def test_order_increases(self):
+        from repro.solver.bdf import BdfStepper
+
+        stats = Stats()
+        stepper = BdfStepper(
+            decay, 0.0, np.array([1.0]), 1.0,
+            SolverOptions(rtol=1e-8, atol=1e-11), stats,
+        )
+        for _ in range(50):
+            assert stepper.step(10.0)
+        assert stepper.order >= 2
+
+
+class TestJacobianProviders:
+    def test_finite_difference_accuracy(self):
+        fd = FiniteDifferenceJacobian(vdp5, 2)
+        y = np.array([1.0, 2.0])
+        J = fd(0.0, y, vdp5(0.0, y))
+        exact = np.array(
+            [[0.0, 1.0], [-10.0 * y[0] * y[1] - 1.0, 5 * (1 - y[0] ** 2)]]
+        )
+        assert np.allclose(J, exact, rtol=1e-5, atol=1e-5)
+        assert fd.rhs_evals_per_call == 2
+
+    def test_analytic_passthrough(self):
+        jac = AnalyticJacobian(lambda t, y: np.eye(2) * 3.0)
+        J = jac(0.0, np.zeros(2), None)
+        assert np.allclose(J, 3 * np.eye(2))
+        assert jac.nevals == 1
+
+
+class TestLsoda:
+    def test_spectral_radius_estimate(self):
+        # Linear system with eigenvalues -1, -1000.
+        A = np.diag([-1.0, -1000.0])
+
+        def f(t, y):
+            return A @ y
+
+        y = np.array([1.0, 1.0])
+        rho = estimate_spectral_radius(f, 0.0, y, f(0.0, y))
+        assert rho == pytest.approx(1000.0, rel=0.2)
+
+    def test_switches_to_bdf_on_robertson(self):
+        r = lsoda_adaptive(
+            robertson, (0.0, 100.0), [1.0, 0.0, 0.0],
+            SolverOptions(rtol=1e-6, atol=1e-10),
+        )
+        assert r.success
+        assert r.stats.method_switches >= 1
+        assert "bdf" in r.method_log
+
+    def test_stays_adams_on_nonstiff(self):
+        r = lsoda_adaptive(
+            oscillator, (0.0, 20.0), [1.0, 0.0],
+            SolverOptions(rtol=1e-7, atol=1e-10),
+        )
+        assert r.success
+        assert set(r.method_log) == {"adams"}
+
+    def test_accuracy_on_vdp(self):
+        ref = si.solve_ivp(vdp5, (0.0, 20.0), [2.0, 0.0], method="LSODA",
+                           rtol=1e-10, atol=1e-12)
+        r = lsoda_adaptive(
+            vdp5, (0.0, 20.0), [2.0, 0.0],
+            SolverOptions(rtol=1e-7, atol=1e-9),
+        )
+        assert r.success
+        assert np.allclose(r.y_final, ref.y[:, -1], rtol=1e-3, atol=1e-4)
+
+
+class TestSolveIvp:
+    def test_method_dispatch(self):
+        for method in ("lsoda", "adams", "bdf", "rk45", "rk4"):
+            r = solve_ivp(decay, (0.0, 1.0), [1.0], method=method,
+                          rtol=1e-7, atol=1e-10)
+            assert r.success, method
+            assert r.y_final[0] == pytest.approx(math.exp(-1.0), abs=1e-5)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve_ivp(decay, (0.0, 1.0), [1.0], method="euler")
+
+    def test_t_eval_resampling(self):
+        t_eval = np.linspace(0.0, 10.0, 23)
+        r = solve_ivp(oscillator, (0.0, 10.0), [1.0, 0.0], method="rk45",
+                      rtol=1e-9, atol=1e-12, t_eval=t_eval)
+        assert r.ts == pytest.approx(t_eval)
+        assert np.allclose(r.ys[:, 0], np.cos(t_eval), atol=1e-6)
+
+    def test_t_eval_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            solve_ivp(decay, (0.0, 1.0), [1.0], t_eval=[2.0])
+
+    def test_callable_jac_accepted(self):
+        r = solve_ivp(
+            decay, (0.0, 1.0), [1.0], method="bdf",
+            jac=lambda t, y: np.array([[-1.0]]),
+            rtol=1e-8, atol=1e-11,
+        )
+        assert r.success
+
+    def test_hermite_resample_interior_accuracy(self):
+        r = solve_ivp(oscillator, (0.0, 6.0), [1.0, 0.0], method="rk45",
+                      rtol=1e-10, atol=1e-13)
+        mid = (r.ts[:-1] + r.ts[1:]) / 2
+        resampled = hermite_resample(r, oscillator, mid[:20])
+        assert np.allclose(resampled.ys[:, 0], np.cos(mid[:20]), atol=1e-7)

@@ -1,0 +1,153 @@
+"""Edge-case and robustness tests for the solver substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    SolverOptions,
+    adams_adaptive,
+    bdf_adaptive,
+    hermite_resample,
+    lsoda_adaptive,
+    rk45_adaptive,
+    solve_ivp,
+)
+from repro.solver.common import Stats
+from repro.solver.lsoda import estimate_spectral_radius
+
+
+def decay(t, y):
+    return -y
+
+
+def oscillator(t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestBackwardIntegration:
+    @pytest.mark.parametrize("method", ["rk45", "adams", "bdf", "lsoda"])
+    def test_backward_decay(self, method):
+        # Integrate y' = -y backwards from t=1 to t=0; y(1) = e^-1.
+        r = solve_ivp(decay, (1.0, 0.0), [math.exp(-1.0)], method=method,
+                      rtol=1e-8, atol=1e-11)
+        assert r.success, (method, r.message)
+        assert r.y_final[0] == pytest.approx(1.0, rel=1e-5)
+        assert r.t_final == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("method", ["rk45", "adams", "bdf"])
+    def test_backward_oscillator(self, method):
+        r = solve_ivp(oscillator, (5.0, 0.0),
+                      [math.cos(5.0), -math.sin(5.0)], method=method,
+                      rtol=1e-8, atol=1e-11)
+        assert r.success
+        assert r.y_final[0] == pytest.approx(1.0, abs=1e-4)
+        assert r.y_final[1] == pytest.approx(0.0, abs=1e-4)
+
+
+class TestTerminationAndLimits:
+    @pytest.mark.parametrize("method", ["adams", "bdf", "lsoda"])
+    def test_max_steps_reported(self, method):
+        r = solve_ivp(oscillator, (0.0, 1e6), [1.0, 0.0], method=method,
+                      rtol=1e-10, atol=1e-13, max_steps=20)
+        assert not r.success
+        assert "maximum step count" in r.message
+
+    def test_exact_endpoint_hit(self):
+        for method in ("rk45", "adams", "bdf", "lsoda"):
+            r = solve_ivp(decay, (0.0, 1.2345), [1.0], method=method,
+                          rtol=1e-7, atol=1e-10)
+            assert r.t_final == pytest.approx(1.2345, abs=1e-10), method
+
+    def test_stats_consistency(self):
+        r = solve_ivp(oscillator, (0.0, 10.0), [1.0, 0.0], method="rk45",
+                      rtol=1e-7, atol=1e-10)
+        s = r.stats
+        assert s.nsteps == s.naccepted + s.nrejected
+        assert len(r.ts) == s.naccepted + 1
+
+    def test_bdf_counts_lu_and_jacobians(self):
+        r = solve_ivp(decay, (0.0, 5.0), [1.0], method="bdf",
+                      rtol=1e-8, atol=1e-11)
+        assert r.stats.njev >= 1
+        assert r.stats.nlu >= r.stats.njev
+        assert r.stats.newton_iters > 0
+
+    def test_lsoda_method_log_lengths(self):
+        r = solve_ivp(oscillator, (0.0, 5.0), [1.0, 0.0], method="lsoda",
+                      rtol=1e-6, atol=1e-9)
+        assert len(r.method_log) == r.stats.naccepted
+
+
+class TestSpectralRadius:
+    def test_zero_rhs(self):
+        def f(t, y):
+            return np.zeros_like(y)
+
+        rho = estimate_spectral_radius(f, 0.0, np.ones(3), np.zeros(3))
+        assert rho == pytest.approx(0.0, abs=1e-6)
+
+    def test_scaling_invariance(self):
+        A = np.diag([-3.0, -7.0])
+
+        def f(t, y):
+            return A @ y
+
+        rho_small = estimate_spectral_radius(
+            f, 0.0, np.array([1e-8, 1e-8]), f(0.0, np.array([1e-8, 1e-8]))
+        )
+        rho_large = estimate_spectral_radius(
+            f, 0.0, np.array([1e6, 1e6]), f(0.0, np.array([1e6, 1e6]))
+        )
+        assert rho_small == pytest.approx(7.0, rel=0.1)
+        assert rho_large == pytest.approx(7.0, rel=0.1)
+
+
+class TestResampling:
+    def test_multistep_with_t_eval(self):
+        t_eval = np.linspace(0.0, 5.0, 11)
+        r = solve_ivp(oscillator, (0.0, 5.0), [1.0, 0.0], method="adams",
+                      rtol=1e-9, atol=1e-12, t_eval=t_eval)
+        assert np.allclose(r.ys[:, 0], np.cos(t_eval), atol=1e-5)
+
+    def test_endpoints_included(self):
+        r = solve_ivp(decay, (0.0, 1.0), [1.0], method="rk45",
+                      rtol=1e-9, atol=1e-12, t_eval=[0.0, 1.0])
+        assert r.ys[0, 0] == pytest.approx(1.0)
+        assert r.ys[1, 0] == pytest.approx(math.exp(-1.0), rel=1e-7)
+
+    def test_backward_resampling(self):
+        t_eval = [0.8, 0.5, 0.2]
+        r = solve_ivp(decay, (1.0, 0.0), [math.exp(-1.0)], method="rk45",
+                      rtol=1e-9, atol=1e-12, t_eval=t_eval)
+        assert np.allclose(r.ys[:, 0], np.exp(-np.asarray(t_eval)),
+                           rtol=1e-6)
+
+
+class TestStiffnessStress:
+    def test_strongly_damped_linear(self):
+        # y' = -1000 (y - cos t) - sin t; solution tends to cos t.
+        def f(t, y):
+            return np.array([-1000.0 * (y[0] - math.cos(t)) - math.sin(t)])
+
+        r = solve_ivp(f, (0.0, 3.0), [0.0], method="lsoda",
+                      rtol=1e-6, atol=1e-9)
+        assert r.success
+        assert r.y_final[0] == pytest.approx(math.cos(3.0), abs=1e-4)
+        # An explicit method would need ~h < 2/1000 steps: ~1500 minimum.
+        assert r.stats.naccepted < 1200
+
+    def test_bdf_high_order_reached(self):
+        from repro.solver.bdf import BdfStepper
+        from repro.solver.common import SolverOptions, Stats
+
+        stats = Stats()
+        stepper = BdfStepper(
+            decay, 0.0, np.array([1.0]), 1.0,
+            SolverOptions(rtol=1e-10, atol=1e-13), stats,
+        )
+        for _ in range(200):
+            if not stepper.step(50.0):
+                break
+        assert stepper.order >= 3

@@ -1,0 +1,198 @@
+"""CSE, simplify, expand, and metric tests."""
+
+import pytest
+
+from repro.symbolic import (
+    Const,
+    ITE,
+    Rel,
+    Sym,
+    add,
+    cse,
+    cse_grouped,
+    depth,
+    evaluate,
+    expand,
+    mul,
+    op_count,
+    op_histogram,
+    pow_,
+    simplify,
+    sin,
+    sqrt,
+    substitute,
+    symbols,
+)
+
+x, y, z = symbols("x y z")
+
+
+class TestCse:
+    def test_shared_subexpression_extracted(self):
+        big = (x + y) ** 2
+        result = cse([big + sin(big), big * 3])
+        assert result.num_extracted == 1
+        temp, definition = result.replacements[0]
+        assert definition == big
+        assert result.exprs[0] == temp + sin(temp)
+        assert result.exprs[1] == 3 * temp
+
+    def test_no_sharing_no_extraction(self):
+        result = cse([x + y, x * y])
+        assert result.num_extracted == 0
+        assert result.exprs == (x + y, x * y)
+
+    def test_nested_extraction_ordered(self):
+        inner = x + y
+        outer = sin(inner) * 2
+        exprs = [outer + inner, outer - inner]
+        result = cse(exprs)
+        # Each temp's definition may only reference earlier temps.
+        defined = set()
+        for temp, definition in result.replacements:
+            from repro.symbolic import free_symbols
+
+            for s in free_symbols(definition):
+                if s.name.startswith("cse"):
+                    assert s.name in defined
+            defined.add(temp.name)
+
+    def test_semantics_preserved(self):
+        exprs = [
+            sqrt((x - y) ** 2 + 1) * sin((x - y) ** 2 + 1),
+            ((x - y) ** 2 + 1) ** 2,
+        ]
+        result = cse(exprs)
+        assert result.num_extracted >= 1
+        env = {"x": 1.3, "y": -0.4}
+        temp_env = dict(env)
+        for temp, definition in result.replacements:
+            temp_env[temp.name] = evaluate(definition, temp_env)
+        for original, rewritten in zip(exprs, result.exprs):
+            assert evaluate(rewritten, temp_env) == pytest.approx(
+                evaluate(original, env)
+            )
+
+    def test_leaves_never_extracted(self):
+        result = cse([x + 1, x + 2, x * 3])
+        for _, definition in result.replacements:
+            assert definition.args
+
+    def test_cheap_scaling_not_extracted(self):
+        # 2*x appears twice but is cheaper to recompute than to name.
+        result = cse([2 * x + y, 2 * x + z])
+        assert all(
+            definition != 2 * x for _, definition in result.replacements
+        )
+
+    def test_custom_prefix_and_start(self):
+        big = sin(x + y)
+        result = cse([big, big * 2], symbol_prefix="tmp", start_index=5)
+        assert result.replacements[0][0].name == "tmp5"
+
+    def test_grouped_no_cross_group_sharing(self):
+        big = (x + y) ** 2
+        # Same expensive expression in two different groups: each group
+        # keeps its own copy (the paper's per-task CSE regime).
+        results = cse_grouped([[big + 1, big + 2], [big + 3, big + 4]])
+        assert results[0].num_extracted == 1
+        assert results[1].num_extracted == 1
+        names = {r.replacements[0][0].name for r in results}
+        assert len(names) == 2  # globally unique temp names
+
+    def test_grouped_vs_global_counts(self):
+        shared = sin(x * y + 1)
+        groups = [[shared + i] for i in range(4)]
+        grouped = cse_grouped(groups)
+        glob = cse([shared + i for i in range(4)])
+        assert sum(r.num_extracted for r in grouped) == 0  # no sharing inside
+        assert glob.num_extracted == 1  # sharing across
+
+
+class TestSimplify:
+    def test_constant_relational_folds(self):
+        assert simplify(Rel("<", Const(1), Const(2))) == Const(1)
+        assert simplify(Rel(">", Const(1), Const(2))) == Const(0)
+
+    def test_ite_constant_condition(self):
+        assert simplify(ITE(Const(1), x, y)) == x
+        assert simplify(ITE(Const(0), x, y)) == y
+
+    def test_ite_equal_branches(self):
+        assert simplify(ITE(Rel("<", x, y), z, z)) == z
+
+    def test_boolop_short_circuit(self):
+        from repro.symbolic import BoolOp
+
+        e = BoolOp("and", [Rel("<", Const(2), Const(1)), Rel("<", x, y)])
+        assert simplify(e) == Const(0)
+        e = BoolOp("or", [Rel("<", Const(1), Const(2)), Rel("<", x, y)])
+        assert simplify(e) == Const(1)
+
+    def test_boolop_neutral_dropped(self):
+        from repro.symbolic import BoolOp
+
+        e = BoolOp("and", [Rel("<", Const(1), Const(2)), Rel("<", x, y)])
+        assert simplify(e) == Rel("<", x, y)
+
+    def test_rebuild_collects(self):
+        # After substitution, a rebuild should re-canonicalise.
+        e = substitute(x + y, {y: x})
+        assert simplify(e) == 2 * x
+
+
+class TestExpand:
+    def test_product_of_sums(self):
+        e = expand((x + y) * (x - y))
+        assert e == x**2 - y**2
+
+    def test_power_of_sum(self):
+        e = expand((x + y) ** 2)
+        assert e == x**2 + 2 * x * y + y**2
+
+    def test_cube(self):
+        e = expand((x + 1) ** 3)
+        assert e == x**3 + 3 * x**2 + 3 * x + 1
+
+    def test_non_integer_power_untouched(self):
+        e = (x + y) ** Const(0.5)
+        assert expand(e) == e
+
+    def test_semantics_preserved(self):
+        e = (x + 2 * y) * (3 * x - y) * (x + 1)
+        env = {"x": 0.7, "y": -1.2}
+        assert evaluate(expand(e), env) == pytest.approx(evaluate(e, env))
+
+    def test_inside_function(self):
+        e = sin((x + y) * (x - y))
+        expanded = expand(e)
+        assert expanded == sin(x**2 - y**2)
+
+
+class TestMetrics:
+    def test_histogram(self):
+        e = x + y * z + sin(x) - x / y
+        h = op_histogram(e)
+        assert h.adds == 3
+        assert h.calls == 1
+        assert h.divs == 1
+        assert h.total == op_count(e)
+
+    def test_pow_classification(self):
+        assert op_histogram(x ** Const(-1)).divs == 1
+        assert op_histogram(x ** Const(2.5)).pows == 1
+
+    def test_depth(self):
+        assert depth(x) == 1
+        assert depth(x + y) == 2
+        assert depth(sin(x + y)) == 3
+
+    def test_histogram_addition(self):
+        h = op_histogram(x + y) + op_histogram(x * y)
+        assert h.adds == 1 and h.muls == 1
+
+    def test_branches_counted(self):
+        e = ITE(Rel("<", x, y), x + y, x * y)
+        h = op_histogram(e)
+        assert h.branches == 1
+        assert h.cmps == 1

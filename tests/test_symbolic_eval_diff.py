@@ -1,0 +1,177 @@
+"""Evaluation, substitution and differentiation tests."""
+
+import math
+
+import pytest
+
+from repro.symbolic import (
+    BoolOp,
+    Const,
+    Der,
+    DiffError,
+    EvalError,
+    ITE,
+    Rel,
+    Sym,
+    abs_,
+    atan2,
+    cos,
+    diff,
+    evaluate,
+    exp,
+    if_then_else,
+    log,
+    max_,
+    min_,
+    sign,
+    sin,
+    sqrt,
+    substitute,
+    symbols,
+    tan,
+    tanh,
+)
+
+x, y, z = symbols("x y z")
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        e = (x + 2) * y - x / 4
+        assert evaluate(e, {"x": 4.0, "y": 3.0}) == pytest.approx(17.0)
+
+    def test_functions(self):
+        e = sin(x) ** 2 + cos(x) ** 2
+        assert evaluate(e, {"x": 0.73}) == pytest.approx(1.0)
+
+    def test_unbound_symbol(self):
+        with pytest.raises(EvalError, match="unbound"):
+            evaluate(x + y, {"x": 1.0})
+
+    def test_relational(self):
+        assert evaluate(Rel("<", x, y), {"x": 1, "y": 2}) == 1.0
+        assert evaluate(Rel(">=", x, y), {"x": 1, "y": 2}) == 0.0
+
+    def test_boolop(self):
+        e = BoolOp("and", [Rel("<", x, y), Rel("<", y, z)])
+        assert evaluate(e, {"x": 1, "y": 2, "z": 3}) == 1.0
+        assert evaluate(e, {"x": 1, "y": 2, "z": 0}) == 0.0
+        assert evaluate(BoolOp("not", [Rel("<", x, y)]),
+                        {"x": 1, "y": 2}) == 0.0
+
+    def test_ite_lazy(self):
+        # The untaken branch must not be evaluated: log(-1) would raise.
+        e = if_then_else(x.gt(0), log(x), Const(0))
+        assert evaluate(e, {"x": -1.0}) == 0.0
+
+    def test_domain_error(self):
+        with pytest.raises(EvalError):
+            evaluate(log(x), {"x": -1.0})
+
+    def test_der_not_evaluable(self):
+        with pytest.raises(EvalError):
+            evaluate(Der(x), {"x": 1.0})
+
+    def test_min_max_sign_abs(self):
+        env = {"x": -3.0, "y": 2.0}
+        assert evaluate(min_(x, y), env) == -3.0
+        assert evaluate(max_(x, y), env) == 2.0
+        assert evaluate(sign(x), env) == -1.0
+        assert evaluate(sign(Const(0)), {}) == 0.0
+        assert evaluate(abs_(x), env) == 3.0
+
+    def test_atan2(self):
+        assert evaluate(atan2(y, x), {"x": 1.0, "y": 1.0}) == pytest.approx(
+            math.pi / 4
+        )
+
+
+class TestSubstitute:
+    def test_symbol_replacement(self):
+        e = substitute(x + y, {x: Const(3)})
+        assert e == y + 3
+
+    def test_subexpression_replacement(self):
+        # Note: n-ary sums flatten, so `x + y` only exists as a node where
+        # structure prevents flattening (inside the call and the product).
+        e = substitute(sin(x + y) + 2 * (x + y), {x + y: z})
+        assert e == sin(z) + 2 * z
+
+    def test_no_fixpoint(self):
+        # x -> x + 1 applies once, not repeatedly.
+        e = substitute(x, {x: x + 1})
+        assert e == x + 1
+
+    def test_canonicalisation_after_substitution(self):
+        e = substitute(x + y, {y: -x})
+        assert e == Const(0)
+
+    def test_identity_when_no_match(self):
+        e = sin(x) * y
+        assert substitute(e, {z: Const(1)}) == e
+
+
+def _numeric_derivative(e, name, env, h=1e-7):
+    lo = dict(env)
+    hi = dict(env)
+    lo[name] -= h
+    hi[name] += h
+    return (evaluate(e, hi) - evaluate(e, lo)) / (2 * h)
+
+
+class TestDiff:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            x * y + y**3,
+            sin(x * y),
+            cos(x) * tan(y / 4),
+            exp(x / 3) + log(y + 5),
+            sqrt(x * x + 1),
+            tanh(x - y),
+            atan2(y, x + 3),
+            x ** Const(2.5),
+            (x + y) ** 3 / (y + 4),
+        ],
+    )
+    def test_matches_finite_difference(self, expr):
+        env = {"x": 0.8, "y": 1.7, "z": 0.3}
+        for name in ("x", "y"):
+            sym = Sym(name)
+            analytic = evaluate(diff(expr, sym), env)
+            numeric = _numeric_derivative(expr, name, env)
+            assert analytic == pytest.approx(numeric, rel=1e-5, abs=1e-6)
+
+    def test_constant_derivative(self):
+        assert diff(Const(5), x) == Const(0)
+
+    def test_self_derivative(self):
+        assert diff(x, x) == Const(1)
+        assert diff(y, x) == Const(0)
+
+    def test_symbolic_exponent(self):
+        e = diff(x**y, x)
+        env = {"x": 2.0, "y": 3.0}
+        assert evaluate(e, env) == pytest.approx(3 * 4.0)
+
+    def test_ite_branches_differentiated(self):
+        e = if_then_else(x.gt(0), x**2, -x)
+        d = diff(e, x)
+        assert evaluate(d, {"x": 2.0}) == pytest.approx(4.0)
+        assert evaluate(d, {"x": -2.0}) == pytest.approx(-1.0)
+
+    def test_relational_derivative_zero(self):
+        assert diff(Rel("<", x, y), x) == Const(0)
+
+    def test_min_max_derivative(self):
+        d = diff(min_(x, y), x)
+        assert evaluate(d, {"x": 1.0, "y": 2.0}) == 1.0
+        assert evaluate(d, {"x": 3.0, "y": 2.0}) == 0.0
+
+    def test_wrt_must_be_symbol(self):
+        with pytest.raises(TypeError):
+            diff(x, x + y)  # type: ignore[arg-type]
+
+    def test_der_node_rejected(self):
+        with pytest.raises(DiffError):
+            diff(Der(x), x)

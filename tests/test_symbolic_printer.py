@@ -1,0 +1,208 @@
+"""Printer tests: infix, FullForm, srepr, code dialects, vectors."""
+
+import math
+
+import pytest
+
+from repro.symbolic import (
+    Const,
+    Der,
+    ITE,
+    Rel,
+    Sym,
+    Vec,
+    abs_,
+    code,
+    cos,
+    cross,
+    dot,
+    evaluate,
+    fullform,
+    if_then_else,
+    infix,
+    norm,
+    sin,
+    sqrt,
+    srepr,
+    symbols,
+    tree,
+    vec2,
+    vec3,
+    zeros,
+)
+
+x, y, z = symbols("x y z")
+
+
+class TestInfix:
+    def test_roundtrip_through_python_eval(self):
+        e = sin(x) * (y + 2) ** 2 - 3 / (x + 5)
+        env = {"x": 0.3, "y": 1.1}
+        text = infix(e)
+        value = eval(text, {"sin": math.sin}, dict(env))
+        assert value == pytest.approx(evaluate(e, env))
+
+    def test_negative_coefficient_renders_minus(self):
+        assert infix(x - y) in ("x - y", "-y + x")
+
+    def test_precedence_parentheses(self):
+        e = (x + y) * z
+        assert "(" in infix(e)
+
+    def test_power_of_sum(self):
+        text = infix((x + y) ** 2)
+        assert text == "(x + y)**2"
+
+    def test_conditional(self):
+        e = if_then_else(x.gt(0), x, -x)
+        assert "if" in infix(e)
+
+    def test_der(self):
+        assert infix(Der(x)) == "der(x)"
+
+
+class TestFullForm:
+    def test_figure11_shape(self):
+        # { x'[t] == y[t], y'[t] == -x[t] } in prefix form.
+        e = Der(Sym("x")) - Sym("y")
+        text = fullform(e, annotate=True)
+        assert "Derivative[1][om$Type[x, om$Real]][om$Type[t, om$Real]]" in text
+        assert "om$Type[y, om$Real]" in text
+
+    def test_unannotated(self):
+        assert fullform(x + y) == "Plus[x, y]"
+        assert fullform(x * y) == "Times[x, y]"
+        assert fullform(x**2) == "Power[x, 2]"
+
+    def test_minus_special_case(self):
+        assert fullform(-x) == "Minus[x]"
+
+    def test_functions_capitalised(self):
+        assert fullform(sin(x)) == "Sin[x]"
+        assert fullform(sqrt(x)) == "Sqrt[x]"
+
+    def test_relational(self):
+        assert fullform(Rel("<", x, y)) == "Less[x, y]"
+
+    def test_conditional(self):
+        text = fullform(ITE(Rel(">", x, Const(0)), x, y))
+        assert text == "If[Greater[x, 0], x, y]"
+
+    def test_custom_type_table(self):
+        text = fullform(x, annotate=True, types={"x": "om$Integer"})
+        assert text == "om$Type[x, om$Integer]"
+
+
+class TestSrepr:
+    def test_roundtrip(self):
+        from repro.symbolic import BoolOp, Call, add, mul, pow_
+
+        e = sin(x) * (y + 2) ** 2 + abs_(z)
+        namespace = {
+            "add": add, "mul": mul, "pow_": pow_, "Call": Call,
+            "Const": Const, "Sym": Sym, "Rel": Rel, "ITE": ITE,
+            "BoolOp": BoolOp, "Der": Der,
+        }
+        rebuilt = eval(srepr(e), namespace)
+        assert rebuilt == e
+
+
+class TestCodeDialects:
+    def test_python_evaluates(self):
+        e = sin(x) + x**2 / (y + 3)
+        text = code(e, "python")
+        value = eval(text, {"sin": math.sin}, {"x": 0.5, "y": 1.0})
+        assert value == pytest.approx(evaluate(e, {"x": 0.5, "y": 1.0}))
+
+    def test_python_rename(self):
+        text = code(x + y, "python", rename=lambda n: f"v_{n}")
+        assert "v_x" in text and "v_y" in text
+
+    def test_fortran_constants_typed(self):
+        text = code(x + Const(2.5), "fortran")
+        assert "2.5_dp" in text
+
+    def test_fortran_merge_for_conditional(self):
+        text = code(if_then_else(x.gt(0), x, y), "fortran")
+        assert text.startswith("merge(")
+
+    def test_fortran_noteq(self):
+        text = code(Rel("!=", x, y), "fortran")
+        assert "/=" in text
+
+    def test_c_pow(self):
+        text = code(x ** Const(2.5), "c")
+        assert text.startswith("pow(")
+
+    def test_c_ternary(self):
+        text = code(if_then_else(x.gt(0), x, y), "c")
+        assert "?" in text and ":" in text
+
+    def test_c_fabs(self):
+        assert "fabs" in code(abs_(x), "c")
+
+    def test_der_rejected(self):
+        with pytest.raises(ValueError):
+            code(Der(x), "python")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(ValueError):
+            code(x, "cobol")
+
+
+class TestTree:
+    def test_contains_node_labels(self):
+        text = tree(sin(x) + 2)
+        assert "Add" in text
+        assert "Call sin" in text
+        assert "Sym x" in text
+
+
+class TestVec:
+    def test_componentwise_arithmetic(self):
+        a = vec2(x, y)
+        b = vec2(1, 2)
+        assert (a + b)[0] == x + 1
+        assert (a - b)[1] == y - 2
+        assert (a * 2)[0] == 2 * x
+        assert (2 * a)[1] == 2 * y
+        assert (a / 2)[0] == 0.5 * x
+        assert (-a)[0] == -x
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vec2(x, y) + vec3(x, y, z)
+
+    def test_dot(self):
+        assert dot(vec2(1, 2), vec2(x, y)) == x + 2 * y
+
+    def test_cross_3d(self):
+        ex = vec3(1, 0, 0)
+        ey = vec3(0, 1, 0)
+        assert cross(ex, ey) == vec3(0, 0, 1)
+
+    def test_cross_2d_scalar(self):
+        assert cross(vec2(1, 0), vec2(0, 1)) == Const(1)
+
+    def test_norm(self):
+        n = norm(vec2(3, 4))
+        assert evaluate(n, {}) == pytest.approx(5.0)
+
+    def test_zeros(self):
+        assert zeros(3) == vec3(0, 0, 0)
+
+    def test_immutability(self):
+        v = vec2(x, y)
+        with pytest.raises(AttributeError):
+            v.components = ()  # type: ignore[misc]
+
+    def test_vec_equality_and_hash(self):
+        assert vec2(x, y) == vec2(x, y)
+        assert hash(vec2(x, y)) == hash(vec2(x, y))
+        assert vec2(x, y) != vec2(y, x)
+
+    def test_iteration_and_indexing(self):
+        v = vec3(x, y, z)
+        assert list(v) == [x, y, z]
+        assert v[2] is z
+        assert len(v) == 3

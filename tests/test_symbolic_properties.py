@@ -1,0 +1,129 @@
+"""Property-based tests of the symbolic engine (hypothesis).
+
+Core invariant: every transformation pass — canonicalisation, simplify,
+expand, CSE, code generation — is *meaning-preserving* under numeric
+evaluation at random points.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.symbolic import (
+    EvalError,
+    Sym,
+    code,
+    cse,
+    diff,
+    evaluate,
+    expand,
+    infix,
+    simplify,
+)
+
+from .strategies import assert_equivalent, environments, expressions
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions(), environments())
+def test_simplify_preserves_meaning(expr, env):
+    assert_equivalent(expr, simplify(expr), env)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions(), environments())
+def test_expand_preserves_meaning(expr, env):
+    assert_equivalent(expr, expand(expr), env, rtol=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions(), expressions(), environments())
+def test_cse_preserves_meaning(a, b, env):
+    result = cse([a, b])
+    temp_env = dict(env)
+    originals = []
+    rewrittens = []
+    try:
+        for temp, definition in result.replacements:
+            temp_env[temp.name] = evaluate(definition, temp_env)
+        for original, rewritten in zip((a, b), result.exprs):
+            originals.append(evaluate(original, env))
+            rewrittens.append(evaluate(rewritten, temp_env))
+    except EvalError:
+        return  # domain error: nothing to compare
+    for vo, vr in zip(originals, rewrittens):
+        if math.isnan(vo) or math.isnan(vr):
+            continue
+        scale = max(abs(vo), abs(vr), 1.0)
+        assert abs(vo - vr) <= 1e-9 * scale
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions(), environments())
+def test_infix_python_roundtrip(expr, env):
+    """Printed Python code evaluates to the same value as the AST."""
+    import repro.codegen.gen_python as gp
+
+    namespace = gp._base_namespace()
+    text = code(expr, "python")
+    try:
+        reference = evaluate(expr, env)
+    except EvalError:
+        return
+    value = eval(text, namespace, dict(env))
+    if math.isnan(reference):
+        assert math.isnan(value)
+        return
+    scale = max(abs(reference), abs(value), 1.0)
+    assert abs(value - reference) <= 1e-9 * scale
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(max_depth=3), environments())
+def test_diff_matches_finite_difference(expr, env):
+    """Symbolic derivative ≈ central finite difference (where smooth)."""
+    h = 1e-6
+    sym = Sym("x")
+    try:
+        d = diff(expr, sym)
+    except Exception:
+        return
+    lo = dict(env)
+    hi = dict(env)
+    lo["x"] -= h
+    hi["x"] += h
+    try:
+        analytic = evaluate(d, env)
+        f_hi = evaluate(expr, hi)
+        f_lo = evaluate(expr, lo)
+        f_mid = evaluate(expr, env)
+    except EvalError:
+        return
+    numeric = (f_hi - f_lo) / (2 * h)
+    if any(math.isnan(v) or math.isinf(v)
+           for v in (analytic, numeric, f_mid)):
+        return
+    # Skip points near a conditional/abs kink, where the one-sided values
+    # disagree with the smooth extension.
+    second = abs(f_hi - 2 * f_mid + f_lo) / h**2
+    if second > 1e3:
+        return
+    scale = max(abs(analytic), abs(numeric), 1.0)
+    assert abs(analytic - numeric) <= 1e-3 * scale
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_canonical_forms_hash_consistently(expr):
+    rebuilt = expr.with_args(tuple(expr.args)) if expr.args else expr
+    assert rebuilt == expr
+    assert hash(rebuilt) == hash(expr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions())
+def test_simplify_idempotent(expr):
+    once = simplify(expr)
+    twice = simplify(once)
+    assert once == twice

@@ -1,0 +1,114 @@
+"""Coverage for the type lattice, declarations, and assorted data types."""
+
+import pytest
+
+from repro.model import MatType, REAL, INTEGER, BOOLEAN, VecType, vec_type
+from repro.model.declarations import VarDecl, VarKind
+from repro.schedule import Schedule
+
+
+class TestTypes:
+    def test_scalar_types(self):
+        assert REAL.is_scalar
+        assert REAL.size == 1
+        assert REAL.om_name() == "om$Real"
+        assert INTEGER.om_name() == "om$Integer"
+        assert str(BOOLEAN) == "Boolean"
+
+    def test_vec_type(self):
+        v = VecType(3)
+        assert not v.is_scalar
+        assert v.size == 3
+        assert v.component_suffixes() == ("x", "y", "z")
+        assert vec_type(2).component_suffixes() == ("x", "y")
+
+    def test_long_vec_numeric_suffixes(self):
+        v = VecType(5)
+        assert v.component_suffixes() == ("0", "1", "2", "3", "4")
+
+    def test_vec_validation(self):
+        with pytest.raises(ValueError):
+            VecType(0)
+
+    def test_mat_type(self):
+        m = MatType(2, 3)
+        assert m.size == 6
+        assert not m.is_scalar
+        assert m.component_suffixes()[0] == "00"
+        assert m.component_suffixes()[-1] == "12"
+        with pytest.raises(ValueError):
+            MatType(0, 3)
+
+    def test_vec_type_equality(self):
+        assert VecType(3) == VecType(3)
+        assert VecType(3) != VecType(2)
+
+
+class TestVarDecl:
+    def test_component_values_scalar(self):
+        d = VarDecl("x", VarKind.STATE, REAL, start=2.0)
+        assert d.component_values("start") == (2.0,)
+        assert d.component_values("value") is None
+
+    def test_component_values_vector(self):
+        d = VarDecl("r", VarKind.STATE, VecType(3), start=[1, 2, 3])
+        assert d.component_values("start") == (1.0, 2.0, 3.0)
+
+    def test_broadcast(self):
+        d = VarDecl("r", VarKind.STATE, VecType(3), start=5.0)
+        assert d.component_values("start") == (5.0, 5.0, 5.0)
+
+    def test_rebind(self):
+        d = VarDecl("k", VarKind.PARAMETER, REAL, value=1.0)
+        d2 = d.rebind(value=3.0)
+        assert d2.value == 3.0
+        assert d.value == 1.0
+
+    def test_bad_start_type(self):
+        with pytest.raises(TypeError):
+            VarDecl("x", VarKind.STATE, REAL, start=[1.0, 2.0])
+
+    def test_bad_vector_length(self):
+        with pytest.raises(ValueError):
+            VarDecl("r", VarKind.STATE, VecType(2), start=[1, 2, 3])
+
+
+class TestScheduleType:
+    def test_empty_schedule(self):
+        s = Schedule(2, (), (0.0, 0.0))
+        assert s.makespan == 0.0
+        assert s.imbalance == 1.0
+        assert s.tasks_of(0) == ()
+
+    def test_str(self):
+        s = Schedule(2, (0, 1), (1.0, 2.0))
+        text = str(s)
+        assert "2 workers" in text
+
+
+class TestResultTypes:
+    def test_solver_result_repr(self):
+        import numpy as np
+
+        from repro.solver import solve_ivp
+
+        r = solve_ivp(lambda t, y: -y, (0.0, 1.0), [1.0], method="rk45")
+        assert "rk45" in repr(r)
+        assert r.t_final == pytest.approx(1.0)
+
+    def test_flatvar_sym(self):
+        from repro.model.flatten import FlatVar
+        from repro.symbolic import Sym
+
+        fv = FlatVar("a.b", VarKind.STATE)
+        assert fv.sym == Sym("a.b")
+
+    def test_subsystem_str(self, compiled_powerplant):
+        sub = compiled_powerplant.partition.subsystems[0]
+        assert "SCC#" in str(sub)
+
+    def test_flatmodel_repr(self, compiled_powerplant):
+        assert "FlatModel" in repr(compiled_powerplant.flat)
+
+    def test_program_repr(self, compiled_powerplant):
+        assert "GeneratedProgram" in repr(compiled_powerplant.program)

@@ -1,0 +1,177 @@
+"""Unparser tests: model → source → model round trips."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BearingParams,
+    build_bearing2d,
+    build_powerplant,
+    build_servo,
+)
+from repro.codegen import make_ode_system
+from repro.language import load_model, unparse_expr, unparse_model
+from repro.model import Model, ModelClass, VecType
+from repro.symbolic import (
+    Const,
+    Rel,
+    Sym,
+    evaluate,
+    if_then_else,
+    sin,
+    sqrt,
+    symbols,
+)
+
+x, y, z = symbols("x y z")
+
+
+def _roundtrip_equivalent(model, point_scale=0.04, seed=0):
+    """Assert flatten(parse(unparse(model))) ≡ flatten(model) numerically."""
+    text = unparse_model(model)
+    reparsed = load_model(text)
+    f1 = make_ode_system(model.flatten())
+    f2 = make_ode_system(reparsed.flatten())
+    assert f1.state_names == f2.state_names
+    assert f1.param_names == f2.param_names
+    assert f1.start_values == pytest.approx(f2.start_values)
+    assert f1.param_values == pytest.approx(f2.param_values)
+    rng = np.random.default_rng(seed)
+    env = {
+        n: v
+        for n, v in zip(
+            f1.state_names, rng.normal(point_scale, 0.01, f1.num_states)
+        )
+    }
+    env.update(dict(zip(f1.param_names, f1.param_values)))
+    env[f1.free_var] = 0.3
+    for name, a, b in zip(f1.state_names, f1.rhs, f2.rhs):
+        va, vb = evaluate(a, env), evaluate(b, env)
+        assert va == pytest.approx(vb, rel=1e-12, abs=1e-12), name
+    return text
+
+
+class TestExprUnparse:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            x + y * z,
+            (x + y) ** 2 / (z + 4),
+            -x ** 2 + 3,
+            sin(x) * sqrt(y * y + 1),
+            if_then_else(x.gt(0), x, -x) * 2 + 1,
+            if_then_else(Rel("<=", x, y), x + 1, y - 1),
+            x / y / (z + 2),
+            2 ** (x + 1),
+        ],
+    )
+    def test_expression_roundtrip(self, expr):
+        from repro.language.parser import _Parser
+        from repro.language.lexer import tokenize
+
+        text = unparse_expr(expr)
+        parsed = _Parser(tokenize(text + ";")).parse_side()
+        env = {"x": 0.7, "y": 1.3, "z": -0.4}
+        assert evaluate(parsed, env) == pytest.approx(
+            evaluate(expr, env), rel=1e-12
+        )
+
+    def test_equality_rel_rejected(self):
+        with pytest.raises(ValueError, match="not expressible"):
+            unparse_expr(Rel("==", x, y))
+
+
+class TestModelRoundtrips:
+    def test_servo(self, servo_model):
+        text = _roundtrip_equivalent(servo_model, point_scale=0.5)
+        assert "CLASS Servo" in text
+        assert "INSTANCE Servo INHERITS Servo" in text
+
+    def test_powerplant(self, powerplant_model):
+        text = _roundtrip_equivalent(powerplant_model, point_scale=5.0)
+        assert text.count("INHERITS TurbineGroup") == 6
+
+    def test_bearing(self):
+        model = build_bearing2d(BearingParams(num_rollers=3))
+        text = _roundtrip_equivalent(model)
+        assert "CLASS Roller INHERITS SpinningBody" in text
+        assert "der(r) == v" in text  # vector shorthand survived
+
+    def test_vector_members_and_overrides(self):
+        cls = ModelClass("Body")
+        r = cls.state("r", start=[1.0, 2.0], mtype=VecType(2))
+        v = cls.state("v", start=[0.0, 0.0], mtype=VecType(2))
+        cls.ode(r, v)
+        cls.ode(v, r * -1.0)
+        model = Model("m")
+        model.instance("P", cls, overrides={"r": [3.0, 4.0]})
+        text = _roundtrip_equivalent(model, point_scale=1.0)
+        assert "STATE r[2] := {1.0, 2.0};" in text
+        assert "(r := {3.0, 4.0})" in text
+
+    def test_composition(self):
+        inner = ModelClass("Inner")
+        w = inner.state("w", start=1.0)
+        inner.ode(w, -w)
+        outer = ModelClass("Outer")
+        outer.part("p", inner)
+        model = Model("m")
+        model.instance("O", outer)
+        text = _roundtrip_equivalent(model, point_scale=1.0)
+        assert "PART p : Inner;" in text
+
+    def test_duplicate_class_names_rejected(self):
+        a1 = ModelClass("Same")
+        a1.state("x", start=0.0)
+        a1.ode(a1.member("x"), -a1.member("x"))
+        a2 = ModelClass("Same")
+        a2.state("y", start=0.0)
+        a2.ode(a2.member("y"), -a2.member("y"))
+        model = Model("m")
+        model.instance("A", a1)
+        model.instance("B", a2)
+        with pytest.raises(ValueError, match="duplicate class"):
+            unparse_model(model)
+
+    def test_nonconforming_labels_dropped(self):
+        cls = ModelClass("C")
+        cls.state("x", start=1.0)
+        from repro.symbolic import Der
+
+        cls.equation(Der(Sym("x")), -Sym("x"), label="weird label!")
+        model = Model("m")
+        model.instance("I", cls)
+        text = unparse_model(model)
+        assert "weird" not in text
+        load_model(text)  # still parses
+
+
+from hypothesis import given, settings  # noqa: E402
+
+from .strategies import expressions  # noqa: E402
+
+
+@settings(max_examples=120, deadline=None)
+@given(expressions())
+def test_random_expression_unparse_roundtrip(expr):
+    """unparse → tokenize → parse preserves meaning for any expressible
+    expression."""
+    import math
+
+    from repro.language.lexer import tokenize
+    from repro.language.parser import _Parser
+    from repro.symbolic import EvalError, evaluate
+
+    text = unparse_expr(expr)
+    parsed = _Parser(tokenize(text + ";")).parse_side()
+    env = {"x": 0.61, "y": -1.2, "z": 2.3}
+    try:
+        expected = evaluate(expr, env)
+    except EvalError:
+        return
+    got = evaluate(parsed, env)
+    if math.isnan(expected):
+        assert math.isnan(got)
+        return
+    scale = max(abs(expected), abs(got), 1.0)
+    assert abs(expected - got) <= 1e-9 * scale, text

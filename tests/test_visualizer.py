@@ -1,0 +1,120 @@
+"""Tests for result export (CSV) and ASCII plotting."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import solve_ivp
+from repro.visualizer import ascii_plot, plot_result, save_csv
+
+
+@pytest.fixture()
+def osc_result():
+    def f(t, y):
+        return np.array([y[1], -y[0]])
+
+    return solve_ivp(f, (0.0, 6.0), [1.0, 0.0], method="rk45",
+                     rtol=1e-8, atol=1e-11)
+
+
+class TestCsv:
+    def test_roundtrip(self, osc_result):
+        buf = io.StringIO()
+        save_csv(osc_result, ["x", "v"], buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "t,x,v"
+        assert len(lines) == len(osc_result.ts) + 1
+        t, x, v = (float(c) for c in lines[-1].split(","))
+        assert t == pytest.approx(6.0)
+        assert x == pytest.approx(math.cos(6.0), abs=1e-6)
+
+    def test_values_are_exact_reprs(self, osc_result):
+        buf = io.StringIO()
+        save_csv(osc_result, ["x", "v"], buf)
+        row1 = buf.getvalue().splitlines()[1].split(",")
+        assert float(row1[1]) == osc_result.ys[0, 0]
+
+    def test_name_count_checked(self, osc_result):
+        with pytest.raises(ValueError):
+            save_csv(osc_result, ["only-one"], io.StringIO())
+
+    def test_file_target(self, osc_result, tmp_path):
+        path = tmp_path / "out.csv"
+        save_csv(osc_result, ["x", "v"], path)
+        assert path.read_text().startswith("t,x,v")
+
+
+class TestAsciiPlot:
+    def test_shape(self):
+        ts = np.linspace(0, 1, 50)
+        text = ascii_plot(ts, np.sin(2 * np.pi * ts), width=40, height=10)
+        lines = text.splitlines()
+        assert any("*" in l for l in lines)
+        assert "└" in text
+        # Extremes labelled (max of the sampled sine ≈ 1).
+        assert "0.99" in lines[0] or "1" in lines[0]
+
+    def test_constant_signal(self):
+        ts = np.linspace(0, 1, 10)
+        text = ascii_plot(ts, np.ones(10))
+        assert "*" in text  # no division-by-zero on a flat line
+
+    def test_label(self):
+        ts = np.linspace(0, 1, 10)
+        text = ascii_plot(ts, ts, label="ramp")
+        assert text.splitlines()[0] == "ramp"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0.0], [1.0])
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], [1.0, 2.0], width=2)
+
+    def test_monotone_ramp_is_monotone_in_plot(self):
+        ts = np.linspace(0, 1, 100)
+        text = ascii_plot(ts, ts, width=30, height=10, label="")
+        rows = [l for l in text.splitlines() if "│" in l or "┤" in l]
+        cols = {}
+        for r, line in enumerate(rows):
+            body = line.split("┤")[-1].split("│")[-1]
+            for c, ch in enumerate(body):
+                if ch == "*":
+                    cols.setdefault(c, r)
+        ordered = [cols[c] for c in sorted(cols)]
+        assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+
+class TestPlotResult:
+    def test_multiple_states(self, osc_result):
+        text = plot_result(osc_result, ["x", "v"], ["x", "v"])
+        assert text.count("┤") >= 4
+        assert "x" in text.splitlines()[0]
+
+    def test_unknown_state(self, osc_result):
+        with pytest.raises(KeyError):
+            plot_result(osc_result, ["x", "v"], ["ghost"])
+
+
+class TestCliIntegration:
+    def test_simulate_with_csv_and_plot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        model = tmp_path / "m.om"
+        model.write_text(
+            "MODEL m; CLASS C STATE x := 1.0;"
+            " EQUATION der(x) == -x; END C;"
+            " INSTANCE I INHERITS C; END m;"
+        )
+        csv_path = tmp_path / "run.csv"
+        assert main([
+            "simulate", str(model), "--t-end", "2", "--method", "rk45",
+            "--csv", str(csv_path), "--plot", "I.x",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "I.x" in out
+        assert "*" in out
+        assert csv_path.read_text().startswith("t,I.x")
