@@ -1,0 +1,167 @@
+"""Fault-tolerance overhead on the fault-free fast path.
+
+The hardened supervisor/worker barrier (epoch stamps, bounded waits,
+liveness checks, NaN/Inf output validation), the guarded RHS and the
+periodic checkpointer all ride along on every round even when nothing
+fails.  These benchmarks price that insurance: the fault-free overhead of
+each layer against its unprotected counterpart, plus the cost of actually
+recovering from an injected fault.
+"""
+
+import numpy as np
+
+from repro.runtime import (
+    Checkpointer,
+    FaultInjector,
+    FaultSpec,
+    RuntimeEvents,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.solver import RecoveryPolicy, solve_ivp
+
+from _report import emit, table
+
+ROUNDS = 200
+WORKERS = 4
+
+
+def _time_rounds(executor, program, rounds=ROUNDS):
+    import time
+
+    y, p = program.start_vector(), program.param_vector()
+    res = program.results_buffer()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        executor.evaluate(0.0, y, p, res)
+    return time.perf_counter() - start
+
+
+def test_hardened_executor_overhead(benchmark, compiled_bearing):
+    """Validation + hardened-barrier cost per round, fault-free."""
+    program = compiled_bearing.program
+
+    serial = SerialExecutor(program)
+    t_serial = _time_rounds(serial, program)
+
+    with ThreadedExecutor(program, WORKERS,
+                          validate_outputs=False) as plain:
+        t_plain = _time_rounds(plain, program)
+    with ThreadedExecutor(program, WORKERS) as hardened:
+        t_hardened = benchmark(_time_rounds, hardened, program)
+
+    validation_overhead = t_hardened / t_plain
+    rows = [
+        ("SerialExecutor", f"{t_serial / ROUNDS * 1e6:.0f} µs", "—"),
+        (f"ThreadedExecutor({WORKERS}), no validation",
+         f"{t_plain / ROUNDS * 1e6:.0f} µs",
+         f"{t_plain / t_serial:.2f}x serial"),
+        (f"ThreadedExecutor({WORKERS}), hardened (default)",
+         f"{t_hardened / ROUNDS * 1e6:.0f} µs",
+         f"{validation_overhead:.2f}x unvalidated"),
+    ]
+    # Output validation is a handful of isfinite checks per task; it must
+    # stay in the noise relative to the threaded round itself.
+    assert validation_overhead < 2.0, (
+        f"output validation costs {validation_overhead:.2f}x"
+    )
+
+    lines = table(["executor", "time / round", "relative"], rows)
+    lines.append("")
+    lines.append(
+        "threaded rounds run under the GIL on shared memory — the "
+        "serial/threaded gap is protocol cost, not the fault-tolerance "
+        "machinery; the hardened-vs-unvalidated column is the insurance "
+        "premium"
+    )
+    emit("fault_tolerance_executor",
+         "Fault tolerance: hardened executor overhead (fault-free)", lines)
+
+
+def test_recovery_and_checkpoint_overhead(benchmark, compiled_bearing):
+    """GuardedRhs + periodic checkpointing on a real bearing integration."""
+    import tempfile
+    from pathlib import Path
+
+    program = compiled_bearing.program
+    f = program.make_rhs(program.param_vector())
+    y0 = program.start_vector()
+    span = (0.0, 0.2)
+
+    def run(recovery=None, checkpointer=None):
+        import time
+
+        start = time.perf_counter()
+        result = solve_ivp(f, span, y0, method="lsoda", recovery=recovery,
+                           checkpointer=checkpointer)
+        assert result.success
+        return time.perf_counter() - start, result
+
+    t_base, base = run()
+    t_guard, guarded = benchmark(
+        lambda: run(recovery=RecoveryPolicy(max_retries=5))
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.ckpt"
+        t_ckpt, ckpt = run(recovery=RecoveryPolicy(max_retries=5),
+                           checkpointer=Checkpointer(path, every=25))
+
+    assert np.allclose(guarded.y_final, base.y_final, rtol=1e-6, atol=1e-9)
+    assert np.allclose(ckpt.y_final, base.y_final, rtol=1e-6, atol=1e-9)
+
+    rows = [
+        ("unprotected", f"{t_base * 1e3:.1f} ms", "—"),
+        ("+ GuardedRhs (recovery armed)", f"{t_guard * 1e3:.1f} ms",
+         f"{t_guard / t_base:.2f}x"),
+        ("+ checkpoint every 25 steps", f"{t_ckpt * 1e3:.1f} ms",
+         f"{t_ckpt / t_base:.2f}x"),
+    ]
+    lines = table(["configuration", "integration time", "relative"], rows)
+    lines.append("")
+    lines.append(
+        "identical trajectories in all three configurations (asserted); "
+        "the guard adds one isfinite scan per RHS call, the checkpointer "
+        "one JSON write per 25 accepted steps"
+    )
+    emit("fault_tolerance_solver",
+         "Fault tolerance: solver recovery + checkpoint overhead", lines)
+
+
+def test_fault_recovery_latency(benchmark, compiled_bearing):
+    """Price of an actual recovery: rounds with one injected failure."""
+    program = compiled_bearing.program
+
+    with ThreadedExecutor(program, WORKERS) as clean_exec:
+        t_clean = _time_rounds(clean_exec, program, rounds=50)
+
+    def faulty_rounds():
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="raise", round_index=r, count=1)
+             for r in range(50)],
+            events=events,
+        )
+        with ThreadedExecutor(program, WORKERS, injector=injector,
+                              events=events) as executor:
+            t = _time_rounds(executor, program, rounds=50)
+        assert events.count("task_retry") == 50
+        return t
+
+    t_faulty = benchmark(faulty_rounds)
+    per_recovery = (t_faulty - t_clean) / 50
+
+    lines = table(
+        ["scenario", "time / round"],
+        [
+            ("fault-free", f"{t_clean / 50 * 1e6:.0f} µs"),
+            ("one raise + retry per round",
+             f"{t_faulty / 50 * 1e6:.0f} µs"),
+        ],
+    )
+    lines.append("")
+    lines.append(
+        f"marginal cost per recovered fault: ~{per_recovery * 1e6:.0f} µs "
+        "(dominated by the retry backoff, default 2 ms first delay)"
+    )
+    emit("fault_tolerance_recovery_latency",
+         "Fault tolerance: cost of one recovered fault", lines)

@@ -86,6 +86,14 @@ def _cmd_startfile(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .runtime.checkpoint import (
+        CheckpointError,
+        Checkpointer,
+        load_checkpoint,
+    )
+    from .runtime.events import RuntimeEvents
+    from .solver.recovery import RecoveryPolicy, SolverFailure
+
     compiled = _load(args.model)
     program = compiled.program
     y0 = program.start_vector()
@@ -99,13 +107,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         y0 = np.asarray(y0_list)
         params = np.asarray(p_list)
     f = program.make_rhs(params)
-    result = solve_ivp(
-        f, (args.t_start, args.t_end), y0, method=args.method,
-        rtol=args.rtol, atol=args.atol,
-    )
+
+    events = RuntimeEvents()
+    method = args.method
+    resume = None
+    if args.resume:
+        try:
+            resume = load_checkpoint(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        method = resume.method
+        events.record("checkpoint_resumed", path=args.resume, t=resume.t,
+                      method=method)
+        print(f"# resuming from {args.resume} at t = {resume.t:g} "
+              f"(method {method})")
+    checkpointer = None
+    if args.checkpoint:
+        checkpointer = Checkpointer(
+            args.checkpoint, every=args.checkpoint_every, events=events,
+            meta={"model": compiled.name},
+        )
+    recovery = RecoveryPolicy(max_retries=args.max_retries) \
+        if args.max_retries > 0 else None
+
+    try:
+        result = solve_ivp(
+            f, (args.t_start, args.t_end), y0, method=method,
+            rtol=args.rtol, atol=args.atol,
+            recovery=recovery, checkpointer=checkpointer, resume=resume,
+        )
+    except SolverFailure as exc:
+        print(f"solver failed: {exc}", file=sys.stderr)
+        if checkpointer is not None and checkpointer.nsaved:
+            print(f"# last checkpoint: {args.checkpoint} "
+                  f"(resume with --resume {args.checkpoint})",
+                  file=sys.stderr)
+        return 1
     if not result.success:
         print(f"solver failed: {result.message}", file=sys.stderr)
         return 1
+    if checkpointer is not None and checkpointer.nsaved:
+        print(f"# wrote {checkpointer.nsaved} checkpoint(s) to "
+              f"{args.checkpoint}")
     print(
         f"# {compiled.name}: {result.stats.naccepted} steps, "
         f"{result.stats.nfev} RHS evaluations, method {result.method}"
@@ -213,6 +257,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rtol", type=float, default=1e-6)
     p.add_argument("--atol", type=float, default=1e-9)
     p.add_argument("--start-file", help="start-value file overriding defaults")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="periodically checkpoint solver state to PATH "
+                        "(atomic, versioned; survives crashes)")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   metavar="STEPS",
+                   help="accepted steps between checkpoints (default 25)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume integration from a checkpoint written by "
+                        "--checkpoint (method/state restored from the file)")
+    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                   help="recover from RHS failures/non-finite values by "
+                        "shrinking the step and retrying up to N times "
+                        "(0 disables recovery)")
     p.add_argument("--json", action="store_true",
                    help="print the final state as JSON")
     p.add_argument("--csv", help="write the full trajectory as CSV")

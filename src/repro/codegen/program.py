@@ -8,7 +8,7 @@ and the code-size statistics used by the section 3.3 benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -31,6 +31,8 @@ class GeneratedProgram:
     plan: TaskPlan
     module: PythonModule
     verify_report: VerifyReport
+    #: lazy cache for task_output_slots (state and partial slot indices)
+    _slot_index: tuple | None = field(default=None, init=False, repr=False)
 
     # -- convenience accessors -------------------------------------------------
 
@@ -104,6 +106,33 @@ class GeneratedProgram:
 
     def results_buffer(self) -> np.ndarray:
         return np.zeros(self.num_states + self.num_partials, dtype=float)
+
+    def task_output_slots(self, task_id: int) -> tuple[int, ...]:
+        """Indices in the results vector written by ``task_id``.
+
+        ``der:<state>`` targets map to the state-derivative slots
+        ``[0, num_states)``; partial-sum and shared-CSE targets map to the
+        auxiliary slots after them — the same layout the generated task
+        bodies write.  The runtime's fault injector and NaN/Inf output
+        validation are both driven by this mapping.
+        """
+        if self._slot_index is None:
+            state_index = {
+                name: i for i, name in enumerate(self.system.state_names)
+            }
+            partial_index = {
+                slot: self.num_states + i
+                for i, slot in enumerate(self.plan.partial_slots)
+            }
+            self._slot_index = (state_index, partial_index)
+        state_index, partial_index = self._slot_index
+        slots = []
+        for target in self.plan.bodies[task_id].outputs():
+            if target.startswith("der:"):
+                slots.append(state_index[target.split(":", 2)[1]])
+            else:
+                slots.append(partial_index[target])
+        return tuple(slots)
 
     def __repr__(self) -> str:
         return (

@@ -1,6 +1,24 @@
 """Parallel runtime: machine models, the discrete-event supervisor/worker
-simulator, and real (threaded) execution of generated task code."""
+simulator, real (threaded) execution of generated task code, and the
+fault-tolerance layer (fault injection, retry/reassignment, structured
+event logging, checkpoint/restart)."""
 
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .events import RuntimeEvent, RuntimeEvents
+from .faults import (
+    FAULT_MODES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    WorkerKill,
+)
 from .machine import (
     IDEAL_MACHINE,
     LARGE_SHARED_MIMD,
@@ -24,9 +42,30 @@ from .simulator import (
     simulate_run,
     speedup_curve,
 )
-from .supervisor import SerialExecutor, ThreadedExecutor, dependency_levels
+from .supervisor import (
+    RetryPolicy,
+    SerialExecutor,
+    TaskFailure,
+    ThreadedExecutor,
+    dependency_levels,
+)
 
 __all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "Checkpointer",
+    "load_checkpoint",
+    "save_checkpoint",
+    "RuntimeEvent",
+    "RuntimeEvents",
+    "FAULT_MODES",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "WorkerKill",
+    "RetryPolicy",
+    "TaskFailure",
     "IDEAL_MACHINE",
     "LARGE_SHARED_MIMD",
     "MachineModel",

@@ -1,0 +1,107 @@
+"""Structured runtime event log for the fault-tolerance layer.
+
+Every recoverable incident in the supervisor/worker runtime and the solver
+recovery path — an injected fault firing, a task retry, a reassignment to
+a healthy worker, a worker declared dead, degradation to serial execution,
+a checkpoint written or restored — is recorded as a :class:`RuntimeEvent`
+in a :class:`RuntimeEvents` log.  Tests and benchmarks assert on the log
+instead of scraping stderr, and a long-running simulation can dump it for
+post-mortem analysis.
+
+Events carry a monotonically increasing sequence number rather than a
+wall-clock timestamp by default, so logs from deterministic fault plans
+compare equal across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["RuntimeEvent", "RuntimeEvents"]
+
+#: canonical event kinds emitted by the runtime (other kinds are allowed;
+#: this tuple documents the vocabulary and is used by ``summary()`` ordering)
+EVENT_KINDS = (
+    "fault_injected",
+    "task_error",
+    "task_nonfinite",
+    "task_retry",
+    "task_reassigned",
+    "worker_timeout",
+    "worker_dead",
+    "degraded",
+    "close_timeout",
+    "rhs_retry",
+    "solver_failure",
+    "checkpoint_saved",
+    "checkpoint_resumed",
+)
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One incident: a ``kind`` tag plus free-form structured payload."""
+
+    seq: int
+    kind: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.seq}] {self.kind}" + (f" {payload}" if payload else "")
+
+
+class RuntimeEvents:
+    """An append-only, queryable log of :class:`RuntimeEvent`.
+
+    Thread-safe for appends (workers and the supervisor may record
+    concurrently); reads take a snapshot.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._events: list[RuntimeEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, **data: Any) -> RuntimeEvent:
+        with self._lock:
+            event = RuntimeEvent(seq=len(self._events), kind=kind, data=data)
+            self._events.append(event)
+        return event
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RuntimeEvent]:
+        return iter(list(self._events))
+
+    def of_kind(self, kind: str) -> list[RuntimeEvent]:
+        return [e for e in list(self._events) if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of event kinds, in first-seen order."""
+        out: dict[str, int] = {}
+        for e in list(self._events):
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def summary(self) -> str:
+        hist = self.kinds()
+        if not hist:
+            return "no runtime events"
+        parts = [f"{k}={v}" for k, v in hist.items()]
+        return f"{len(self._events)} events: " + ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<RuntimeEvents {self.summary()}>"

@@ -49,6 +49,8 @@ class ParallelRHS:
         self.scheduler = scheduler
         self.feed_measurements = feed_measurements
         self.ncalls = 0
+        #: the executor's structured fault/retry log, when it keeps one
+        self.events = getattr(self.executor, "events", None)
 
     def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
         res = self.program.results_buffer()

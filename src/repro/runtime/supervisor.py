@@ -11,6 +11,30 @@ not wall-clock speedup — the quantitative speedup claims are reproduced by
 :mod:`repro.runtime.simulator`; this executor exists to run the *actual
 protocol* end-to-end: real schedules, real per-task timings for the
 semi-dynamic LPT, and bit-identical numerics versus the serial RHS.
+
+Fault tolerance
+---------------
+The original protocol assumed every worker finishes every round; a single
+crashed or hung worker deadlocked the supervisor at the level barrier.
+The hardened :class:`ThreadedExecutor` instead:
+
+* waits on the barrier with a bounded timeout and checks worker-thread
+  liveness, so a dead worker is detected rather than waited on forever,
+* re-runs a failed task on its original worker under a
+  :class:`RetryPolicy` (bounded attempts + exponential backoff), then
+  reassigns it to a healthy worker, then runs it inline on the
+  supervisor, before finally declaring the round unrecoverable,
+* validates each task's output slots for NaN/Inf before the barrier
+  releases (silent numerical faults become retryable task failures),
+* degrades the pool to :class:`SerialExecutor` semantics — all tasks run
+  inline on the supervisor thread — once too many workers have died,
+* records every fault, retry, reassignment, death and degradation in a
+  :class:`~repro.runtime.events.RuntimeEvents` log.
+
+Task re-execution is safe because tasks are side-effect free on disjoint
+``res`` slots: re-running one with the same ``(t, y, p)`` writes the same
+bytes, which is what keeps recovered rounds bit-identical to
+:class:`SerialExecutor`.
 """
 
 from __future__ import annotations
@@ -18,16 +42,23 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
 from ..codegen.program import GeneratedProgram
 from ..schedule.lpt import Schedule, lpt_schedule
-from ..schedule.semidynamic import SemiDynamicScheduler
+from .events import RuntimeEvents
+from .faults import FaultInjector, WorkerKill
 
-__all__ = ["SerialExecutor", "ThreadedExecutor", "dependency_levels"]
+__all__ = [
+    "RetryPolicy",
+    "SerialExecutor",
+    "TaskFailure",
+    "ThreadedExecutor",
+    "dependency_levels",
+]
 
 
 def dependency_levels(graph) -> list[list[int]]:
@@ -52,20 +83,88 @@ def dependency_levels(graph) -> list[list[int]]:
     return out
 
 
+class TaskFailure(RuntimeError):
+    """A task could not be completed after retries, reassignment and an
+    inline attempt.  ``task_id`` and the last underlying ``cause`` are
+    attached for post-mortem inspection."""
+
+    def __init__(self, task_id: int, cause: BaseException | None,
+                 detail: str = "") -> None:
+        message = f"task evaluation failed in a worker (task {task_id}"
+        if detail:
+            message += f", {detail}"
+        message += ")"
+        super().__init__(message)
+        self.task_id = task_id
+        self.cause = cause
+
+
+class _NonFiniteOutput(RuntimeError):
+    """Internal marker: a task completed but produced NaN/Inf outputs."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the supervisor fights for a failing task.
+
+    ``max_attempts`` bounds executions per worker placement (the original
+    worker gets ``max_attempts`` tries, the reassignment target gets
+    ``max_attempts`` more, the inline fallback gets one).  Backoff between
+    same-worker retries is ``backoff * backoff_factor**(attempt-1)``
+    seconds, capped at ``max_backoff``.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.002
+    backoff_factor: float = 2.0
+    max_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        return min(self.backoff * self.backoff_factor ** (attempt - 1),
+                   self.max_backoff)
+
+
 class SerialExecutor:
     """Evaluates all tasks in the supervisor thread (the 1-processor case),
     measuring per-task wall times for the semi-dynamic scheduler."""
 
-    def __init__(self, program: GeneratedProgram) -> None:
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        injector: FaultInjector | None = None,
+        events: RuntimeEvents | None = None,
+    ) -> None:
         self.program = program
         self._levels = dependency_levels(program.task_graph)
         self.last_task_times = np.zeros(program.num_tasks)
+        self.events = events
+        self.injector = injector
+        self._tasks = (
+            injector.wrap_tasks(program) if injector is not None
+            else program.module.tasks
+        )
 
     def evaluate(
         self, t: float, y: np.ndarray, p: np.ndarray, res: np.ndarray
     ) -> None:
-        tasks = self.program.module.tasks
+        tasks = self._tasks
         times = self.last_task_times
+        # Clear stale measurements so an aborted evaluation can never leave
+        # the semi-dynamic LPT scheduling from a mix of rounds.
+        times[:] = 0.0
+        if self.injector is not None:
+            self.injector.begin_round()
         for level in self._levels:
             for tid in level:
                 start = time.perf_counter()
@@ -88,20 +187,61 @@ class ThreadedExecutor:
     Each round the supervisor publishes ``(t, y, p, res)`` to every worker
     along with its task list for the current dependency level; a barrier
     separates levels.  Results land in disjoint ``res`` slots.
+
+    See the module docstring for the fault-tolerance semantics; all the
+    knobs have safe defaults (``retry_policy=RetryPolicy()``,
+    ``level_timeout=30`` seconds, output validation on).
     """
 
-    def __init__(self, program: GeneratedProgram, num_workers: int) -> None:
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        num_workers: int,
+        *,
+        injector: FaultInjector | None = None,
+        events: RuntimeEvents | None = None,
+        retry_policy: RetryPolicy | None = None,
+        level_timeout: float = 30.0,
+        validate_outputs: bool = True,
+        min_workers: int = 1,
+        join_timeout: float = 5.0,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if level_timeout <= 0:
+            raise ValueError("level_timeout must be positive")
+        if min_workers < 0:
+            raise ValueError("min_workers must be non-negative")
         self.program = program
         self.num_workers = num_workers
         self._levels = dependency_levels(program.task_graph)
         self.last_task_times = np.zeros(program.num_tasks)
 
+        self.events = events if events is not None else RuntimeEvents()
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.level_timeout = level_timeout
+        self.validate_outputs = validate_outputs
+        self.min_workers = min_workers
+        self.join_timeout = join_timeout
+
+        self._tasks = (
+            injector.wrap_tasks(program) if injector is not None
+            else list(program.module.tasks)
+        )
+        self._slots = [
+            np.asarray(program.task_output_slots(tid), dtype=int)
+            for tid in range(program.num_tasks)
+        ]
+
         self._inboxes: list[queue.Queue] = [queue.Queue() for _ in range(num_workers)]
         self._done: queue.Queue = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._closing = False
+        self._epoch = 0  # bumped per dispatched level; stale replies dropped
+        self._dead: set[int] = set()
+        self.degraded = False
+        self.zombie_workers: list[int] = []
         for w in range(num_workers):
             thread = threading.Thread(
                 target=self._worker_loop, args=(w,), daemon=True,
@@ -110,26 +250,246 @@ class ThreadedExecutor:
             thread.start()
             self._threads.append(thread)
 
+    # -- worker side -----------------------------------------------------------
+
     def _worker_loop(self, worker_id: int) -> None:
-        tasks = self.program.module.tasks
+        tasks = self._tasks
         inbox = self._inboxes[worker_id]
         while True:
             job = inbox.get()
             if job is None:
                 return
-            task_ids, t, y, p, res = job
+            epoch, task_ids, t, y, p, res = job
+            completed: list[int] = []
             error: BaseException | None = None
+            failed_tid: int | None = None
             for tid in task_ids:
                 start = time.perf_counter()
                 try:
                     tasks[tid](t, y, p, res)
+                except WorkerKill:
+                    # Simulated crash: die *without* signalling the
+                    # supervisor — exactly the failure the liveness check
+                    # and barrier timeout exist to survive.
+                    return
                 except BaseException as exc:  # noqa: BLE001 - forwarded
                     error = exc
+                    failed_tid = tid
                     break
                 self.last_task_times[tid] = time.perf_counter() - start
+                completed.append(tid)
             # Always signal completion — a swallowed failure here would
-            # deadlock the supervisor waiting on the barrier.
-            self._done.put((worker_id, error))
+            # stall the supervisor until the barrier timeout.
+            self._done.put((epoch, worker_id, tuple(completed), error,
+                            failed_tid))
+
+    # -- supervisor-side helpers -----------------------------------------------
+
+    def _healthy_workers(self) -> list[int]:
+        out = []
+        for w, thread in enumerate(self._threads):
+            if w not in self._dead and thread.is_alive():
+                out.append(w)
+        return out
+
+    def _mark_dead(self, worker_id: int, reason: str) -> None:
+        if worker_id in self._dead:
+            return
+        self._dead.add(worker_id)
+        self.events.record("worker_dead", worker=worker_id, reason=reason)
+        if (not self.degraded
+                and len(self._healthy_workers()) < max(self.min_workers, 1)):
+            self.degraded = True
+            self.events.record(
+                "degraded", healthy=len(self._healthy_workers()),
+                min_workers=self.min_workers,
+            )
+            warnings.warn(
+                "ThreadedExecutor degraded to serial execution: "
+                f"{len(self._dead)} of {self.num_workers} workers dead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _validate_task_outputs(self, tid: int, res: np.ndarray) -> None:
+        slots = self._slots[tid]
+        if slots.size and not np.all(np.isfinite(res[slots])):
+            raise _NonFiniteOutput(
+                f"task {tid} produced non-finite output"
+            )
+
+    def _run_inline(self, tid: int, t: float, y: np.ndarray,
+                    p: np.ndarray, res: np.ndarray) -> None:
+        """Execute one task on the supervisor thread (last-resort path and
+        the degraded mode), with the same timing and validation."""
+        start = time.perf_counter()
+        self._tasks[tid](t, y, p, res)
+        self.last_task_times[tid] = time.perf_counter() - start
+        if self.validate_outputs:
+            self._validate_task_outputs(tid, res)
+
+    def _run_level_serial(self, level: list[int], t: float, y: np.ndarray,
+                          p: np.ndarray, res: np.ndarray) -> None:
+        for tid in level:
+            try:
+                self._run_inline(tid, t, y, p, res)
+            except _NonFiniteOutput as exc:
+                raise TaskFailure(tid, exc, "non-finite output") from exc
+            except Exception as exc:
+                raise TaskFailure(tid, exc) from exc
+
+    # -- the hardened barrier ---------------------------------------------------
+
+    def _run_level(self, level: list[int], assignment,
+                   t: float, y: np.ndarray, p: np.ndarray,
+                   res: np.ndarray) -> None:
+        """Dispatch one dependency level and survive worker failures.
+
+        ``outstanding`` maps worker -> tasks currently assigned to it; a
+        task bounces original-worker retries -> reassignment -> inline
+        before :class:`TaskFailure` is raised.
+        """
+        policy = self.retry_policy
+        self._epoch += 1
+        epoch = self._epoch
+
+        healthy = set(self._healthy_workers())
+        outstanding: dict[int, list[int]] = {}
+        pending: dict[int, list[int]] = {}
+        for tid in level:
+            w = assignment[tid]
+            if w not in healthy:
+                # Scheduled worker already dead: remap to any healthy one.
+                w = min(healthy, key=lambda h: len(pending.get(h, [])),
+                        default=-1)
+            pending.setdefault(w, []).append(tid)
+
+        inline_tasks = pending.pop(-1, [])
+        #: executions so far per task, per placement stage
+        attempts: dict[int, int] = {tid: 0 for tid in level}
+        #: tasks that already exhausted a reassignment placement
+        reassigned: set[int] = set()
+
+        def dispatch(worker_id: int, task_ids: list[int]) -> None:
+            outstanding[worker_id] = list(task_ids)
+            self._inboxes[worker_id].put((epoch, task_ids, t, y, p, res))
+
+        for w, task_ids in pending.items():
+            dispatch(w, task_ids)
+
+        def fail_over(task_ids: list[int], from_worker: int,
+                      cause: BaseException | None) -> None:
+            """Move tasks off ``from_worker`` (reassign or run inline)."""
+            if not task_ids:
+                return
+            targets = [w for w in self._healthy_workers()
+                       if w not in outstanding]
+            fresh = [tid for tid in task_ids if tid not in reassigned]
+            burnt = [tid for tid in task_ids if tid in reassigned]
+            if fresh and targets:
+                target = targets[0]
+                for tid in fresh:
+                    reassigned.add(tid)
+                    attempts[tid] = 0
+                self.events.record(
+                    "task_reassigned", tasks=tuple(fresh),
+                    from_worker=from_worker, to_worker=target,
+                )
+                dispatch(target, fresh)
+            else:
+                burnt = burnt + (fresh if not targets else [])
+            for tid in burnt:
+                try:
+                    self._run_inline(tid, t, y, p, res)
+                except _NonFiniteOutput as exc:
+                    raise TaskFailure(
+                        tid, cause or exc, "non-finite output"
+                    ) from exc
+                except Exception as exc:
+                    raise TaskFailure(tid, exc) from exc
+
+        # Tasks that never had a live worker run inline immediately.
+        fail_over(inline_tasks, -1, None)
+
+        deadline = time.monotonic() + self.level_timeout
+        while outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Barrier timeout: every still-outstanding worker is hung
+                # (or died unnoticed).  Abandon them and fail their tasks
+                # over; any eventual stale reply is dropped by epoch.
+                for w in list(outstanding):
+                    self.events.record(
+                        "worker_timeout", worker=w,
+                        tasks=tuple(outstanding[w]),
+                        timeout=self.level_timeout,
+                    )
+                    task_ids = outstanding.pop(w)
+                    self._mark_dead(w, "barrier timeout")
+                    fail_over(task_ids, w, None)
+                deadline = time.monotonic() + self.level_timeout
+                continue
+
+            try:
+                msg = self._done.get(timeout=min(remaining, 0.05))
+            except queue.Empty:
+                # Liveness check: a worker that died outside a task (or
+                # was killed by an injected fault) never replies.
+                for w in list(outstanding):
+                    if not self._threads[w].is_alive():
+                        task_ids = outstanding.pop(w)
+                        self._mark_dead(w, "thread died")
+                        fail_over(task_ids, w, None)
+                continue
+
+            msg_epoch, w, completed, error, failed_tid = msg
+            if msg_epoch != epoch or w not in outstanding:
+                continue  # stale reply from an abandoned level
+            task_ids = outstanding.pop(w)
+
+            # Validate outputs of everything the worker claims done.
+            bad_output: int | None = None
+            if self.validate_outputs:
+                for tid in completed:
+                    try:
+                        self._validate_task_outputs(tid, res)
+                    except _NonFiniteOutput as exc:
+                        bad_output = tid
+                        error = exc
+                        failed_tid = tid
+                        self.events.record(
+                            "task_nonfinite", task=tid, worker=w,
+                        )
+                        break
+
+            if error is None and bad_output is None:
+                continue  # worker finished its list cleanly
+
+            assert failed_tid is not None
+            if bad_output is None:
+                self.events.record(
+                    "task_error", task=failed_tid, worker=w,
+                    error=type(error).__name__,
+                )
+            done_ok = (tuple(completed) if bad_output is None
+                       else tuple(completed[: completed.index(bad_output)]))
+            still_todo = [tid for tid in task_ids if tid not in done_ok]
+            attempts[failed_tid] += 1
+
+            if (attempts[failed_tid] < policy.max_attempts
+                    and w in self._healthy_workers()):
+                delay = policy.delay(attempts[failed_tid])
+                if delay > 0:
+                    time.sleep(delay)
+                self.events.record(
+                    "task_retry", task=failed_tid, worker=w,
+                    attempt=attempts[failed_tid] + 1,
+                )
+                dispatch(w, still_todo)
+            else:
+                fail_over(still_todo, w, error)
+
+    # -- public API -------------------------------------------------------------
 
     def evaluate(
         self,
@@ -149,30 +509,50 @@ class ThreadedExecutor:
                 f"schedule is for {schedule.num_workers} workers, pool has "
                 f"{self.num_workers}"
             )
+        # Clear stale measurements so an aborted evaluation can never leave
+        # the semi-dynamic LPT scheduling from a mix of rounds.
+        self.last_task_times[:] = 0.0
+        if self.injector is not None:
+            self.injector.begin_round()
+        if self.degraded or not self._healthy_workers():
+            if not self.degraded:
+                self.degraded = True
+                self.events.record("degraded", healthy=0,
+                                   min_workers=self.min_workers)
+            for level in self._levels:
+                self._run_level_serial(level, t, y, p, res)
+            return
         for level in self._levels:
-            by_worker: dict[int, list[int]] = {}
-            for tid in level:
-                by_worker.setdefault(schedule.assignment[tid], []).append(tid)
-            for worker_id, task_ids in by_worker.items():
-                self._inboxes[worker_id].put((task_ids, t, y, p, res))
-            first_error: BaseException | None = None
-            for _ in range(len(by_worker)):
-                _worker, error = self._done.get()
-                if error is not None and first_error is None:
-                    first_error = error
-            if first_error is not None:
-                raise RuntimeError(
-                    "task evaluation failed in a worker"
-                ) from first_error
+            if self.degraded:
+                self._run_level_serial(level, t, y, p, res)
+            else:
+                self._run_level(level, schedule.assignment, t, y, p, res)
 
     def close(self) -> None:
+        """Shut the pool down; idempotent and safe under a half-dead pool.
+
+        Workers that fail to join within ``join_timeout`` are recorded in
+        ``zombie_workers`` and reported with a :class:`RuntimeWarning`
+        (they are daemon threads, so they cannot outlive the process)."""
         if self._closing:
             return
         self._closing = True
         for inbox in self._inboxes:
             inbox.put(None)
-        for thread in self._threads:
-            thread.join(timeout=5.0)
+        for w, thread in enumerate(self._threads):
+            thread.join(timeout=self.join_timeout)
+            if thread.is_alive():
+                self.zombie_workers.append(w)
+                self.events.record("close_timeout", worker=w,
+                                   timeout=self.join_timeout)
+        if self.zombie_workers:
+            warnings.warn(
+                f"ThreadedExecutor.close: worker(s) {self.zombie_workers} "
+                f"did not join within {self.join_timeout}s (left as daemon "
+                "zombies)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "ThreadedExecutor":
         return self

@@ -21,6 +21,7 @@ from .partitioned import (
     SubsystemRun,
     solve_partitioned,
 )
+from .recovery import GuardedRhs, RecoveryPolicy, RhsError, SolverFailure
 from .rk import rk4_fixed, rk45_adaptive
 
 __all__ = [
@@ -47,6 +48,10 @@ __all__ = [
     "Signal",
     "SubsystemRun",
     "solve_partitioned",
+    "GuardedRhs",
+    "RecoveryPolicy",
+    "RhsError",
+    "SolverFailure",
     "rk4_fixed",
     "rk45_adaptive",
 ]

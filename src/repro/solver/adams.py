@@ -16,7 +16,8 @@ what makes the RHS the hot spot the paper parallelises.
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,6 +30,16 @@ from .common import (
     initial_step,
     validate_tspan,
 )
+from .recovery import (
+    GuardedRhs,
+    RecoveryPolicy,
+    RhsError,
+    SolverFailure,
+    construct_with_retry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.checkpoint import Checkpoint, Checkpointer
 
 __all__ = ["AdamsStepper", "adams_adaptive", "AB_COEFFS", "AM_COEFFS", "MILNE_C"]
 
@@ -203,6 +214,11 @@ class AdamsStepper:
             self.h = min(self.h * max(best_factor, _MIN_SHRINK),
                          options.max_step)
 
+    def reduce_step(self, factor: float) -> None:
+        """Shrink the step after an external (RHS) failure and re-grid the
+        history so the next attempt uses the smaller step."""
+        self._regrid(max(self.h * factor, 1e-14))
+
     # -- public stepping API ------------------------------------------------------
 
     def step(self, t_bound: float) -> bool:
@@ -262,15 +278,49 @@ def adams_adaptive(
     t_span: tuple[float, float],
     y0: Sequence[float],
     options: SolverOptions = SolverOptions(),
+    recovery: RecoveryPolicy | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    resume: "Checkpoint | None" = None,
 ) -> SolverResult:
-    """Integrate with the variable-order ABM method alone (no switching)."""
+    """Integrate with the variable-order ABM method alone (no switching).
+
+    With a :class:`~repro.solver.recovery.RecoveryPolicy`, RHS exceptions
+    and non-finite values shrink the step and retry before surfacing a
+    :class:`~repro.solver.recovery.SolverFailure`; ``checkpointer`` /
+    ``resume`` enable periodic checkpointing and warm restart (see
+    :mod:`repro.runtime.checkpoint`).
+    """
     t0, t1 = float(t_span[0]), float(t_span[1])
+    if resume is not None:
+        t0 = float(resume.t)
+        y0 = resume.y
+        options = dataclasses.replace(options, first_step=resume.h)
     direction = validate_tspan(t0, t1)
     stats = Stats()
-    stepper = AdamsStepper(f, t0, np.asarray(y0, float), direction, options, stats)
+    y0_arr = np.asarray(y0, float)
+    guarded = GuardedRhs(f) if recovery is not None else f
+    stepper = construct_with_retry(
+        lambda: AdamsStepper(guarded, t0, y0_arr, direction, options, stats),
+        recovery, "adams", t0, y0_arr,
+    )
+    if resume is not None:
+        from ..runtime.checkpoint import restore_stepper
+
+        restore_stepper(stepper, resume)
+
+    def make_checkpoint() -> "Checkpoint":
+        from ..runtime.checkpoint import Checkpoint, snapshot_stepper
+
+        return Checkpoint(
+            method="adams", t=stepper.t, y=stepper.y.copy(), h=stepper.h,
+            direction=direction, order=stepper.order,
+            history=snapshot_stepper(stepper),
+            stats=dataclasses.asdict(stats),
+        )
 
     ts = [t0]
     ys = [stepper.y.copy()]
+    retries = 0
     while (t1 - stepper.t) * direction > 0:
         if stats.nsteps >= options.max_steps:
             return SolverResult(
@@ -278,14 +328,30 @@ def adams_adaptive(
                 f"maximum step count {options.max_steps} exceeded",
                 stats, "adams",
             )
-        if not stepper.step(t1):
+        try:
+            advanced = stepper.step(t1)
+        except RhsError as exc:
+            retries += 1
+            if recovery is None or retries > recovery.max_retries:
+                raise SolverFailure(
+                    "adams", stepper.t, stepper.y, retries, str(exc),
+                    ts=np.array(ts), ys=np.array(ys), cause=exc,
+                ) from exc
+            stepper.reduce_step(recovery.shrink_factor)
+            continue
+        retries = 0
+        if not advanced:
             return SolverResult(
                 np.array(ts), np.array(ys), False,
                 "step size underflow", stats, "adams",
             )
         ts.append(stepper.t)
         ys.append(stepper.y.copy())
+        if checkpointer is not None:
+            checkpointer.step(make_checkpoint)
 
+    if checkpointer is not None:
+        checkpointer.flush()
     return SolverResult(
         np.array(ts), np.array(ys), True, "reached end of span", stats, "adams"
     )

@@ -17,7 +17,8 @@ generated analytic one.
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
@@ -31,6 +32,16 @@ from .common import (
     validate_tspan,
 )
 from .jacobian import FiniteDifferenceJacobian, JacobianProvider
+from .recovery import (
+    GuardedRhs,
+    RecoveryPolicy,
+    RhsError,
+    SolverFailure,
+    construct_with_retry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.checkpoint import Checkpoint, Checkpointer
 
 __all__ = ["BdfStepper", "bdf_adaptive"]
 
@@ -135,6 +146,11 @@ class BdfStepper:
             self.h = new_h
         self.n_equal_steps = 0
         self._LU = None
+
+    def reduce_step(self, factor: float) -> None:
+        """Shrink the step after an external (RHS) failure; the difference
+        table is rescaled and the LU factorisation invalidated."""
+        self._change_step(factor)
 
     # -- the Newton corrector -----------------------------------------------------
 
@@ -292,17 +308,48 @@ def bdf_adaptive(
     y0: Sequence[float],
     options: SolverOptions = SolverOptions(),
     jac: JacobianProvider | None = None,
+    recovery: RecoveryPolicy | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    resume: "Checkpoint | None" = None,
 ) -> SolverResult:
-    """Integrate with the BDF method alone (no family switching)."""
+    """Integrate with the BDF method alone (no family switching).
+
+    ``recovery``, ``checkpointer`` and ``resume`` behave as in
+    :func:`~repro.solver.adams.adams_adaptive`.
+    """
     t0, t1 = float(t_span[0]), float(t_span[1])
+    if resume is not None:
+        t0 = float(resume.t)
+        y0 = resume.y
+        options = dataclasses.replace(options, first_step=resume.h)
     direction = validate_tspan(t0, t1)
     stats = Stats()
-    stepper = BdfStepper(
-        f, t0, np.asarray(y0, float), direction, options, stats, jac=jac
+    y0_arr = np.asarray(y0, float)
+    guarded = GuardedRhs(f) if recovery is not None else f
+    stepper = construct_with_retry(
+        lambda: BdfStepper(
+            guarded, t0, y0_arr, direction, options, stats, jac=jac
+        ),
+        recovery, "bdf", t0, y0_arr,
     )
+    if resume is not None:
+        from ..runtime.checkpoint import restore_stepper
+
+        restore_stepper(stepper, resume)
+
+    def make_checkpoint() -> "Checkpoint":
+        from ..runtime.checkpoint import Checkpoint, snapshot_stepper
+
+        return Checkpoint(
+            method="bdf", t=stepper.t, y=stepper.y.copy(), h=stepper.h,
+            direction=direction, order=stepper.order,
+            history=snapshot_stepper(stepper),
+            stats=dataclasses.asdict(stats),
+        )
 
     ts = [t0]
     ys = [stepper.y.copy()]
+    retries = 0
     while (t1 - stepper.t) * direction > 0:
         if stats.nsteps >= options.max_steps:
             return SolverResult(
@@ -310,14 +357,30 @@ def bdf_adaptive(
                 f"maximum step count {options.max_steps} exceeded",
                 stats, "bdf",
             )
-        if not stepper.step(t1):
+        try:
+            advanced = stepper.step(t1)
+        except RhsError as exc:
+            retries += 1
+            if recovery is None or retries > recovery.max_retries:
+                raise SolverFailure(
+                    "bdf", stepper.t, stepper.y, retries, str(exc),
+                    ts=np.array(ts), ys=np.array(ys), cause=exc,
+                ) from exc
+            stepper.reduce_step(recovery.shrink_factor)
+            continue
+        retries = 0
+        if not advanced:
             return SolverResult(
                 np.array(ts), np.array(ys), False,
                 "step size underflow", stats, "bdf",
             )
         ts.append(stepper.t)
         ys.append(stepper.y.copy())
+        if checkpointer is not None:
+            checkpointer.step(make_checkpoint)
 
+    if checkpointer is not None:
+        checkpointer.flush()
     return SolverResult(
         np.array(ts), np.array(ys), True, "reached end of span", stats, "bdf"
     )

@@ -9,7 +9,8 @@ output points with cubic Hermite interpolation.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -18,7 +19,11 @@ from .bdf import bdf_adaptive
 from .common import RhsFn, SolverOptions, SolverResult
 from .jacobian import AnalyticJacobian, JacobianProvider
 from .lsoda import lsoda_adaptive
+from .recovery import RecoveryPolicy
 from .rk import rk4_fixed, rk45_adaptive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.checkpoint import Checkpoint, Checkpointer
 
 __all__ = ["solve_ivp", "METHODS", "hermite_resample"]
 
@@ -102,6 +107,9 @@ def solve_ivp(
     max_step: float = np.inf,
     max_steps: int = 100_000,
     num_steps: int = 1000,
+    recovery: RecoveryPolicy | None = None,
+    checkpointer: "Checkpointer | str | Path | None" = None,
+    resume: "Checkpoint | str | Path | None" = None,
 ) -> SolverResult:
     """Solve an initial value problem ``y' = f(t, y)``.
 
@@ -110,9 +118,37 @@ def solve_ivp(
     implicit families; without it a finite-difference Jacobian is built
     internally.  ``num_steps`` applies to the fixed-step ``rk4`` method
     only.
+
+    The fault-tolerance extensions apply to the adaptive methods:
+    ``recovery`` is a :class:`~repro.solver.recovery.RecoveryPolicy` for
+    RHS exceptions and non-finite values (shrink the step and retry, then
+    raise a structured :class:`~repro.solver.recovery.SolverFailure`);
+    ``checkpointer`` (a :class:`~repro.runtime.checkpoint.Checkpointer`
+    or a path) writes periodic checkpoints; ``resume`` (a
+    :class:`~repro.runtime.checkpoint.Checkpoint` or a path) restarts
+    from one — the checkpointed ``(t, y)`` replaces ``t_span[0]``/``y0``
+    and the stepper history is restored.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    if resume is not None or checkpointer is not None:
+        from ..runtime.checkpoint import Checkpointer, load_checkpoint
+
+        if isinstance(checkpointer, (str, Path)):
+            checkpointer = Checkpointer(checkpointer)
+        if isinstance(resume, (str, Path)):
+            resume = load_checkpoint(resume)
+        if resume is not None and resume.method != method:
+            raise ValueError(
+                f"checkpoint was written by method {resume.method!r}; "
+                f"pass method={resume.method!r} to resume it"
+            )
+    if method == "rk4" and (recovery is not None or checkpointer is not None
+                            or resume is not None):
+        raise ValueError(
+            "recovery/checkpoint/resume require an adaptive method "
+            "(rk45, adams, bdf, lsoda)"
+        )
     options = SolverOptions(
         rtol=rtol,
         atol=atol,
@@ -128,16 +164,17 @@ def solve_ivp(
     else:
         provider = AnalyticJacobian(jac)
 
+    ft = dict(recovery=recovery, checkpointer=checkpointer, resume=resume)
     if method == "rk4":
         result = rk4_fixed(f, t_span, y0, num_steps=num_steps)
     elif method == "rk45":
-        result = rk45_adaptive(f, t_span, y0, options)
+        result = rk45_adaptive(f, t_span, y0, options, **ft)
     elif method == "adams":
-        result = adams_adaptive(f, t_span, y0, options)
+        result = adams_adaptive(f, t_span, y0, options, **ft)
     elif method == "bdf":
-        result = bdf_adaptive(f, t_span, y0, options, jac=provider)
+        result = bdf_adaptive(f, t_span, y0, options, jac=provider, **ft)
     else:
-        result = lsoda_adaptive(f, t_span, y0, options, jac=provider)
+        result = lsoda_adaptive(f, t_span, y0, options, jac=provider, **ft)
 
     if t_eval is not None and result.success:
         result = hermite_resample(result, f, t_eval)

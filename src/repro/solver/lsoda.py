@@ -18,7 +18,8 @@ is formed while running the nonstiff family.
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -26,6 +27,16 @@ from .adams import AdamsStepper
 from .bdf import BdfStepper
 from .common import RhsFn, SolverOptions, SolverResult, Stats, validate_tspan
 from .jacobian import JacobianProvider
+from .recovery import (
+    GuardedRhs,
+    RecoveryPolicy,
+    RhsError,
+    SolverFailure,
+    construct_with_retry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.checkpoint import Checkpoint, Checkpointer
 
 __all__ = ["lsoda_adaptive", "estimate_spectral_radius"]
 
@@ -77,15 +88,43 @@ def lsoda_adaptive(
     y0: Sequence[float],
     options: SolverOptions = SolverOptions(),
     jac: JacobianProvider | None = None,
+    recovery: RecoveryPolicy | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    resume: "Checkpoint | None" = None,
 ) -> SolverResult:
-    """Integrate with automatic Adams/BDF switching."""
+    """Integrate with automatic Adams/BDF switching.
+
+    ``recovery``, ``checkpointer`` and ``resume`` behave as in
+    :func:`~repro.solver.adams.adams_adaptive`; checkpoints additionally
+    record the active family and the switching counters so a resumed run
+    continues in the same stiffness regime.
+    """
     t0, t1 = float(t_span[0]), float(t_span[1])
+    if resume is not None:
+        t0 = float(resume.t)
+        y0 = resume.y
+        options = dataclasses.replace(options, first_step=resume.h)
     direction = validate_tspan(t0, t1)
     stats = Stats()
+    y0_arr = np.asarray(y0, float)
+    guarded = GuardedRhs(f) if recovery is not None else f
 
-    stepper: AdamsStepper | BdfStepper = AdamsStepper(
-        f, t0, np.asarray(y0, float), direction, options, stats
+    family = resume.family if resume is not None else "adams"
+
+    def _construct(kind: str, t: float, y: np.ndarray):
+        if kind == "bdf":
+            return BdfStepper(guarded, t, y, direction, options, stats,
+                              jac=jac)
+        return AdamsStepper(guarded, t, y, direction, options, stats)
+
+    stepper: AdamsStepper | BdfStepper = construct_with_retry(
+        lambda: _construct(family or "adams", t0, y0_arr),
+        recovery, "lsoda", t0, y0_arr,
     )
+    if resume is not None:
+        from ..runtime.checkpoint import restore_stepper
+
+        restore_stepper(stepper, resume)
 
     ts = [t0]
     ys = [stepper.y.copy()]
@@ -95,6 +134,26 @@ def lsoda_adaptive(
     #: one noisy spectral-radius estimate must not flip the family)
     switch_votes = 0
     grace = 0
+    retries = 0
+    if resume is not None and resume.driver:
+        steps_since_check = int(resume.driver.get("steps_since_check", 0))
+        switch_votes = int(resume.driver.get("switch_votes", 0))
+        grace = int(resume.driver.get("grace", 0))
+
+    def make_checkpoint() -> "Checkpoint":
+        from ..runtime.checkpoint import Checkpoint, snapshot_stepper
+
+        return Checkpoint(
+            method="lsoda", t=stepper.t, y=stepper.y.copy(), h=stepper.h,
+            direction=direction, order=stepper.order,
+            family=stepper.family, history=snapshot_stepper(stepper),
+            driver={
+                "steps_since_check": steps_since_check,
+                "switch_votes": switch_votes,
+                "grace": grace,
+            },
+            stats=dataclasses.asdict(stats),
+        )
 
     while (t1 - stepper.t) * direction > 0:
         if stats.nsteps >= options.max_steps:
@@ -103,7 +162,19 @@ def lsoda_adaptive(
                 f"maximum step count {options.max_steps} exceeded",
                 stats, "lsoda", method_log,
             )
-        if not stepper.step(t1):
+        try:
+            advanced = stepper.step(t1)
+        except RhsError as exc:
+            retries += 1
+            if recovery is None or retries > recovery.max_retries:
+                raise SolverFailure(
+                    "lsoda", stepper.t, stepper.y, retries, str(exc),
+                    ts=np.array(ts), ys=np.array(ys), cause=exc,
+                ) from exc
+            stepper.reduce_step(recovery.shrink_factor)
+            continue
+        retries = 0
+        if not advanced:
             return SolverResult(
                 np.array(ts), np.array(ys), False,
                 "step size underflow", stats, "lsoda", method_log,
@@ -112,17 +183,24 @@ def lsoda_adaptive(
         ys.append(stepper.y.copy())
         method_log.append(stepper.family)
         steps_since_check += 1
+        if checkpointer is not None:
+            checkpointer.step(make_checkpoint)
 
         if steps_since_check >= CHECK_EVERY and (t1 - stepper.t) * direction > 0:
             steps_since_check = 0
             if grace > 0:
                 grace -= 1
                 continue
-            f_now = f(stepper.t, stepper.y)
-            stats.nfev += 1
-            rho = estimate_spectral_radius(
-                f, stepper.t, stepper.y, f_now, stats
-            )
+            try:
+                f_now = guarded(stepper.t, stepper.y)
+                stats.nfev += 1
+                rho = estimate_spectral_radius(
+                    guarded, stepper.t, stepper.y, f_now, stats
+                )
+            except RhsError:
+                # The stiffness probe is advisory; a transient RHS fault
+                # here just skips this check rather than failing the run.
+                continue
             h_rho = stepper.h * rho
             wants_switch = (
                 stepper.family == "adams" and h_rho > STIFF_THRESHOLD
@@ -132,16 +210,15 @@ def lsoda_adaptive(
                 switch_votes = 0
                 grace = 2
                 stats.method_switches += 1
-                if stepper.family == "adams":
-                    stepper = BdfStepper(
-                        f, stepper.t, stepper.y, direction, options, stats,
-                        jac=jac,
-                    )
-                else:
-                    stepper = AdamsStepper(
-                        f, stepper.t, stepper.y, direction, options, stats
-                    )
+                target = "bdf" if stepper.family == "adams" else "adams"
+                t_sw, y_sw = stepper.t, stepper.y
+                stepper = construct_with_retry(
+                    lambda: _construct(target, t_sw, y_sw),
+                    recovery, "lsoda", t_sw, y_sw,
+                )
 
+    if checkpointer is not None:
+        checkpointer.flush()
     return SolverResult(
         np.array(ts), np.array(ys), True, "reached end of span",
         stats, "lsoda", method_log,

@@ -8,7 +8,8 @@ methods and the reference method in the cross-validation tests.
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -21,6 +22,16 @@ from .common import (
     initial_step,
     validate_tspan,
 )
+from .recovery import (
+    GuardedRhs,
+    RecoveryPolicy,
+    RhsError,
+    SolverFailure,
+    construct_with_retry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.checkpoint import Checkpoint, Checkpointer
 
 __all__ = ["rk4_fixed", "rk45_adaptive", "DOPRI_A", "DOPRI_B5", "DOPRI_B4", "DOPRI_C"]
 
@@ -87,24 +98,43 @@ def rk45_adaptive(
     t_span: tuple[float, float],
     y0: Sequence[float],
     options: SolverOptions = SolverOptions(),
+    recovery: RecoveryPolicy | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    resume: "Checkpoint | None" = None,
 ) -> SolverResult:
-    """Adaptive Dormand–Prince 5(4) with FSAL and PI-free standard control."""
+    """Adaptive Dormand–Prince 5(4) with FSAL and PI-free standard control.
+
+    With a :class:`~repro.solver.recovery.RecoveryPolicy`, RHS exceptions
+    and non-finite values shrink the step and retry before surfacing a
+    :class:`~repro.solver.recovery.SolverFailure`; ``checkpointer`` /
+    ``resume`` enable periodic checkpointing and warm restart.
+    """
     t0, t1 = float(t_span[0]), float(t_span[1])
+    if resume is not None:
+        t0 = float(resume.t)
+        y0 = resume.y
+        options = dataclasses.replace(options, first_step=resume.h)
     direction = validate_tspan(t0, t1)
     y = np.asarray(y0, dtype=float).copy()
     n = y.size
     stats = Stats()
+    if recovery is not None:
+        f = GuardedRhs(f)
 
-    f0 = f(t0, y)
-    stats.nfev += 1
-    if options.first_step is not None:
-        h = min(abs(options.first_step), options.max_step)
-    else:
-        h = initial_step(
-            f, t0, y, f0, direction, 4, options.rtol, options.atol,
-            options.max_step,
-        )
+    def _startup():
+        f0 = f(t0, y)
         stats.nfev += 1
+        if options.first_step is not None:
+            h = min(abs(options.first_step), options.max_step)
+        else:
+            h = initial_step(
+                f, t0, y, f0, direction, 4, options.rtol, options.atol,
+                options.max_step,
+            )
+            stats.nfev += 1
+        return f0, h
+
+    f0, h = construct_with_retry(_startup, recovery, "rk45", t0, y)
     h = max(h, 1e-14)
 
     ts = [t0]
@@ -113,7 +143,16 @@ def rk45_adaptive(
     k = np.empty((7, n), dtype=float)
     k[0] = f0
 
+    def make_checkpoint() -> "Checkpoint":
+        from ..runtime.checkpoint import Checkpoint
+
+        return Checkpoint(
+            method="rk45", t=t, y=y.copy(), h=h, direction=direction,
+            order=5, stats=dataclasses.asdict(stats),
+        )
+
     MAX_FACTOR, MIN_FACTOR, SAFETY = 10.0, 0.2, 0.9
+    retries = 0
 
     while (t1 - t) * direction > 0:
         if stats.nsteps >= options.max_steps:
@@ -130,9 +169,23 @@ def rk45_adaptive(
             )
         stats.nsteps += 1
 
-        for i in range(1, 7):
-            dy = (k[:i].T @ DOPRI_A[i]) * (h * direction)
-            k[i] = f(t + DOPRI_C[i] * h * direction, y + dy)
+        try:
+            for i in range(1, 7):
+                dy = (k[:i].T @ DOPRI_A[i]) * (h * direction)
+                k[i] = f(t + DOPRI_C[i] * h * direction, y + dy)
+        except RhsError as exc:
+            retries += 1
+            if recovery is None or retries > recovery.max_retries:
+                raise SolverFailure(
+                    "rk45", t, y, retries, str(exc),
+                    ts=np.array(ts), ys=np.array(ys), cause=exc,
+                ) from exc
+            stats.nrejected += 1
+            h *= recovery.shrink_factor
+            # The FSAL slot k[0] = f(t, y) is still valid; only the trial
+            # stages are discarded.
+            continue
+        retries = 0
         stats.nfev += 6
 
         y_new = y + h * direction * (k.T @ DOPRI_B5)
@@ -146,6 +199,8 @@ def rk45_adaptive(
             stats.naccepted += 1
             ts.append(t)
             ys.append(y.copy())
+            if checkpointer is not None:
+                checkpointer.step(make_checkpoint)
             factor = MAX_FACTOR if norm == 0 else min(
                 MAX_FACTOR, SAFETY * norm ** (-0.2)
             )
@@ -154,6 +209,8 @@ def rk45_adaptive(
             stats.nrejected += 1
             h *= max(MIN_FACTOR, SAFETY * norm ** (-0.2))
 
+    if checkpointer is not None:
+        checkpointer.flush()
     return SolverResult(
         np.array(ts), np.array(ys), True, "reached end of span",
         stats, "rk45",

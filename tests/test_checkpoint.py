@@ -1,0 +1,330 @@
+"""Checkpoint/restart round-trip tests and solver RHS-failure recovery.
+
+The core property: resuming an integration from any checkpoint reproduces
+the uninterrupted run within solver tolerance, for every adaptive method
+(the multistep families restore their full history, so they continue at
+the checkpointed order instead of restarting at order 1).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    Checkpointer,
+    RuntimeEvents,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.solver import (
+    GuardedRhs,
+    RecoveryPolicy,
+    RhsError,
+    SolverFailure,
+    solve_ivp,
+)
+
+ADAPTIVE_METHODS = ("rk45", "adams", "bdf", "lsoda")
+
+Y0 = np.array([1.0, 0.0])
+T_END = 8.0
+
+
+def oscillator(t, y):
+    """Damped oscillator: smooth, cheap, non-trivial over (0, 8)."""
+    return np.array([y[1], -4.0 * y[0] - 0.1 * y[1]])
+
+
+class FlakyRhs:
+    """Oscillator RHS that fails on a scripted window of call numbers
+    (count-based, so step shrinking cannot dodge it — only retries or a
+    restart can)."""
+
+    def __init__(self, fail_from, fail_until=None, non_finite=False):
+        self.ncalls = 0
+        self.fail_from = fail_from
+        self.fail_until = (np.inf if fail_until is None else fail_until)
+        self.non_finite = non_finite
+
+    def __call__(self, t, y):
+        self.ncalls += 1
+        if self.fail_from <= self.ncalls <= self.fail_until:
+            if self.non_finite:
+                return np.array([np.nan, np.nan])
+            raise ValueError(f"injected RHS failure (call {self.ncalls})")
+        return oscillator(t, y)
+
+
+def _sample_checkpoint(**over):
+    base = dict(
+        method="adams", t=1.5, y=np.array([0.25, -0.5]), h=0.01,
+        direction=1.0, order=3,
+        history={"kind": "adams", "grid_h": 0.01,
+                 "f_hist": [[0.1, 0.2], [0.3, 0.4]],
+                 "raw_t": [1.49, 1.5], "raw_f": [[0.1, 0.2], [0.3, 0.4]],
+                 "reject_streak": 0},
+        stats={"nfev": 120, "naccepted": 40},
+        rng_seed=7, task_times=[1e-5, 2e-5], meta={"model": "osc"},
+    )
+    base.update(over)
+    return Checkpoint(**base)
+
+
+class TestCheckpointFormat:
+    def test_round_trip_preserves_fields(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = _sample_checkpoint()
+        save_checkpoint(ck, path)
+        loaded = load_checkpoint(path)
+        assert loaded.method == ck.method
+        assert loaded.t == ck.t and loaded.h == ck.h
+        assert np.array_equal(loaded.y, ck.y)
+        assert loaded.order == ck.order
+        assert loaded.history == {**ck.history,
+                                  "f_hist": ck.history["f_hist"],
+                                  "raw_f": ck.history["raw_f"]}
+        assert loaded.stats == ck.stats
+        assert loaded.rng_seed == 7
+        assert loaded.task_times == [1e-5, 2e-5]
+        assert loaded.meta == {"model": "osc"}
+        assert loaded.version == CHECKPOINT_VERSION
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(_sample_checkpoint(), path)
+        assert path.exists()
+        assert not (tmp_path / "ck.json.tmp").exists()
+
+    def test_overwrite_keeps_file_valid(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(_sample_checkpoint(t=1.0), path)
+        save_checkpoint(_sample_checkpoint(t=2.0), path)
+        assert load_checkpoint(path).t == 2.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "nope.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"t": 1.0, "y": [0.0]}))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(_sample_checkpoint(), path)
+        payload = json.loads(path.read_text())
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_missing_required_field_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(_sample_checkpoint(), path)
+        payload = json.loads(path.read_text())
+        del payload["h"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(path)
+
+
+class TestCheckpointer:
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path / "ck.json", every=0)
+
+    def test_cadence_and_flush(self, tmp_path):
+        path = tmp_path / "ck.json"
+        events = RuntimeEvents()
+        cp = Checkpointer(path, every=5, events=events)
+        for i in range(12):
+            cp.step(lambda i=i: _sample_checkpoint(t=float(i)))
+        assert cp.nsaved == 2          # after steps 5 and 10
+        assert load_checkpoint(path).t == 9.0
+        assert cp.flush()              # steps 11, 12 were pending
+        assert cp.nsaved == 3
+        assert load_checkpoint(path).t == 11.0
+        assert not cp.flush()          # nothing new since the last save
+        assert events.count("checkpoint_saved") == 3
+
+    def test_finalize_merges_runtime_state(self, tmp_path):
+        path = tmp_path / "ck.json"
+        cp = Checkpointer(path, every=1, rng_seed=123,
+                          task_times_source=lambda: [0.5, 0.25],
+                          meta={"host": "ci"})
+        cp.step(lambda: _sample_checkpoint(rng_seed=None, task_times=None,
+                                           meta={}))
+        loaded = load_checkpoint(path)
+        assert loaded.rng_seed == 123
+        assert loaded.task_times == [0.5, 0.25]
+        assert loaded.meta == {"host": "ci"}
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("method", ADAPTIVE_METHODS)
+    def test_resume_matches_uninterrupted(self, tmp_path, method):
+        full = solve_ivp(oscillator, (0.0, T_END), Y0, method=method)
+        assert full.success
+
+        # First leg to the split point; the end-of-run flush leaves the
+        # checkpoint exactly at t_split.
+        path = tmp_path / "ck.json"
+        t_split = 3.0
+        first = solve_ivp(oscillator, (0.0, t_split), Y0, method=method,
+                          checkpointer=Checkpointer(path, every=10))
+        assert first.success
+        ck = load_checkpoint(path)
+        assert ck.t == pytest.approx(t_split)
+        assert ck.method == method
+
+        resumed = solve_ivp(oscillator, (0.0, T_END), Y0, method=method,
+                            resume=path)
+        assert resumed.success
+        assert resumed.ts[0] == pytest.approx(t_split)
+        np.testing.assert_allclose(
+            resumed.y_final, full.y_final, rtol=1e-3, atol=1e-5
+        )
+
+    @pytest.mark.parametrize("method", ("adams", "bdf"))
+    def test_resume_restores_multistep_order(self, tmp_path, method):
+        path = tmp_path / "ck.json"
+        solve_ivp(oscillator, (0.0, 4.0), Y0, method=method,
+                  checkpointer=Checkpointer(path, every=10))
+        ck = load_checkpoint(path)
+        # By t=4 both multistep families are far past order 1.
+        assert ck.order > 1
+        assert ck.history.get("kind") == method
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(t_split=st.floats(min_value=0.5, max_value=7.5),
+           method=st.sampled_from(("rk45", "lsoda")))
+    def test_resume_property_arbitrary_split(self, t_split, method):
+        """Resume ≡ uninterrupted for an arbitrary split point."""
+        full = solve_ivp(oscillator, (0.0, T_END), Y0, method=method)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ck.json"
+            solve_ivp(oscillator, (0.0, t_split), Y0, method=method,
+                      checkpointer=Checkpointer(path, every=10))
+            resumed = solve_ivp(oscillator, (0.0, T_END), Y0,
+                                method=method, resume=path)
+        assert resumed.success
+        np.testing.assert_allclose(
+            resumed.y_final, full.y_final, rtol=1e-3, atol=1e-5
+        )
+
+    def test_resume_method_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(_sample_checkpoint(method="rk45", history={}),
+                        path)
+        with pytest.raises(ValueError, match="written by method"):
+            solve_ivp(oscillator, (0.0, T_END), Y0, method="bdf",
+                      resume=path)
+
+    def test_rk4_rejects_fault_tolerance_options(self, tmp_path):
+        with pytest.raises(ValueError, match="adaptive"):
+            solve_ivp(oscillator, (0.0, 1.0), Y0, method="rk4",
+                      checkpointer=tmp_path / "ck.json")
+
+    def test_checkpointer_accepts_bare_path(self, tmp_path):
+        path = tmp_path / "ck.json"
+        result = solve_ivp(oscillator, (0.0, 2.0), Y0, method="rk45",
+                           checkpointer=path)
+        assert result.success
+        assert load_checkpoint(path).t == pytest.approx(2.0)
+
+
+class TestGuardedRhs:
+    def test_exception_becomes_rhs_error(self):
+        guarded = GuardedRhs(FlakyRhs(fail_from=1))
+        with pytest.raises(RhsError) as excinfo:
+            guarded(0.5, Y0)
+        assert isinstance(excinfo.value.cause, ValueError)
+        assert not excinfo.value.non_finite
+        assert guarded.nerrors == 1
+
+    def test_non_finite_becomes_rhs_error(self):
+        guarded = GuardedRhs(FlakyRhs(fail_from=1, non_finite=True))
+        with pytest.raises(RhsError) as excinfo:
+            guarded(0.5, Y0)
+        assert excinfo.value.non_finite
+        assert guarded.nerrors == 1
+
+    def test_clean_path_untouched(self):
+        guarded = GuardedRhs(oscillator)
+        np.testing.assert_array_equal(guarded(0.0, Y0),
+                                      oscillator(0.0, Y0))
+        assert guarded.nerrors == 0
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("method", ADAPTIVE_METHODS)
+    def test_transient_failure_recovered(self, method):
+        clean = solve_ivp(oscillator, (0.0, T_END), Y0, method=method)
+        flaky = FlakyRhs(fail_from=40, fail_until=41)
+        result = solve_ivp(flaky, (0.0, T_END), Y0, method=method,
+                           recovery=RecoveryPolicy(max_retries=5))
+        assert result.success
+        np.testing.assert_allclose(
+            result.y_final, clean.y_final, rtol=1e-3, atol=1e-5
+        )
+
+    def test_without_policy_exception_propagates(self):
+        with pytest.raises(ValueError, match="injected RHS failure"):
+            solve_ivp(FlakyRhs(fail_from=40), (0.0, T_END), Y0,
+                      method="rk45")
+
+    @pytest.mark.parametrize("non_finite", (False, True))
+    def test_permanent_failure_surfaces_solver_failure(self, non_finite):
+        flaky = FlakyRhs(fail_from=40, non_finite=non_finite)
+        with pytest.raises(SolverFailure) as excinfo:
+            solve_ivp(flaky, (0.0, T_END), Y0, method="rk45",
+                      recovery=RecoveryPolicy(max_retries=3))
+        failure = excinfo.value
+        assert failure.method == "rk45"
+        assert failure.retries > 3
+        assert 0.0 < failure.t_last < T_END
+        assert np.all(np.isfinite(failure.y_last))
+        # The partial trajectory ends at the last good state.
+        assert failure.ts is not None and failure.ys is not None
+        assert failure.ts[-1] == pytest.approx(failure.t_last)
+        np.testing.assert_array_equal(failure.ys[-1], failure.y_last)
+
+    def test_failure_then_resume_completes_run(self, tmp_path):
+        """The acceptance scenario: crash mid-run, restart from the last
+        checkpoint with a healthy RHS, and land on the clean answer."""
+        clean = solve_ivp(oscillator, (0.0, T_END), Y0, method="rk45")
+        path = tmp_path / "ck.json"
+        flaky = FlakyRhs(fail_from=60)
+        with pytest.raises(SolverFailure):
+            solve_ivp(flaky, (0.0, T_END), Y0, method="rk45",
+                      recovery=RecoveryPolicy(max_retries=2),
+                      checkpointer=Checkpointer(path, every=3))
+        ck = load_checkpoint(path)
+        assert 0.0 < ck.t < T_END
+        resumed = solve_ivp(oscillator, (0.0, T_END), Y0, method="rk45",
+                            resume=ck, checkpointer=path)
+        assert resumed.success
+        np.testing.assert_allclose(
+            resumed.y_final, clean.y_final, rtol=1e-3, atol=1e-5
+        )
+        # The resumed run keeps checkpointing past the crash point.
+        assert load_checkpoint(path).t == pytest.approx(T_END)

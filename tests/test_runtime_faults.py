@@ -1,0 +1,420 @@
+"""Fault-tolerance tests: the scripted fault matrix for the hardened
+supervisor/worker runtime.
+
+Every injector mode is exercised against every recovery outcome — retry on
+the same worker succeeds, reassignment to a healthy worker succeeds, the
+pool degrades to serial execution, or the fault is unrecoverable — and
+every recovered evaluation is asserted bit-identical to
+``SerialExecutor`` (tasks are pure functions of ``(t, y, p)`` on disjoint
+slots, so recovery must not change a single bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    ParallelRHS,
+    RetryPolicy,
+    RuntimeEvents,
+    SerialExecutor,
+    TaskFailure,
+    ThreadedExecutor,
+)
+from repro.schedule import lpt_schedule
+from repro.solver import solve_ivp
+
+RECOVERABLE_MODES = ("raise", "nan", "inf")
+
+
+@pytest.fixture(scope="module")
+def program(compiled_small_bearing):
+    return compiled_small_bearing.program
+
+
+@pytest.fixture(scope="module")
+def reference(program):
+    """The serial result vector every recovered round must reproduce."""
+    res = program.results_buffer()
+    SerialExecutor(program).evaluate(
+        0.0, program.start_vector(), program.param_vector(), res
+    )
+    return res
+
+
+def _evaluate(executor, program):
+    res = program.results_buffer()
+    executor.evaluate(0.0, program.start_vector(), program.param_vector(),
+                      res)
+    return res
+
+
+def _task_on_worker(program, num_workers, worker):
+    """A task id the default LPT schedule places on ``worker``."""
+    schedule = lpt_schedule(program.task_graph, num_workers)
+    for tid in range(program.num_tasks):
+        if schedule.assignment[tid] == worker:
+            return tid
+    pytest.skip(f"no task scheduled on worker {worker}")
+
+
+class TestFaultSpec:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec(task_id=0, mode="explode")
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            FaultSpec(task_id=0, mode="raise", count=0)
+
+    def test_negative_task(self):
+        with pytest.raises(ValueError):
+            FaultSpec(task_id=-1, mode="raise")
+
+    def test_random_plan_deterministic(self):
+        a = FaultInjector.random_plan(8, 10, rate=0.3, seed=42)
+        b = FaultInjector.random_plan(8, 10, rate=0.3, seed=42)
+        assert a.plan == b.plan
+        assert a.plan  # rate 0.3 over 80 cells: practically certain
+
+    def test_reset_rearms(self, program):
+        inj = FaultInjector([FaultSpec(task_id=0, mode="raise", count=1)])
+        inj.wrap_tasks(program)
+        assert inj.remaining() == 1
+        inj.begin_round()
+        with pytest.raises(InjectedFault):
+            inj.wrap_tasks(program)[0](
+                0.0, program.start_vector(), program.param_vector(),
+                program.results_buffer(),
+            )
+        assert inj.remaining() == 0
+        inj.reset()
+        assert inj.remaining() == 1 and inj.round_index == -1
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_exponential_capped_delay(self):
+        p = RetryPolicy(backoff=0.01, backoff_factor=2.0, max_backoff=0.03)
+        assert p.delay(1) == pytest.approx(0.01)
+        assert p.delay(2) == pytest.approx(0.02)
+        assert p.delay(5) == pytest.approx(0.03)  # capped
+
+
+class TestRetrySucceeds:
+    """count=1 faults: the first re-execution on the same worker is clean."""
+
+    @pytest.mark.parametrize("mode", RECOVERABLE_MODES)
+    def test_bit_identical_after_retry(self, program, reference, mode):
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=1, mode=mode, count=1)], events=events
+        )
+        with ThreadedExecutor(program, 2, injector=injector,
+                              events=events) as executor:
+            res = _evaluate(executor, program)
+        assert np.array_equal(res, reference)
+        assert events.count("fault_injected") == 1
+        assert events.count("task_retry") == 1
+        assert events.count("task_reassigned") == 0
+        assert not executor.degraded
+
+    def test_hang_within_deadline_is_transparent(self, program, reference):
+        # A bounded hang shorter than the level deadline is just a slow
+        # task: no retry, no reassignment, identical results.
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="hang", hang_seconds=0.05, count=1)],
+            events=events,
+        )
+        with ThreadedExecutor(program, 2, injector=injector, events=events,
+                              level_timeout=10.0) as executor:
+            res = _evaluate(executor, program)
+        assert np.array_equal(res, reference)
+        assert events.count("worker_timeout") == 0
+
+
+class TestReassignmentSucceeds:
+    """Worker-pinned unlimited faults: retries on the original worker keep
+    failing, so the task moves to a healthy worker and succeeds there."""
+
+    @pytest.mark.parametrize("mode", RECOVERABLE_MODES)
+    def test_bit_identical_after_reassignment(self, program, reference, mode):
+        tid = _task_on_worker(program, 2, worker=0)
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=tid, mode=mode, worker=0, count=-1)],
+            events=events,
+        )
+        with ThreadedExecutor(program, 2, injector=injector,
+                              events=events) as executor:
+            res = _evaluate(executor, program)
+        assert np.array_equal(res, reference)
+        assert events.count("task_reassigned") == 1
+        reassign = events.of_kind("task_reassigned")[0]
+        assert tid in reassign.data["tasks"]
+        assert reassign.data["from_worker"] == 0
+
+    def test_kill_reassigns_dead_workers_tasks(self, program, reference):
+        tid = _task_on_worker(program, 2, worker=0)
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=tid, mode="kill", worker=0, count=1)],
+            events=events,
+        )
+        with ThreadedExecutor(program, 2, injector=injector, events=events,
+                              level_timeout=5.0) as executor:
+            res = _evaluate(executor, program)
+            assert np.array_equal(res, reference)
+            # The pool keeps working with the surviving worker.
+            assert np.array_equal(_evaluate(executor, program), reference)
+        assert events.count("worker_dead") == 1
+        assert events.of_kind("worker_dead")[0].data["worker"] == 0
+
+
+class TestDegradation:
+    def test_min_workers_threshold_degrades_to_serial(
+        self, program, reference
+    ):
+        # min_workers=2: losing a single worker of two demotes the pool.
+        tid = _task_on_worker(program, 2, worker=0)
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=tid, mode="kill", worker=0, count=1)],
+            events=events,
+        )
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            with ThreadedExecutor(program, 2, injector=injector,
+                                  events=events, min_workers=2,
+                                  level_timeout=5.0) as executor:
+                res = _evaluate(executor, program)
+                assert np.array_equal(res, reference)
+                assert executor.degraded
+                # Subsequent rounds run serially, still bit-identical.
+                assert np.array_equal(_evaluate(executor, program), reference)
+        assert events.count("degraded") == 1
+
+    def test_all_workers_dead_degrades(self, program, reference):
+        events = RuntimeEvents()
+        specs = [
+            FaultSpec(task_id=tid, mode="kill", worker=w, count=1)
+            for w in range(2)
+            for tid in [_task_on_worker(program, 2, w)]
+        ]
+        injector = FaultInjector(specs, events=events)
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            with ThreadedExecutor(program, 2, injector=injector,
+                                  events=events,
+                                  level_timeout=5.0) as executor:
+                res = _evaluate(executor, program)
+                assert np.array_equal(res, reference)
+                assert executor.degraded
+        assert events.count("worker_dead") == 2
+
+
+class TestUnrecoverable:
+    @pytest.mark.parametrize("mode", RECOVERABLE_MODES)
+    def test_everywhere_failing_task_raises_task_failure(
+        self, program, mode
+    ):
+        # Unpinned, unlimited: fails on the original worker, the
+        # reassignment target, and the inline fallback.
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode=mode, count=-1)]
+        )
+        with ThreadedExecutor(program, 2, injector=injector) as executor:
+            with pytest.raises(TaskFailure,
+                               match="task evaluation failed"):
+                _evaluate(executor, program)
+            assert executor.events.count("task_retry") > 0
+
+    def test_task_failure_carries_task_id(self, program):
+        injector = FaultInjector(
+            [FaultSpec(task_id=2, mode="raise", count=-1)]
+        )
+        with ThreadedExecutor(program, 2, injector=injector) as executor:
+            with pytest.raises(TaskFailure) as excinfo:
+                _evaluate(executor, program)
+        assert excinfo.value.task_id == 2
+
+
+class TestBarrierDeadlockRegression:
+    """The seed's latent deadlock: ``self._done.get()`` blocked forever if
+    a worker thread died without signalling (e.g. killed by an injected
+    fault before the completion message).  The hardened barrier must
+    detect the death via liveness checks / the bounded timeout instead."""
+
+    def test_worker_killed_outside_signalling_does_not_deadlock(
+        self, program, reference
+    ):
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="kill", count=1)]
+        )
+        with ThreadedExecutor(program, 1, injector=injector,
+                              level_timeout=5.0) as executor:
+            # Sole worker dies: evaluation must degrade inline, not hang.
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                res = _evaluate(executor, program)
+        assert np.array_equal(res, reference)
+        assert executor.degraded
+
+    def test_hung_worker_hits_barrier_timeout(self, program, reference):
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="hang", hang_seconds=1.5, count=1)],
+            events=events,
+        )
+        with ThreadedExecutor(program, 2, injector=injector, events=events,
+                              level_timeout=0.3) as executor:
+            res = _evaluate(executor, program)
+            assert np.array_equal(res, reference)
+        assert events.count("worker_timeout") == 1
+        assert events.count("worker_dead") == 1
+
+
+class TestClose:
+    def test_close_is_idempotent(self, program):
+        executor = ThreadedExecutor(program, 2)
+        executor.close()
+        executor.close()  # second close must be a no-op
+        assert executor.zombie_workers == []
+
+    def test_close_after_worker_deaths(self, program):
+        specs = [
+            FaultSpec(task_id=tid, mode="kill", worker=w, count=1)
+            for w in range(2)
+            for tid in [_task_on_worker(program, 2, w)]
+        ]
+        executor = ThreadedExecutor(
+            program, 2, injector=FaultInjector(specs), level_timeout=5.0
+        )
+        with pytest.warns(RuntimeWarning):
+            _evaluate(executor, program)
+        executor.close()  # must not raise or hang on dead threads
+        executor.close()
+        assert executor.zombie_workers == []
+
+    def test_close_reports_zombie_workers(self, program):
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="hang", hang_seconds=1.0, count=1)],
+            events=events,
+        )
+        executor = ThreadedExecutor(program, 1, injector=injector,
+                                    events=events, level_timeout=0.2,
+                                    join_timeout=0.1)
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            _evaluate(executor, program)  # times out, degrades inline
+        with pytest.warns(RuntimeWarning, match="did not join"):
+            executor.close()
+        assert executor.zombie_workers == [0]
+        assert events.count("close_timeout") == 1
+
+
+class TestStaleTaskTimes:
+    def test_serial_executor_zeroes_times_each_round(self, program):
+        injector = FaultInjector(
+            [FaultSpec(task_id=program.num_tasks - 1, mode="raise",
+                       count=1)]
+        )
+        executor = SerialExecutor(program, injector=injector)
+        y, p = program.start_vector(), program.param_vector()
+        with pytest.raises(InjectedFault):
+            executor.evaluate(0.0, y, p, program.results_buffer())
+        # The aborted round must not leave the failed task's slot holding
+        # the previous round's measurement (the semi-dynamic LPT would
+        # otherwise schedule from a mix of rounds).
+        assert executor.last_task_times[program.num_tasks - 1] == 0.0
+
+    def test_threaded_executor_zeroes_times_each_round(self, program):
+        with ThreadedExecutor(program, 2) as executor:
+            _evaluate(executor, program)
+            before = executor.last_task_times.copy()
+            assert before.sum() > 0
+            executor.last_task_times[:] = 7.0
+            _evaluate(executor, program)
+            assert np.all(executor.last_task_times < 7.0)
+
+
+class TestCorruption:
+    def test_corrupt_mode_writes_scripted_value(self, program):
+        # 'corrupt' is the silent-fault mode NaN validation cannot catch:
+        # it documents the detection boundary.
+        tid = 0
+        slot = program.task_output_slots(tid)[0]
+        injector = FaultInjector(
+            [FaultSpec(task_id=tid, mode="corrupt", corrupt_value=123.5,
+                       count=1)]
+        )
+        executor = SerialExecutor(program, injector=injector)
+        res = program.results_buffer()
+        executor.evaluate(0.0, program.start_vector(),
+                          program.param_vector(), res)
+        assert res[slot] == 123.5
+
+
+class TestEndToEndSimulation:
+    def test_killed_worker_mid_simulation_bit_identical(
+        self, program
+    ):
+        """Acceptance: a scripted kill of a single worker mid-round
+        completes the simulation bit-identical to ``SerialExecutor``,
+        with the retry/reassignment recorded in the event log."""
+        y0 = program.start_vector()
+        span = (0.0, 0.02)
+
+        serial_rhs = ParallelRHS(program, SerialExecutor(program))
+        expected = solve_ivp(serial_rhs, span, y0, method="rk45")
+
+        tid = _task_on_worker(program, 2, worker=0)
+        events = RuntimeEvents()
+        injector = FaultInjector(
+            [FaultSpec(task_id=tid, mode="kill", worker=0, round_index=5,
+                       count=1)],
+            events=events,
+        )
+        executor = ThreadedExecutor(program, 2, injector=injector,
+                                    events=events, level_timeout=5.0)
+        threaded_rhs = ParallelRHS(program, executor)
+        try:
+            result = solve_ivp(threaded_rhs, span, y0, method="rk45")
+        finally:
+            executor.close()
+
+        assert result.success and expected.success
+        assert np.array_equal(result.ts, expected.ts)
+        assert np.array_equal(result.ys, expected.ys)
+        assert events.count("fault_injected") == 1
+        assert events.count("worker_dead") == 1
+        assert events.count("task_reassigned") >= 1
+
+    def test_random_fault_storm_recovers_bit_identical(self, program):
+        """Seeded random raise/nan faults across many rounds: every round
+        recovers to the exact serial result."""
+        y, p = program.start_vector(), program.param_vector()
+        reference = program.results_buffer()
+        SerialExecutor(program).evaluate(0.0, y, p, reference)
+
+        events = RuntimeEvents()
+        injector = FaultInjector.random_plan(
+            program.num_tasks, num_rounds=15, rate=0.05,
+            modes=("raise", "nan"), seed=7, events=events,
+        )
+        with ThreadedExecutor(program, 3, injector=injector,
+                              events=events) as executor:
+            for _ in range(15):
+                res = program.results_buffer()
+                executor.evaluate(0.0, y, p, res)
+                assert np.array_equal(res, reference)
+        assert events.count("fault_injected") == injector.fired
