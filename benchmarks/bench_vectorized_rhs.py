@@ -1,0 +1,264 @@
+"""Vectorized-backend benchmark: batched RHS and ensemble integration.
+
+Measures what the NumPy back end (PR's tentpole) actually buys:
+
+1. **Per-trajectory RHS throughput** on the paper's 10-roller bearing —
+   one ``RHS_V`` sweep over a ``(batch, n)`` stack vs ``batch`` calls of
+   the generated scalar ``RHS``.
+2. **Ensemble integration** — ``solve_ivp_batch`` advancing 64 servo
+   trajectories in lockstep vs 64 sequential ``solve_ivp`` calls.
+
+Usable both as a pytest-benchmark module and as a standalone smoke
+check::
+
+    python benchmarks/bench_vectorized_rhs.py --quick
+
+The standalone run writes ``benchmarks/results/BENCH_vectorized.json``
+and exits non-zero if the vectorized backend is *slower* than the scalar
+one at any batch size ≥ 64 (CI's regression tripwire).  The full run
+additionally asserts the headline ratios: ≥ 5× RHS throughput at batch
+256 and ≥ 3× on the 64-trajectory ensemble.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import emit, table  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BATCH_SIZES = (1, 16, 64, 256)
+
+
+def _compile(build, **kwargs):
+    from repro.frontend import compile_model
+
+    return compile_model(build(), backend="numpy", **kwargs)
+
+
+def _bearing_program():
+    from repro.apps import BearingParams, build_bearing2d
+
+    return _compile(
+        lambda: build_bearing2d(BearingParams(num_rollers=10))
+    ).program
+
+
+def _servo_program():
+    from repro.apps import build_servo
+
+    return _compile(build_servo).program
+
+
+def _time(fn, reps: int) -> float:
+    """Best-of-3 wall time for ``reps`` calls of ``fn``."""
+    best = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_rhs_throughput(program, reps: int) -> list[dict]:
+    """Per-trajectory RHS evaluations/second, scalar vs vectorized."""
+    n = program.num_states
+    p = program.param_vector()
+    rhs = program.module.rhs
+    rhs_v = program.vector_module.rhs_v
+    rng = np.random.default_rng(0)
+    y0 = program.start_vector()
+    rows = []
+    for batch in BATCH_SIZES:
+        Y = y0[None, :] + 0.1 * (1 + np.abs(y0)) * rng.standard_normal(
+            (batch, n)
+        )
+        out_v = np.empty_like(Y)
+        out_s = np.empty(n)
+
+        def scalar():
+            for i in range(batch):
+                rhs(0.0, Y[i], p, out_s)
+
+        def vector():
+            rhs_v(0.0, Y, p, out_v)
+
+        t_s = _time(scalar, reps)
+        t_v = _time(vector, reps)
+        rows.append(
+            {
+                "batch": batch,
+                "scalar_evals_per_s": batch * reps / t_s,
+                "vector_evals_per_s": batch * reps / t_v,
+                "speedup": t_s / t_v,
+            }
+        )
+    return rows
+
+
+def bench_ensemble_solve(program, num_traj: int) -> dict:
+    """64-trajectory servo ensemble: lockstep batch vs sequential loop."""
+    from repro.solver import solve_ivp, solve_ivp_batch
+
+    rng = np.random.default_rng(1)
+    y0 = program.start_vector()
+    Y0 = y0[None, :] * (
+        1.0 + 0.05 * rng.standard_normal((num_traj, y0.size))
+    )
+    t_span, opts = (0.0, 0.05), dict(rtol=1e-8, atol=1e-10)
+
+    f_batch = program.make_rhs_batch()
+    start = time.perf_counter()
+    batch_result = solve_ivp_batch(
+        f_batch, t_span, Y0, method="rk45", **opts
+    )
+    t_batch = time.perf_counter() - start
+    assert batch_result.all_success
+
+    f_seq = program.make_rhs()
+    start = time.perf_counter()
+    finals = []
+    for i in range(num_traj):
+        r = solve_ivp(f_seq, t_span, Y0[i], method="rk45", **opts)
+        assert r.success
+        finals.append(r.y_final)
+    t_seq = time.perf_counter() - start
+
+    worst = max(
+        float(
+            np.max(
+                np.abs(batch_result[i].y_final - finals[i])
+                / (1.0 + np.abs(finals[i]))
+            )
+        )
+        for i in range(num_traj)
+    )
+    return {
+        "num_trajectories": num_traj,
+        "batch_seconds": t_batch,
+        "sequential_seconds": t_seq,
+        "speedup": t_seq / t_batch,
+        "batched_sweeps": batch_result.nsweeps,
+        "max_rel_final_diff": worst,
+    }
+
+
+def run(quick: bool) -> dict:
+    reps = 5 if quick else 30
+    bearing = _bearing_program()
+    servo = _servo_program()
+    rhs_rows = bench_rhs_throughput(bearing, reps)
+    ensemble = bench_ensemble_solve(servo, 64)
+    return {
+        "quick": quick,
+        "model_rhs": "bearing2d (10 rollers)",
+        "model_ensemble": "servo",
+        "rhs_throughput": rhs_rows,
+        "ensemble_solve": ensemble,
+    }
+
+
+def _report(results: dict) -> None:
+    rows = [
+        [
+            r["batch"],
+            f"{r['scalar_evals_per_s']:.0f}",
+            f"{r['vector_evals_per_s']:.0f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in results["rhs_throughput"]
+    ]
+    ens = results["ensemble_solve"]
+    lines = table(
+        ["batch", "scalar evals/s", "numpy evals/s", "speedup"], rows
+    )
+    lines += [
+        "",
+        f"ensemble: {ens['num_trajectories']} servo trajectories, rk45",
+        f"  sequential  {ens['sequential_seconds']:.3f} s",
+        f"  batched     {ens['batch_seconds']:.3f} s  "
+        f"({ens['speedup']:.2f}x, {ens['batched_sweeps']} sweeps)",
+        f"  max relative final-state difference "
+        f"{ens['max_rel_final_diff']:.2e}",
+    ]
+    emit("BENCH_vectorized", "Vectorized NumPy backend vs scalar", lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions; only the slower-than-scalar tripwire",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.quick)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_vectorized.json"
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    _report(results)
+    print(f"wrote {out_path}")
+
+    failures = []
+    for row in results["rhs_throughput"]:
+        if row["batch"] >= 64 and row["speedup"] < 1.0:
+            failures.append(
+                f"vectorized RHS slower than scalar at batch "
+                f"{row['batch']} ({row['speedup']:.2f}x)"
+            )
+    if not args.quick:
+        at256 = next(
+            r for r in results["rhs_throughput"] if r["batch"] == 256
+        )
+        if at256["speedup"] < 5.0:
+            failures.append(
+                f"RHS speedup at batch 256 is {at256['speedup']:.2f}x "
+                f"(target >= 5x)"
+            )
+        if results["ensemble_solve"]["speedup"] < 3.0:
+            failures.append(
+                f"ensemble speedup is "
+                f"{results['ensemble_solve']['speedup']:.2f}x "
+                f"(target >= 3x)"
+            )
+    if results["ensemble_solve"]["max_rel_final_diff"] > 1e-9:
+        failures.append("batched ensemble diverged from sequential results")
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+
+def test_vectorized_rhs_batch256(benchmark):
+    program = _bearing_program()
+    p = program.param_vector()
+    rhs_v = program.vector_module.rhs_v
+    rng = np.random.default_rng(0)
+    y0 = program.start_vector()
+    Y = y0[None, :] + 0.1 * (1 + np.abs(y0)) * rng.standard_normal(
+        (256, program.num_states)
+    )
+    out = np.empty_like(Y)
+    benchmark(rhs_v, 0.0, Y, p, out)
+    assert np.all(np.isfinite(out))
+
+
+def test_vectorized_backend_report():
+    """Full comparison; persists BENCH_vectorized.json for EXPERIMENTS.md."""
+    assert main([]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,9 +34,9 @@ from .solver import solve_ivp
 __all__ = ["main"]
 
 
-def _load(path: str):
+def _load(path: str, backend: str = "python"):
     source = Path(path).read_text()
-    return compile_source(source)
+    return compile_source(source, backend=backend)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -60,13 +60,18 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
     source = Path(args.model).read_text()
-    compiled = compile_source(source, shared_cse=args.shared_cse)
+    backend = "numpy" if args.target == "numpy" else "python"
+    compiled = compile_source(
+        source, shared_cse=args.shared_cse, backend=backend
+    )
     system = compiled.system
     plan = compiled.program.plan
     if args.target == "f90":
         out = generate_fortran(system, plan, mode=args.mode).source
     elif args.target == "c":
         out = generate_c(system, plan, mode=args.mode).source
+    elif args.target == "numpy":
+        out = compiled.program.vector_module.source
     else:
         out = compiled.program.module.source
     if args.output:
@@ -94,7 +99,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .runtime.events import RuntimeEvents
     from .solver.recovery import RecoveryPolicy, SolverFailure
 
-    compiled = _load(args.model)
+    compiled = _load(args.model, backend=args.backend)
     program = compiled.program
     y0 = program.start_vector()
     params = program.param_vector()
@@ -106,7 +111,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         y0 = np.asarray(y0_list)
         params = np.asarray(p_list)
-    f = program.make_rhs(params)
+    if args.backend == "numpy":
+        # The vectorized module evaluates unbatched states too (its
+        # ``[..., i]`` indexing is shape-agnostic), so a single
+        # trajectory can ride the ufunc RHS.
+        f = program.make_rhs_batch(params)
+    else:
+        f = program.make_rhs(params)
 
     events = RuntimeEvents()
     method = args.method
@@ -225,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("codegen", help="emit generated code")
     p.add_argument("model")
-    p.add_argument("-t", "--target", choices=("f90", "c", "python"),
+    p.add_argument("-t", "--target", choices=("f90", "c", "python", "numpy"),
                    default="f90")
     p.add_argument("--mode", choices=("parallel", "serial"),
                    default="parallel")
@@ -254,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t-end", type=float, default=1.0)
     p.add_argument("--method", default="lsoda",
                    choices=("lsoda", "adams", "bdf", "rk45", "rk4"))
+    p.add_argument("--backend", default="python",
+                   choices=("python", "numpy"),
+                   help="executable backend: scalar generated Python "
+                        "(default) or the vectorized NumPy module")
     p.add_argument("--rtol", type=float, default=1e-6)
     p.add_argument("--atol", type=float, default=1e-9)
     p.add_argument("--start-file", help="start-value file overriding defaults")

@@ -7,8 +7,9 @@ Expression transformer → compilable-subset verifier → task partitioning
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .gen_c import CSource, generate_c
 from .gen_fortran import FortranSource, generate_fortran
+from .gen_numpy import NumpyModule, generate_numpy
 from .gen_python import NameTable, PythonModule, generate_python
-from .program import GeneratedProgram, generate_program
+from .program import BACKENDS, GeneratedProgram, generate_program
 from .startvalues import apply_start_file, read_start_file, write_start_file
 from .tasks import Assignment, TaskBody, TaskPlan, partition_tasks
 from .transform import OdeSystem, TransformError, make_ode_system, solve_linear
@@ -22,8 +23,11 @@ __all__ = [
     "FortranSource",
     "generate_fortran",
     "NameTable",
+    "NumpyModule",
     "PythonModule",
+    "generate_numpy",
     "generate_python",
+    "BACKENDS",
     "GeneratedProgram",
     "generate_program",
     "apply_start_file",

@@ -260,9 +260,11 @@ def generate_python(
                 f"    {jac_names(sym.name)} = "
                 f"{expr_code(definition, 'python', jac_names)}"
             )
+        # 2-D ndarray indexing: one tuple index per entry instead of the
+        # chained jac[i][j], which materialises a row view per assignment.
         for (i, j, _), expr in zip(entries, jac_cse.exprs):
             lines.append(
-                f"    jac[{i}][{j}] = {expr_code(expr, 'python', jac_names)}"
+                f"    jac[{i}, {j}] = {expr_code(expr, 'python', jac_names)}"
             )
         lines.append("    return jac")
         lines.append("")

@@ -4,6 +4,18 @@ One object carrying everything downstream consumers need: the executable
 serial RHS and per-task functions (Python back end), the task plan and
 graph for the scheduler/runtime, optional analytic Jacobian, start values,
 and the code-size statistics used by the section 3.3 benchmarks.
+
+Two executable back ends are available (``generate_program(backend=...)``):
+
+* ``"python"`` — the scalar module only (the default; one float per state,
+  ``math`` calls, the target of the threaded runtime),
+* ``"numpy"``  — additionally compiles the vectorized module of
+  :mod:`repro.codegen.gen_numpy`, enabling the batched entry points
+  (``rhs_batch`` / ``make_rhs_batch`` / ``make_jac_batch``) used by
+  :func:`repro.solver.batch.solve_ivp_batch` and the ensemble runtime.
+
+The scalar module is always generated, so schedulers, executors and the
+fault-tolerance layer behave identically whichever backend is selected.
 """
 
 from __future__ import annotations
@@ -15,12 +27,15 @@ import numpy as np
 
 from ..schedule.task import TaskGraph
 from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .gen_numpy import NumpyModule, generate_numpy
 from .gen_python import PythonModule, generate_python
 from .tasks import TaskPlan, partition_tasks
 from .transform import OdeSystem
 from .verify import VerifyReport, verify_compilable
 
-__all__ = ["GeneratedProgram", "generate_program"]
+__all__ = ["GeneratedProgram", "generate_program", "BACKENDS"]
+
+BACKENDS = ("python", "numpy")
 
 
 @dataclass
@@ -31,8 +46,12 @@ class GeneratedProgram:
     plan: TaskPlan
     module: PythonModule
     verify_report: VerifyReport
+    #: vectorized NumPy module (``generate_program(backend="numpy")``)
+    vector_module: NumpyModule | None = None
     #: lazy cache for task_output_slots (state and partial slot indices)
     _slot_index: tuple | None = field(default=None, init=False, repr=False)
+    #: cached default parameter vector (built once from PARAMS())
+    _params: np.ndarray | None = field(default=None, init=False, repr=False)
 
     # -- convenience accessors -------------------------------------------------
 
@@ -52,25 +71,44 @@ class GeneratedProgram:
     def num_partials(self) -> int:
         return self.module.num_partials
 
+    @property
+    def backend(self) -> str:
+        """The richest backend available: ``"numpy"`` or ``"python"``."""
+        return "numpy" if self.vector_module is not None else "python"
+
     def start_vector(self) -> np.ndarray:
         return np.asarray(self.module.start(), dtype=float)
 
     def param_vector(self) -> np.ndarray:
-        return np.asarray(self.module.params(), dtype=float)
+        """The generated default parameter vector (a fresh copy).
+
+        The underlying vector is materialised from the generated
+        ``PARAMS()`` list once and cached; callers receive copies so the
+        cache cannot be mutated through the return value.
+        """
+        if self._params is None:
+            self._params = np.asarray(self.module.params(), dtype=float)
+        return self._params.copy()
+
+    def _default_params(self) -> np.ndarray:
+        """The cached parameter vector itself (hot paths; do not mutate)."""
+        if self._params is None:
+            self._params = np.asarray(self.module.params(), dtype=float)
+        return self._params
 
     # -- execution ------------------------------------------------------------
 
     def rhs(self, t: float, y: np.ndarray, p: np.ndarray | None = None) -> np.ndarray:
         """Serial RHS evaluation: returns a fresh ``ydot`` array."""
         if p is None:
-            p = self.param_vector()
+            p = self._default_params()
         out = np.empty(self.num_states, dtype=float)
         self.module.rhs(t, y, p, out)
         return out
 
     def make_rhs(self, p: np.ndarray | None = None) -> Callable:
         """A ``f(t, y) -> ydot`` closure for the ODE solvers."""
-        params = self.param_vector() if p is None else np.asarray(p, float)
+        params = self._default_params() if p is None else np.asarray(p, float)
         rhs = self.module.rhs
         n = self.num_states
 
@@ -82,16 +120,84 @@ class GeneratedProgram:
         return f
 
     def make_jac(self, p: np.ndarray | None = None) -> Callable | None:
-        """A ``jac(t, y) -> ndarray`` closure, if the Jacobian was generated."""
+        """A ``jac(t, y) -> ndarray`` closure, if the Jacobian was generated.
+
+        The returned closure reuses one zeroed ``(n, n)`` workspace between
+        calls: the generated code writes every structurally nonzero entry
+        on each call and the structural zeros never change, so no per-call
+        allocation or re-zeroing is needed.  Callers that hold the result
+        across calls see it updated in place (the Newton loops in the
+        implicit solvers re-factorise from it immediately).
+        """
         if self.module.jac is None:
             return None
-        params = self.param_vector() if p is None else np.asarray(p, float)
+        params = self._default_params() if p is None else np.asarray(p, float)
         jac_fn = self.module.jac
-        n = self.num_states
+        workspace = np.zeros((self.num_states, self.num_states), dtype=float)
 
         def jac(t: float, y: np.ndarray) -> np.ndarray:
-            out = np.zeros((n, n), dtype=float)
-            jac_fn(t, y, params, out)
+            jac_fn(t, y, params, workspace)
+            return workspace
+
+        return jac
+
+    # -- batched execution (numpy backend) -------------------------------------
+
+    def _require_vector_module(self) -> NumpyModule:
+        if self.vector_module is None:
+            raise ValueError(
+                "this program was generated with backend='python'; "
+                "regenerate with generate_program(..., backend='numpy') "
+                "for batched evaluation"
+            )
+        return self.vector_module
+
+    def rhs_batch(
+        self,
+        t: float | np.ndarray,
+        Y: np.ndarray,
+        p: np.ndarray | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized RHS over stacked states ``Y`` of shape ``(batch, n)``.
+
+        ``t`` may be a scalar or a ``(batch,)`` array; ``p`` a shared
+        ``(m,)`` vector or a per-trajectory ``(batch, m)`` stack.  Writes
+        into ``out`` when given (shape of ``Y``), else allocates.
+        """
+        vm = self._require_vector_module()
+        if p is None:
+            p = self._default_params()
+        if out is None:
+            out = np.empty_like(Y, dtype=float)
+        vm.rhs_v(t, Y, p, out)
+        return out
+
+    def make_rhs_batch(self, p: np.ndarray | None = None) -> Callable:
+        """A batched ``f(t, Y) -> Ydot`` closure (fresh output per call)."""
+        vm = self._require_vector_module()
+        params = self._default_params() if p is None else np.asarray(p, float)
+        rhs_v = vm.rhs_v
+
+        def f(t, Y: np.ndarray) -> np.ndarray:
+            out = np.empty_like(Y, dtype=float)
+            rhs_v(t, Y, params, out)
+            return out
+
+        return f
+
+    def make_jac_batch(self, p: np.ndarray | None = None) -> Callable | None:
+        """A batched ``jac(t, Y) -> (batch, n, n)`` closure, if generated."""
+        vm = self._require_vector_module()
+        if vm.jac_v is None:
+            return None
+        params = self._default_params() if p is None else np.asarray(p, float)
+        jac_v = vm.jac_v
+        n = self.num_states
+
+        def jac(t, Y: np.ndarray) -> np.ndarray:
+            out = np.zeros(Y.shape[:-1] + (n, n), dtype=float)
+            jac_v(t, Y, params, out)
             return out
 
         return jac
@@ -137,7 +243,8 @@ class GeneratedProgram:
     def __repr__(self) -> str:
         return (
             f"<GeneratedProgram {self.system.name}: {self.num_states} states, "
-            f"{self.num_tasks} tasks, {self.module.num_lines} generated lines>"
+            f"{self.num_tasks} tasks, {self.module.num_lines} generated lines, "
+            f"backend={self.backend}>"
         )
 
 
@@ -149,6 +256,7 @@ def generate_program(
     split_threshold: float | None = None,
     cse_min_ops: int = 1,
     shared_cse: bool = False,
+    backend: str = "python",
 ) -> GeneratedProgram:
     """Run the full back half of the compiler: verify → partition → emit.
 
@@ -156,7 +264,14 @@ def generate_program(
     pipeline (compilable-subset verifier, parallelization, CSE, code
     emission).  ``shared_cse=True`` enables the parallel-CSE task mode
     (section 3.3's outlook; see :func:`~repro.codegen.tasks.partition_tasks`).
+
+    ``backend`` selects the executable target: ``"python"`` emits the
+    scalar module only; ``"numpy"`` additionally emits the vectorized
+    module (same task plan, same CSE structure), enabling the batched
+    ``rhs_batch``/``make_rhs_batch``/``make_jac_batch`` entry points.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     report = verify_compilable(system)
     plan = partition_tasks(
         system,
@@ -168,6 +283,12 @@ def generate_program(
     module = generate_python(
         system, plan=plan, jacobian=jacobian, cse_min_ops=cse_min_ops
     )
+    vector_module = None
+    if backend == "numpy":
+        vector_module = generate_numpy(
+            system, plan=plan, jacobian=jacobian, cse_min_ops=cse_min_ops
+        )
     return GeneratedProgram(
-        system=system, plan=plan, module=module, verify_report=report
+        system=system, plan=plan, module=module, verify_report=report,
+        vector_module=vector_module,
     )

@@ -70,8 +70,13 @@ def compile_model(
     group_threshold: float | None = None,
     split_threshold: float | None = None,
     shared_cse: bool = False,
+    backend: str = "python",
 ) -> CompiledModel:
-    """Run the full pipeline on a model (programmatic or already flat)."""
+    """Run the full pipeline on a model (programmatic or already flat).
+
+    ``backend="numpy"`` additionally compiles the vectorized NumPy module
+    (see :mod:`repro.codegen.gen_numpy`), enabling batched evaluation.
+    """
     if isinstance(model, FlatModel):
         source_model = None
         flat = model
@@ -88,6 +93,7 @@ def compile_model(
         group_threshold=group_threshold,
         split_threshold=split_threshold,
         shared_cse=shared_cse,
+        backend=backend,
     )
     return CompiledModel(
         model=source_model,

@@ -11,6 +11,7 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from .ensemble import EnsembleRHS
 from .events import RuntimeEvent, RuntimeEvents
 from .faults import (
     FAULT_MODES,
@@ -57,6 +58,7 @@ __all__ = [
     "Checkpointer",
     "load_checkpoint",
     "save_checkpoint",
+    "EnsembleRHS",
     "RuntimeEvent",
     "RuntimeEvents",
     "FAULT_MODES",

@@ -1,0 +1,105 @@
+"""The ensemble facade: one callable serving many concurrent simulations.
+
+:class:`ParallelRHS` makes the *single* right-hand side parallel by
+spreading its tasks over workers; :class:`EnsembleRHS` is the orthogonal
+axis of the runtime — *many independent trajectories* evaluated as one
+vectorized sweep through the generated NumPy module (see
+:mod:`repro.codegen.gen_numpy`).  Where the paper's runtime keeps one
+MIMD machine busy inside a single RHS call, the ensemble facade keeps a
+SIMD register file busy across a stack of them: parameter studies,
+initial-condition sweeps, Monte-Carlo runs over bearing tolerances.
+
+The facade binds a parameter set at construction — either one shared
+vector ``(m,)`` or a per-trajectory stack ``(batch, m)`` — and owns a
+reusable output buffer so the hot ``f(t, Y)`` path performs no per-call
+allocation.  :meth:`solve` hands the facade to
+:func:`repro.solver.batch.solve_ivp_batch`, which is written to consume
+each sweep's result before requesting the next (it copies what it keeps),
+so buffer reuse is safe there.  Callers that hold one sweep's result
+across another sweep should construct with ``reuse_output=False``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codegen.program import GeneratedProgram
+
+__all__ = ["EnsembleRHS"]
+
+
+class EnsembleRHS:
+    """Batched ``f(t, Y) -> Ydot`` over stacked states ``(batch, n)``.
+
+    Requires a program generated with ``backend="numpy"``.  ``params``
+    may be ``None`` (the generated defaults), a shared ``(m,)`` vector,
+    or a ``(batch, m)`` stack giving every trajectory its own parameter
+    set — the ensemble analogue of the paper's "different indata" runs.
+
+    With ``reuse_output=True`` (the default) every call returns the same
+    preallocated array, overwritten in place: zero allocations per sweep,
+    but the result must be consumed (or copied) before the next call.
+    """
+
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        params: np.ndarray | None = None,
+        reuse_output: bool = True,
+    ) -> None:
+        self.program = program
+        self._rhs_v = program._require_vector_module().rhs_v
+        if params is None:
+            self.params = program.param_vector()
+        else:
+            self.params = np.asarray(params, dtype=float)
+            if self.params.ndim not in (1, 2):
+                raise ValueError(
+                    "params must be a shared (m,) vector or a "
+                    "(batch, m) per-trajectory stack"
+                )
+        self.reuse_output = reuse_output
+        self.ncalls = 0
+        self._out: np.ndarray | None = None
+
+    @property
+    def num_states(self) -> int:
+        return self.program.num_states
+
+    def __call__(self, t, Y: np.ndarray) -> np.ndarray:
+        if self.reuse_output:
+            out = self._out
+            if out is None or out.shape != Y.shape:
+                out = self._out = np.empty_like(Y, dtype=float)
+        else:
+            out = np.empty_like(Y, dtype=float)
+        self._rhs_v(t, Y, self.params, out)
+        self.ncalls += 1
+        return out
+
+    def solve(
+        self,
+        t_span: tuple[float, float],
+        Y0: np.ndarray,
+        method: str = "rk45",
+        **options,
+    ):
+        """Integrate the whole ensemble with
+        :func:`repro.solver.batch.solve_ivp_batch`."""
+        from ..solver.batch import solve_ivp_batch
+
+        Y0 = np.atleast_2d(np.asarray(Y0, dtype=float))
+        if self.params.ndim == 2 and self.params.shape[0] != Y0.shape[0]:
+            raise ValueError(
+                f"per-trajectory params have batch {self.params.shape[0]} "
+                f"but Y0 has batch {Y0.shape[0]}"
+            )
+        return solve_ivp_batch(self, t_span, Y0, method=method, **options)
+
+    def __repr__(self) -> str:
+        pshape = "shared" if self.params.ndim == 1 else f"{self.params.shape[0]}-way"
+        return (
+            f"<EnsembleRHS {self.program.system.name}: "
+            f"{self.num_states} states, {pshape} params, "
+            f"{self.ncalls} sweeps>"
+        )

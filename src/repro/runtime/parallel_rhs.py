@@ -30,7 +30,16 @@ __all__ = ["ParallelRHS", "VirtualTimeParallelRHS"]
 
 
 class ParallelRHS:
-    """Solver-facing ``f(t, y) -> ydot`` backed by scheduled task execution."""
+    """Solver-facing ``f(t, y) -> ydot`` backed by scheduled task execution.
+
+    The results vector is a per-instance scratch buffer, re-zeroed (not
+    reallocated) between calls so fault-injection "skipped output" slots
+    read 0.0 exactly as with a fresh buffer.  The returned ``ydot`` is a
+    copy of the buffer's state-slot view by default; ``copy_output=False``
+    returns the view itself — zero allocations per call, valid only for
+    callers that consume the result before the next call (the multistep
+    solvers keep a history of returned arrays, so they need copies).
+    """
 
     def __init__(
         self,
@@ -39,6 +48,7 @@ class ParallelRHS:
         params: np.ndarray | None = None,
         scheduler: SemiDynamicScheduler | None = None,
         feed_measurements: bool = False,
+        copy_output: bool = True,
     ) -> None:
         self.program = program
         self.executor = executor or SerialExecutor(program)
@@ -48,12 +58,16 @@ class ParallelRHS:
         )
         self.scheduler = scheduler
         self.feed_measurements = feed_measurements
+        self.copy_output = copy_output
         self.ncalls = 0
         #: the executor's structured fault/retry log, when it keeps one
         self.events = getattr(self.executor, "events", None)
+        self._res = program.results_buffer()
+        self._out_view = self._res[: program.num_states]
 
     def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
-        res = self.program.results_buffer()
+        res = self._res
+        res.fill(0.0)
         if isinstance(self.executor, ThreadedExecutor):
             schedule = (
                 self.scheduler.schedule if self.scheduler is not None else None
@@ -64,7 +78,9 @@ class ParallelRHS:
         if self.scheduler is not None and self.feed_measurements:
             self.scheduler.observe(self.executor.last_task_times.tolist())
         self.ncalls += 1
-        return res[: self.program.num_states].copy()
+        if self.copy_output:
+            return self._out_view.copy()
+        return self._out_view
 
     def close(self) -> None:
         self.executor.close()

@@ -1,6 +1,7 @@
 """ODE solver substrate: the from-scratch ODEPACK/LSODA replacement."""
 
 from .adams import AdamsStepper, adams_adaptive
+from .batch import BATCH_METHODS, BatchResult, solve_ivp_batch
 from .bdf import BdfStepper, bdf_adaptive
 from .common import SolverOptions, SolverResult, Stats, error_norm
 from .ivp import METHODS, hermite_resample, solve_ivp
@@ -27,6 +28,9 @@ from .rk import rk4_fixed, rk45_adaptive
 __all__ = [
     "AdamsStepper",
     "adams_adaptive",
+    "BATCH_METHODS",
+    "BatchResult",
+    "solve_ivp_batch",
     "BdfStepper",
     "bdf_adaptive",
     "SolverOptions",

@@ -50,6 +50,8 @@ DOPRI_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84
 DOPRI_B4 = np.array(
     [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
 )
+#: embedded error weights (b5 − b4), hoisted out of the step loop
+_DOPRI_E = DOPRI_B5 - DOPRI_B4
 
 
 def rk4_fixed(
@@ -142,6 +144,13 @@ def rk45_adaptive(
     t = t0
     k = np.empty((7, n), dtype=float)
     k[0] = f0
+    # Reusable per-step workspaces: the stage argument, the candidate
+    # state, and the error vector are written in place each step instead
+    # of allocated anew (the candidate buffer is swapped with ``y`` on
+    # acceptance, so the stored trajectory still sees fresh copies).
+    y_stage = np.empty(n, dtype=float)
+    y_new = np.empty(n, dtype=float)
+    err = np.empty(n, dtype=float)
 
     def make_checkpoint() -> "Checkpoint":
         from ..runtime.checkpoint import Checkpoint
@@ -171,8 +180,10 @@ def rk45_adaptive(
 
         try:
             for i in range(1, 7):
-                dy = (k[:i].T @ DOPRI_A[i]) * (h * direction)
-                k[i] = f(t + DOPRI_C[i] * h * direction, y + dy)
+                np.matmul(k[:i].T, DOPRI_A[i], out=y_stage)
+                y_stage *= h * direction
+                y_stage += y
+                k[i] = f(t + DOPRI_C[i] * h * direction, y_stage)
         except RhsError as exc:
             retries += 1
             if recovery is None or retries > recovery.max_retries:
@@ -188,13 +199,16 @@ def rk45_adaptive(
         retries = 0
         stats.nfev += 6
 
-        y_new = y + h * direction * (k.T @ DOPRI_B5)
-        err = h * (k.T @ (DOPRI_B5 - DOPRI_B4))
+        np.matmul(k.T, DOPRI_B5, out=y_new)
+        y_new *= h * direction
+        y_new += y
+        np.matmul(k.T, _DOPRI_E, out=err)
+        err *= h
         norm = error_norm(err, y, y_new, options.rtol, options.atol)
 
         if norm <= 1.0:
             t = t + h * direction
-            y = y_new
+            y, y_new = y_new, y  # swap: old state becomes next workspace
             k[0] = k[6]  # FSAL
             stats.naccepted += 1
             ts.append(t)

@@ -24,6 +24,8 @@ from .expr import (
     count_nodes,
     div,
     free_symbols,
+    intern_cache_clear,
+    intern_cache_size,
     mul,
     neg,
     postorder,
@@ -64,7 +66,8 @@ __all__ = [
     # expr
     "Add", "BoolOp", "Call", "Const", "Der", "Expr", "ExprLike", "ITE",
     "Mul", "Pow", "Rel", "Sym", "add", "as_expr", "count_nodes", "div",
-    "free_symbols", "mul", "neg", "postorder", "pow_", "preorder", "sub",
+    "free_symbols", "intern_cache_clear", "intern_cache_size",
+    "mul", "neg", "postorder", "pow_", "preorder", "sub",
     # builders
     "abs_", "acos", "asin", "atan", "atan2", "cos", "cosh", "exp",
     "if_then_else", "log", "max_", "min_", "sign", "sin", "sinh", "sqrt",

@@ -73,6 +73,8 @@ class FunctionSpec:
     partial: Callable[[tuple[Expr, ...], int], Expr] | None
     fortran_name: str | None = None
     c_name: str | None = None
+    #: ufunc name in the vectorized NumPy back end (defaults to ``name``)
+    numpy_name: str | None = None
 
     def numeric(self, *values: float) -> float:
         return self.impl(*values)
@@ -194,20 +196,20 @@ for _spec in (
     FunctionSpec("sin", 1, math.sin, _d_sin, "sin", "sin"),
     FunctionSpec("cos", 1, math.cos, _d_cos, "cos", "cos"),
     FunctionSpec("tan", 1, math.tan, _d_tan, "tan", "tan"),
-    FunctionSpec("asin", 1, math.asin, _d_asin, "asin", "asin"),
-    FunctionSpec("acos", 1, math.acos, _d_acos, "acos", "acos"),
-    FunctionSpec("atan", 1, math.atan, _d_atan, "atan", "atan"),
-    FunctionSpec("atan2", 2, math.atan2, _d_atan2, "atan2", "atan2"),
+    FunctionSpec("asin", 1, math.asin, _d_asin, "asin", "asin", "arcsin"),
+    FunctionSpec("acos", 1, math.acos, _d_acos, "acos", "acos", "arccos"),
+    FunctionSpec("atan", 1, math.atan, _d_atan, "atan", "atan", "arctan"),
+    FunctionSpec("atan2", 2, math.atan2, _d_atan2, "atan2", "atan2", "arctan2"),
     FunctionSpec("sinh", 1, math.sinh, _d_sinh, "sinh", "sinh"),
     FunctionSpec("cosh", 1, math.cosh, _d_cosh, "cosh", "cosh"),
     FunctionSpec("tanh", 1, math.tanh, _d_tanh, "tanh", "tanh"),
     FunctionSpec("exp", 1, math.exp, _d_exp, "exp", "exp"),
     FunctionSpec("log", 1, math.log, _d_log, "log", "log"),
     FunctionSpec("sqrt", 1, math.sqrt, _d_sqrt, "sqrt", "sqrt"),
-    FunctionSpec("abs", 1, abs, _d_abs, "abs", "fabs"),
+    FunctionSpec("abs", 1, abs, _d_abs, "abs", "fabs", "absolute"),
     FunctionSpec("sign", 1, _sign_impl, _d_sign, "sign", "sign"),
-    FunctionSpec("min", 2, min, _d_min, "min", "fmin"),
-    FunctionSpec("max", 2, max, _d_max, "max", "fmax"),
+    FunctionSpec("min", 2, min, _d_min, "min", "fmin", "minimum"),
+    FunctionSpec("max", 2, max, _d_max, "max", "fmax", "maximum"),
 ):
     register_function(_spec)
 

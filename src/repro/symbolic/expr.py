@@ -25,6 +25,14 @@ expressions in ``FullForm``): a small, canonicalised term algebra with
 All nodes are immutable, hashable and structurally comparable, which is what
 makes hash-based common subexpression elimination (``repro.symbolic.cse``)
 both simple and fast.
+
+Nodes are additionally *hash-consed*: every constructor first consults a
+module-level intern table, so structurally equal expressions built anywhere
+in a process are the same object.  Equality then short-circuits to an
+identity check, dictionary operations in CSE/diff/simplify hit cached
+hashes, and :func:`free_symbols` can memoise its result per node — together
+these dominate compile time on bearing-scale models.  The table only
+affects sharing, never semantics; :func:`intern_cache_clear` drops it.
 """
 
 from __future__ import annotations
@@ -56,6 +64,8 @@ __all__ = [
     "preorder",
     "postorder",
     "count_nodes",
+    "intern_cache_clear",
+    "intern_cache_size",
     "ZERO",
     "ONE",
     "MINUS_ONE",
@@ -71,6 +81,36 @@ def _is_number(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+#: Hash-cons table: construction key -> the canonical node instance.
+_INTERN: dict = {}
+
+_EMPTY_SYMS: frozenset = frozenset()
+
+
+def intern_cache_size() -> int:
+    """Number of interned expression nodes currently alive."""
+    return len(_INTERN)
+
+
+def intern_cache_clear() -> None:
+    """Drop the intern table.
+
+    Only sharing is affected: nodes built afterwards no longer unify with
+    nodes built before, but structural ``==``/``hash`` semantics are
+    unchanged.  Useful to bound memory in very long-running processes.
+    """
+    _INTERN.clear()
+
+
+def _fresh(cls) -> "Expr":
+    """Allocate an uninitialised node with empty caches (intern-table miss)."""
+    obj = object.__new__(cls)
+    obj._hash = None
+    obj._skey = None
+    obj._free = None
+    return obj
+
+
 class Expr:
     """Base class for every scalar symbolic expression node.
 
@@ -78,18 +118,22 @@ class Expr:
     nodes.  Subclasses define ``args`` (child expressions), a stable
     ``_key()`` used for deterministic ordering inside ``Add``/``Mul``, and
     structural ``__eq__``/``__hash__``.
+
+    Construction happens in each subclass's ``__new__`` (which consults the
+    intern table); ``__init__`` is a deliberate no-op so that a cache hit
+    does not wipe the cached ``_hash``/``_skey``/``_free`` of the returned
+    canonical instance.
     """
 
-    __slots__ = ("_hash", "_skey")
+    __slots__ = ("_hash", "_skey", "_free")
 
     #: class-level rank used for cross-type deterministic ordering
     _rank = 0
 
     # -- construction helpers ------------------------------------------------
 
-    def __init__(self) -> None:
-        self._hash: int | None = None
-        self._skey: tuple | None = None
+    def __init__(self, *args, **kwargs) -> None:
+        pass
 
     @property
     def args(self) -> tuple["Expr", ...]:
@@ -126,6 +170,12 @@ class Expr:
             return True
         if type(self) is not type(other):
             return NotImplemented if not isinstance(other, Expr) else False
+        if (
+            self._hash is not None
+            and other._hash is not None  # type: ignore[union-attr]
+            and self._hash != other._hash  # type: ignore[union-attr]
+        ):
+            return False
         return self._hashable() == other._hashable()  # type: ignore[union-attr]
 
     def __ne__(self, other: object) -> bool:
@@ -220,14 +270,20 @@ class Const(Expr):
     __slots__ = ("value",)
     _rank = 1
 
-    def __init__(self, value: Number) -> None:
-        super().__init__()
+    def __new__(cls, value: Number) -> "Const":
         if isinstance(value, bool) or not _is_number(value):
             raise TypeError(f"Const expects int or float, got {value!r}")
         if isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
             # canonicalise 2.0 -> 2 so structurally equal expressions unify
             value = int(value)
-        self.value: Number = value
+        key = (cls, value)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.value = value
+        _INTERN[key] = obj
+        return obj
 
     def _hashable(self) -> tuple:
         return (self.value,)
@@ -247,11 +303,17 @@ class Sym(Expr):
     __slots__ = ("name",)
     _rank = 2
 
-    def __init__(self, name: str) -> None:
-        super().__init__()
+    def __new__(cls, name: str) -> "Sym":
         if not name:
             raise ValueError("symbol name must be non-empty")
-        self.name = name
+        key = (cls, name)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.name = name
+        _INTERN[key] = obj
+        return obj
 
     def _hashable(self) -> tuple:
         return (self.name,)
@@ -296,11 +358,17 @@ class Add(Expr):
     __slots__ = ("_args",)
     _rank = 5
 
-    def __init__(self, args: tuple[Expr, ...], _internal: bool = False) -> None:
-        super().__init__()
+    def __new__(cls, args: tuple[Expr, ...], _internal: bool = False) -> "Add":
         if not _internal:
             raise RuntimeError("use add(...) to build sums")
-        self._args = args
+        key = (cls, args)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj._args = args
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -322,11 +390,17 @@ class Mul(Expr):
     __slots__ = ("_args",)
     _rank = 4
 
-    def __init__(self, args: tuple[Expr, ...], _internal: bool = False) -> None:
-        super().__init__()
+    def __new__(cls, args: tuple[Expr, ...], _internal: bool = False) -> "Mul":
         if not _internal:
             raise RuntimeError("use mul(...) to build products")
-        self._args = args
+        key = (cls, args)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj._args = args
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -348,12 +422,18 @@ class Pow(Expr):
     __slots__ = ("base", "exponent")
     _rank = 3
 
-    def __init__(self, base: Expr, exponent: Expr, _internal: bool = False) -> None:
-        super().__init__()
+    def __new__(cls, base: Expr, exponent: Expr, _internal: bool = False) -> "Pow":
         if not _internal:
             raise RuntimeError("use pow_(...) to build powers")
-        self.base = base
-        self.exponent = exponent
+        key = (cls, base, exponent)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.base = base
+        obj.exponent = exponent
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -382,10 +462,17 @@ class Call(Expr):
     __slots__ = ("fn", "_args")
     _rank = 6
 
-    def __init__(self, fn: str, args: Sequence[Expr]) -> None:
-        super().__init__()
-        self.fn = fn
-        self._args = tuple(as_expr(a) for a in args)
+    def __new__(cls, fn: str, args: Sequence[Expr]) -> "Call":
+        args_t = tuple(as_expr(a) for a in args)
+        key = (cls, fn, args_t)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.fn = fn
+        obj._args = args_t
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -412,9 +499,16 @@ class Der(Expr):
     __slots__ = ("expr",)
     _rank = 7
 
-    def __init__(self, expr: ExprLike) -> None:
-        super().__init__()
-        self.expr = as_expr(expr)
+    def __new__(cls, expr: ExprLike) -> "Der":
+        expr = as_expr(expr)
+        key = (cls, expr)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.expr = expr
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -440,13 +534,21 @@ class Rel(Expr):
     __slots__ = ("op", "lhs", "rhs")
     _rank = 8
 
-    def __init__(self, op: str, lhs: ExprLike, rhs: ExprLike) -> None:
-        super().__init__()
+    def __new__(cls, op: str, lhs: ExprLike, rhs: ExprLike) -> "Rel":
         if op not in _REL_OPS:
             raise ValueError(f"unknown relational operator {op!r}")
-        self.op = op
-        self.lhs = as_expr(lhs)
-        self.rhs = as_expr(rhs)
+        lhs = as_expr(lhs)
+        rhs = as_expr(rhs)
+        key = (cls, op, lhs, rhs)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.op = op
+        obj.lhs = lhs
+        obj.rhs = rhs
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -469,16 +571,23 @@ class BoolOp(Expr):
     __slots__ = ("op", "_args")
     _rank = 9
 
-    def __init__(self, op: str, args: Sequence[Expr]) -> None:
-        super().__init__()
+    def __new__(cls, op: str, args: Sequence[Expr]) -> "BoolOp":
         if op not in ("and", "or", "not"):
             raise ValueError(f"unknown boolean operator {op!r}")
         if op == "not" and len(args) != 1:
             raise ValueError("'not' takes exactly one argument")
         if op in ("and", "or") and len(args) < 2:
             raise ValueError(f"{op!r} takes at least two arguments")
-        self.op = op
-        self._args = tuple(as_expr(a) for a in args)
+        args_t = tuple(as_expr(a) for a in args)
+        key = (cls, op, args_t)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.op = op
+        obj._args = args_t
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -505,11 +614,20 @@ class ITE(Expr):
     __slots__ = ("cond", "then", "orelse")
     _rank = 10
 
-    def __init__(self, cond: ExprLike, then: ExprLike, orelse: ExprLike) -> None:
-        super().__init__()
-        self.cond = as_expr(cond)
-        self.then = as_expr(then)
-        self.orelse = as_expr(orelse)
+    def __new__(cls, cond: ExprLike, then: ExprLike, orelse: ExprLike) -> "ITE":
+        cond = as_expr(cond)
+        then = as_expr(then)
+        orelse = as_expr(orelse)
+        key = (cls, cond, then, orelse)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.cond = cond
+        obj.then = then
+        obj.orelse = orelse
+        _INTERN[key] = obj
+        return obj
 
     @property
     def args(self) -> tuple[Expr, ...]:
@@ -744,8 +862,37 @@ def postorder(expr: Expr) -> Iterator[Expr]:
 
 
 def free_symbols(expr: Expr) -> frozenset[Sym]:
-    """The set of :class:`Sym` leaves appearing anywhere in ``expr``."""
-    return frozenset(node for node in preorder(expr) if isinstance(node, Sym))
+    """The set of :class:`Sym` leaves appearing anywhere in ``expr``.
+
+    Memoised per node: with hash-consed nodes, shared subtrees are computed
+    once per process, which turns the repeated ``free_symbols`` calls in
+    CSE, task partitioning and code emission from O(tree) into O(1).
+    """
+    cached = expr._free
+    if cached is not None:
+        return cached
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node._free is not None:
+            continue
+        if expanded:
+            if isinstance(node, Sym):
+                node._free = frozenset((node,))
+            elif not node.args:
+                node._free = _EMPTY_SYMS
+            else:
+                child_sets = [c._free for c in node.args]
+                if len(child_sets) == 1:
+                    node._free = child_sets[0]
+                else:
+                    node._free = frozenset().union(*child_sets)
+        else:
+            stack.append((node, True))
+            for child in node.args:
+                if child._free is None:
+                    stack.append((child, False))
+    return expr._free
 
 
 def count_nodes(expr: Expr) -> int:

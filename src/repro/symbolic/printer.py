@@ -258,9 +258,13 @@ def code(
     The ``fortran`` dialect emits ``**`` powers and merges conditionals with
     ``merge(then, else, cond)`` (F90's elemental conditional).  The ``c``
     dialect emits ``pow`` and ternaries.  ``python`` output is directly
-    ``eval``-able given a suitable namespace.
+    ``eval``-able given a suitable namespace.  The ``numpy`` dialect is the
+    elementwise/batched variant of ``python``: elementary functions use
+    their ufunc names (``arcsin``, ``minimum``, …), conditionals lower to
+    ``where(cond, then, else)``, and boolean operators lower to the
+    bitwise ``&``/``|``/``~`` that NumPy overloads for boolean arrays.
     """
-    if dialect not in ("python", "fortran", "c"):
+    if dialect not in ("python", "numpy", "fortran", "c"):
         raise ValueError(f"unknown dialect {dialect!r}")
     rename = rename or (lambda name: name)
 
@@ -317,6 +321,8 @@ def code(
                     name = spec.fortran_name
                 elif dialect == "c" and spec.c_name:
                     name = spec.c_name
+                elif dialect == "numpy" and spec.numpy_name:
+                    name = spec.numpy_name
             inner = ", ".join(walk(a, 0) for a in node.args)
             return f"{name}({inner})"
         if isinstance(node, Rel):
@@ -329,13 +335,18 @@ def code(
         if isinstance(node, BoolOp):
             if dialect == "python":
                 ops = {"and": " and ", "or": " or "}
+            elif dialect == "numpy":
+                ops = {"and": " & ", "or": " | "}
             elif dialect == "fortran":
                 ops = {"and": " .and. ", "or": " .or. "}
             else:
                 ops = {"and": " && ", "or": " || "}
             if node.op == "not":
                 inner = walk(node.args[0], 0)
-                negation = {"python": "not ", "fortran": ".not. ", "c": "!"}[dialect]
+                negation = {
+                    "python": "not ", "numpy": "~", "fortran": ".not. ",
+                    "c": "!",
+                }[dialect]
                 return f"({negation}{inner})"
             return "(" + ops[node.op].join(walk(a, 0) for a in node.args) + ")"
         if isinstance(node, ITE):
@@ -344,6 +355,8 @@ def code(
             orelse = walk(node.orelse, 0)
             if dialect == "python":
                 return f"({then} if {cond} else {orelse})"
+            if dialect == "numpy":
+                return f"where({cond}, {then}, {orelse})"
             if dialect == "fortran":
                 return f"merge({then}, {orelse}, {cond})"
             return f"({cond} ? {then} : {orelse})"

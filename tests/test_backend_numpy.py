@@ -1,0 +1,250 @@
+"""Backend equivalence: the vectorized NumPy module vs the scalar module.
+
+The two back ends are generated from the same task plan and the same CSE
+structure, so they must agree to floating-point noise — the tests pin a
+1e-12 *relative* tolerance (values on the bearing reach 1e7, so absolute
+comparisons would be meaningless).  The bearing cases deliberately
+scatter states across the contact switch point so some lanes take the
+``where`` true-branch and others the false-branch in the same sweep.
+
+Also here: the hash-consing properties of the interned expression nodes
+(structural equality and hashing must survive interning, and a cache
+clear must not change semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.apps import BearingParams, build_bearing2d
+from repro.frontend import compile_model
+from repro.symbolic import (
+    Const,
+    Sym,
+    add,
+    intern_cache_clear,
+    intern_cache_size,
+    mul,
+    pow_,
+)
+from tests.strategies import expressions
+
+REL_TOL = 1e-12
+
+
+def _assert_close(got: np.ndarray, ref: np.ndarray) -> None:
+    """Relative-to-magnitude agreement: |got − ref| ≤ tol · (1 + |ref|)."""
+    diff = np.abs(got - ref)
+    bound = REL_TOL * (1.0 + np.abs(ref))
+    worst = np.max(diff - bound)
+    assert worst <= 0.0, f"backends disagree by {np.max(diff):.3e}"
+
+
+@pytest.fixture(scope="module")
+def numpy_servo(servo_model):
+    return compile_model(servo_model, jacobian=True, backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def numpy_powerplant(powerplant_model):
+    return compile_model(powerplant_model, jacobian=True, backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def numpy_bearing(bearing_model):
+    """The paper's 10-roller bearing, both backends, no Jacobian."""
+    return compile_model(bearing_model, backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def numpy_small_bearing(small_bearing_model):
+    """4-roller bearing with the analytic Jacobian on both backends."""
+    return compile_model(small_bearing_model, jacobian=True, backend="numpy")
+
+
+def _state_batch(program, batch: int, spread: float, seed: int = 0):
+    """States scattered around the start vector.
+
+    ``spread`` is large enough on the bearing cases that roller contact
+    flips between lanes (and between rollers within a lane), exercising
+    both branches of the generated ``where`` selections.
+    """
+    rng = np.random.default_rng(seed)
+    y0 = program.start_vector()
+    return y0[None, :] + spread * (
+        1.0 + np.abs(y0[None, :])
+    ) * rng.standard_normal((batch, y0.size))
+
+
+CASES = [
+    ("numpy_servo", 0.5),
+    ("numpy_powerplant", 0.1),
+    ("numpy_bearing", 0.3),
+    ("numpy_small_bearing", 0.3),
+]
+
+
+@pytest.mark.parametrize("fixture_name,spread", CASES)
+def test_rhs_batch_matches_scalar(fixture_name, spread, request):
+    program = request.getfixturevalue(fixture_name).program
+    Y = _state_batch(program, 32, spread)
+    t = 0.125
+    got = program.rhs_batch(t, Y)
+    for i in range(Y.shape[0]):
+        _assert_close(got[i], program.rhs(t, Y[i]))
+
+
+@pytest.mark.parametrize("fixture_name,spread", CASES)
+def test_rhs_batch_unbatched_shape(fixture_name, spread, request):
+    """The ``[..., i]`` indexing makes the vector module shape-agnostic."""
+    program = request.getfixturevalue(fixture_name).program
+    y = _state_batch(program, 1, spread)[0]
+    got = program.rhs_batch(0.25, y)
+    assert got.shape == y.shape
+    _assert_close(got, program.rhs(0.25, y))
+
+
+@pytest.mark.parametrize("fixture_name,spread", CASES)
+def test_tasks_batch_match_scalar(fixture_name, spread, request):
+    """Every generated vector task writes what its scalar twin writes —
+    state-derivative slots and partial-sum slots alike."""
+    program = request.getfixturevalue(fixture_name).program
+    vm = program.vector_module
+    B = 16
+    Y = _state_batch(program, B, spread, seed=1)
+    t = 0.5
+    p = program.param_vector()
+    width = program.num_states + program.num_partials
+    res_v = np.zeros((B, width))
+    for task_v in vm.tasks_v:
+        task_v(t, Y, p, res_v)
+    for i in range(B):
+        res_s = program.results_buffer()
+        for task_id in range(program.num_tasks):
+            program.eval_task(task_id, t, Y[i], p, res_s)
+        _assert_close(res_v[i], res_s)
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    ["numpy_servo", "numpy_powerplant", "numpy_small_bearing"],
+)
+def test_jacobian_batch_matches_scalar(fixture_name, request):
+    program = request.getfixturevalue(fixture_name).program
+    Y = _state_batch(program, 16, 0.3, seed=2)
+    t = 0.75
+    jac_b = program.make_jac_batch()
+    jac_s = program.make_jac()
+    got = jac_b(t, Y)
+    assert got.shape == (16, program.num_states, program.num_states)
+    for i in range(Y.shape[0]):
+        _assert_close(got[i], jac_s(t, Y[i]))
+
+
+def test_bearing_batch_straddles_contact(numpy_bearing):
+    """The batch genuinely exercises both contact branches: perturbing
+    roller positions far enough produces different contact patterns in
+    different lanes, and each lane still matches its scalar evaluation."""
+    program = numpy_bearing.program
+    source = program.vector_module.source
+    assert "where(" in source  # the contact logic lowered to masks
+    Y = _state_batch(program, 64, 0.5, seed=3)
+    got = program.rhs_batch(0.0, Y)
+    scalar = np.stack([program.rhs(0.0, Y[i]) for i in range(64)])
+    _assert_close(got, scalar)
+    # Contact forces differ across lanes (the branch pattern is not
+    # uniform), otherwise this test wouldn't be testing the masks.
+    assert np.std(scalar, axis=0).max() > 0.0
+
+
+def test_per_trajectory_params_broadcast(numpy_servo):
+    """A (batch, m) parameter stack gives every lane its own physics."""
+    program = numpy_servo.program
+    B = 8
+    Y = _state_batch(program, B, 0.2, seed=4)
+    base = program.param_vector()
+    P = np.tile(base, (B, 1))
+    P[:, 0] = np.linspace(0.5, 2.0, B) * (base[0] if base[0] else 1.0)
+    got = program.rhs_batch(0.0, Y, p=P)
+    for i in range(B):
+        _assert_close(got[i], program.rhs(0.0, Y[i], p=P[i]))
+
+
+def test_rhs_batch_out_and_backend_guards(numpy_servo, compiled_servo):
+    program = numpy_servo.program
+    Y = _state_batch(program, 4, 0.1)
+    out = np.empty_like(Y)
+    got = program.rhs_batch(0.0, Y, out=out)
+    assert got is out
+    assert numpy_servo.program.backend == "numpy"
+    assert compiled_servo.program.backend == "python"
+    with pytest.raises(ValueError, match="backend='python'"):
+        compiled_servo.program.rhs_batch(0.0, Y)
+    with pytest.raises(ValueError, match="unknown backend"):
+        compile_model(numpy_servo.flat, backend="fortran")
+
+
+# -- interning (hash-consing) semantics -------------------------------------
+
+
+class TestInterning:
+    def test_equal_constructions_are_identical(self):
+        a = add(Sym("x"), mul(Const(2), Sym("y")))
+        b = add(Sym("x"), mul(Const(2), Sym("y")))
+        assert a is b
+        assert a == b and hash(a) == hash(b)
+
+    def test_const_canonicalisation_unifies(self):
+        assert Const(2.0) is Const(2)
+        assert pow_(Sym("x"), Const(2.0)) is pow_(Sym("x"), Const(2))
+
+    def test_distinct_structures_stay_distinct(self):
+        assert Sym("x") is not Sym("y")
+        assert add(Sym("x"), Sym("y")) != mul(Sym("x"), Sym("y"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(expressions(max_depth=3))
+    def test_reconstruction_is_identical_and_equal(self, e):
+        """Rebuilding any expression from its own (already canonical)
+        arguments through the public builders hits the intern table:
+        identity, equality and hash all coincide."""
+
+        def rebuild(node):
+            if not node.args:
+                return type(node)(node.name) if isinstance(node, Sym) \
+                    else type(node)(node.value)
+            return node.with_args([rebuild(a) for a in node.args])
+
+        r = rebuild(e)
+        assert r is e
+        assert r == e and hash(r) == hash(e)
+
+    def test_free_symbols_memoised(self):
+        from repro.symbolic.expr import free_symbols
+
+        e = add(Sym("a"), mul(Sym("b"), Const(4)))
+        first = free_symbols(e)
+        assert first == frozenset({Sym("a"), Sym("b")})
+        assert free_symbols(e) is first  # cached on the node
+
+    def test_cache_clear_preserves_semantics(self):
+        # The table is snapshotted and restored: clearing drops the
+        # identity guarantee for nodes that straddle the clear, and the
+        # rest of the session (module-level constants in other test
+        # files, session-scoped compiled models) relies on it.
+        from repro.symbolic.expr import _INTERN
+
+        snapshot = dict(_INTERN)
+        try:
+            a = add(Sym("u_clear_test"), Const(3))
+            assert intern_cache_size() > 0
+            intern_cache_clear()
+            b = add(Sym("u_clear_test"), Const(3))
+            # New object (the table was dropped) but same structural value.
+            assert a is not b
+            assert a == b and hash(a) == hash(b)
+        finally:
+            _INTERN.clear()
+            _INTERN.update(snapshot)

@@ -1,0 +1,185 @@
+"""Lockstep ensemble integration vs sequential solve_ivp.
+
+The batched rk45 makes the same accept/reject decisions as the scalar
+driver when run one-lane (identical tableau, identical error norm), so
+single-lane agreement is essentially machine epsilon.  The batched Adams
+uses a coarser step-control strategy (doubling with even-index history
+gather instead of interpolating re-grids), so its trajectories are
+compared against the *tolerance*, not bit-for-bit against the scalar
+stepper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_model
+from repro.runtime import EnsembleRHS
+from repro.solver import BatchResult, solve_ivp, solve_ivp_batch
+
+
+@pytest.fixture(scope="module")
+def servo_numpy(servo_model):
+    return compile_model(servo_model, backend="numpy")
+
+
+def _ic_batch(program, batch, seed=0, spread=0.05):
+    rng = np.random.default_rng(seed)
+    y0 = program.start_vector()
+    return y0[None, :] * (1.0 + spread * rng.standard_normal((batch, y0.size)))
+
+
+@pytest.mark.parametrize("method", ["rk45", "adams"])
+def test_batch_matches_sequential(servo_numpy, method):
+    program = servo_numpy.program
+    Y0 = _ic_batch(program, 8)
+    f_batch = program.make_rhs_batch()
+    f_seq = program.make_rhs()
+    result = solve_ivp_batch(
+        f_batch, (0.0, 0.05), Y0, method=method, rtol=1e-8, atol=1e-10
+    )
+    assert isinstance(result, BatchResult)
+    assert len(result) == 8 and result.all_success
+    for i, lane in enumerate(result):
+        ref = solve_ivp(
+            f_seq, (0.0, 0.05), Y0[i], method=method, rtol=1e-8, atol=1e-10
+        )
+        assert ref.success
+        diff = np.max(
+            np.abs(lane.y_final - ref.y_final) / (1.0 + np.abs(ref.y_final))
+        )
+        # rk45 tracks the scalar driver's decisions exactly; adams only
+        # promises both land within tolerance of the true solution.
+        assert diff < (1e-12 if method == "rk45" else 1e-5)
+
+
+def test_lanes_step_independently(servo_numpy):
+    """A lane driven 10× harder (per-trajectory parameters) must not drag
+    the tame lane onto its step sizes: per-lane step counts differ."""
+    program = servo_numpy.program
+    y0 = program.start_vector()
+    P = np.tile(program.param_vector(), (2, 1))
+    P[1, :] *= 10.0
+    result = solve_ivp_batch(
+        program.make_rhs_batch(P), (0.0, 0.05), np.stack([y0, y0]),
+        method="rk45", rtol=1e-8, atol=1e-10,
+    )
+    assert result.all_success
+    a, b = (lane.stats.naccepted for lane in result)
+    assert a != b  # error control decided per trajectory
+
+
+def test_batch_results_carry_per_lane_stats(servo_numpy):
+    program = servo_numpy.program
+    Y0 = _ic_batch(program, 4)
+    result = solve_ivp_batch(
+        program.make_rhs_batch(), (0.0, 0.02), Y0, method="rk45"
+    )
+    for lane in result:
+        assert lane.stats.naccepted == len(lane.ts) - 1
+        assert lane.method == "rk45"
+        assert lane.ts[0] == 0.0 and lane.ts[-1] == pytest.approx(0.02)
+    assert result.ys_final.shape == Y0.shape
+    assert result.nsweeps > 0
+    assert "rk45" in repr(result)
+
+
+def test_backward_integration(servo_numpy):
+    program = servo_numpy.program
+    Y0 = _ic_batch(program, 3)
+    fwd = solve_ivp_batch(
+        program.make_rhs_batch(), (0.0, 0.02), Y0, rtol=1e-10, atol=1e-12
+    )
+    back = solve_ivp_batch(
+        program.make_rhs_batch(), (0.02, 0.0), fwd.ys_final,
+        rtol=1e-10, atol=1e-12,
+    )
+    assert back.all_success
+    assert np.max(np.abs(back.ys_final - Y0)) < 1e-6
+
+
+def test_max_steps_fails_lane_not_batch(servo_numpy):
+    program = servo_numpy.program
+    Y0 = _ic_batch(program, 2)
+    result = solve_ivp_batch(
+        program.make_rhs_batch(), (0.0, 0.05), Y0, max_steps=3
+    )
+    assert not result.all_success
+    for lane in result:
+        assert "maximum step count" in lane.message
+
+
+def test_input_validation(servo_numpy):
+    program = servo_numpy.program
+    f = program.make_rhs_batch()
+    with pytest.raises(ValueError, match="unknown batch method"):
+        solve_ivp_batch(f, (0.0, 1.0), _ic_batch(program, 2), method="bdf")
+    with pytest.raises(ValueError, match="shape"):
+        solve_ivp_batch(f, (0.0, 1.0), program.start_vector())
+
+
+# -- the ensemble facade -----------------------------------------------------
+
+
+def test_ensemble_rhs_reused_buffer_matches(servo_numpy):
+    program = servo_numpy.program
+    Y0 = _ic_batch(program, 8, seed=1)
+    ens = EnsembleRHS(program)  # reuse_output=True
+    result = ens.solve((0.0, 0.05), Y0, method="rk45", rtol=1e-8, atol=1e-10)
+    assert result.all_success
+    assert ens.ncalls == result.nsweeps
+    f_seq = program.make_rhs()
+    for i, lane in enumerate(result):
+        ref = solve_ivp(
+            f_seq, (0.0, 0.05), Y0[i], method="rk45", rtol=1e-8, atol=1e-10
+        )
+        diff = np.max(
+            np.abs(lane.y_final - ref.y_final) / (1.0 + np.abs(ref.y_final))
+        )
+        assert diff < 1e-12
+
+
+def test_ensemble_rhs_output_modes(servo_numpy):
+    program = servo_numpy.program
+    Y = _ic_batch(program, 4)
+    reusing = EnsembleRHS(program)
+    a = reusing(0.0, Y)
+    b = reusing(0.1, Y)
+    assert a is b  # same preallocated buffer
+    fresh = EnsembleRHS(program, reuse_output=False)
+    c = fresh(0.0, Y)
+    d = fresh(0.1, Y)
+    assert c is not d
+    np.testing.assert_array_equal(reusing(0.0, Y), fresh(0.0, Y))
+
+
+def test_ensemble_rhs_per_trajectory_params(servo_numpy):
+    program = servo_numpy.program
+    B = 6
+    Y0 = _ic_batch(program, B, seed=2)
+    P = np.tile(program.param_vector(), (B, 1))
+    P[:, 0] *= np.linspace(0.5, 1.5, B)
+    ens = EnsembleRHS(program, params=P)
+    result = ens.solve((0.0, 0.02), Y0, method="rk45", rtol=1e-8, atol=1e-10)
+    assert result.all_success
+    f0 = program.make_rhs(P[0])
+    ref = solve_ivp(f0, (0.0, 0.02), Y0[0], method="rk45",
+                    rtol=1e-8, atol=1e-10)
+    diff = np.max(np.abs(result[0].y_final - ref.y_final)
+                  / (1.0 + np.abs(ref.y_final)))
+    assert diff < 1e-12
+    # Lanes with different gains genuinely diverge.
+    assert np.max(np.abs(result.ys_final[0] - result.ys_final[-1])) > 1e-6
+
+
+def test_ensemble_rhs_validation(servo_numpy, compiled_servo):
+    program = servo_numpy.program
+    with pytest.raises(ValueError, match="backend='python'"):
+        EnsembleRHS(compiled_servo.program)
+    with pytest.raises(ValueError, match="params"):
+        EnsembleRHS(program, params=np.zeros((2, 2, 2)))
+    P = np.tile(program.param_vector(), (3, 1))
+    ens = EnsembleRHS(program, params=P)
+    with pytest.raises(ValueError, match="batch"):
+        ens.solve((0.0, 0.01), _ic_batch(program, 2))
