@@ -12,6 +12,9 @@ The package rebuilds the ObjectMath pipeline end to end:
 * :mod:`repro.codegen` — the code generator: expression transformer,
   compilable-subset verifier, cost model, task partitioning, CSE, and the
   Python / Fortran 90 / C back ends,
+* :mod:`repro.compiler` — the pass-based driver running all of the above:
+  ``CompilationContext``, ``PassManager`` with per-pass observability, and
+  the content-addressed artifact cache,
 * :mod:`repro.schedule` — LPT, semi-dynamic LPT and DAG list scheduling,
 * :mod:`repro.runtime` — MIMD machine models, the discrete-event
   supervisor/worker simulator, and real threaded execution,

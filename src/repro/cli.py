@@ -3,6 +3,7 @@
 ::
 
     python -m repro analyze  model.om           # SCC partition + levels
+    python -m repro compile  model.om --explain # per-pass timing + caching
     python -m repro codegen  model.om -t f90    # emit Fortran 90 / C / Python
     python -m repro simulate model.om --t-end 5 # compile + integrate
     python -m repro graph    model.om           # DOT of the dependency SCCs
@@ -55,6 +56,51 @@ def _cmd_graph(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(dot)
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import (
+        ArtifactCache,
+        CompileError,
+        CompileOptions,
+        PipelineReport,
+        compile_context,
+    )
+
+    source = Path(args.model).read_text()
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    options = CompileOptions(
+        backend=args.backend,
+        jacobian=args.jacobian,
+        shared_cse=args.shared_cse,
+        cache=cache,
+        dump_after=tuple(args.dump_after or ()),
+        collect_errors=True,
+    )
+    try:
+        ctx = compile_context(source=source, options=options)
+    except CompileError as exc:
+        for diag in exc.diagnostics:
+            print(diag, file=sys.stderr)
+        return 1
+    report = PipelineReport.from_context(ctx)
+    if args.explain:
+        print(report)
+    else:
+        print(
+            f"# compiled {report.model} in {report.total_wall_s * 1e3:.2f} ms"
+            f" ({'cache hit' if report.cache_hit else 'cache miss'},"
+            f" hash {report.model_hash[:12]})"
+        )
+    for name, text in ctx.dumps.items():
+        print(f"# ---- dump after pass {name} ----")
+        print(text)
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json())
+        print(f"# wrote {args.report}")
     return 0
 
 
@@ -129,6 +175,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         method = resume.method
+        ckpt_hash = resume.meta.get("model_hash")
+        if ckpt_hash and compiled.model_hash and ckpt_hash != compiled.model_hash:
+            print(
+                f"warning: checkpoint was written by a different model "
+                f"(hash {ckpt_hash[:12]} != {compiled.model_hash[:12]}); "
+                f"state layout may not match", file=sys.stderr,
+            )
         events.record("checkpoint_resumed", path=args.resume, t=resume.t,
                       method=method)
         print(f"# resuming from {args.resume} at t = {resume.t:g} "
@@ -137,7 +190,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.checkpoint:
         checkpointer = Checkpointer(
             args.checkpoint, every=args.checkpoint_every, events=events,
-            meta={"model": compiled.name},
+            # The content hash lets a resume detect that the checkpoint
+            # was written by a structurally different model.
+            meta={"model": compiled.name, "model_hash": compiled.model_hash},
         )
     recovery = RecoveryPolicy(max_retries=args.max_retries) \
         if args.max_retries > 0 else None
@@ -161,6 +216,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if checkpointer is not None and checkpointer.nsaved:
         print(f"# wrote {checkpointer.nsaved} checkpoint(s) to "
               f"{args.checkpoint}")
+    if compiled.report is not None:
+        print(f"# {compiled.report.compile_breakdown()}")
     print(
         f"# {compiled.name}: {result.stats.naccepted} steps, "
         f"{result.stats.nfev} RHS evaluations, method {result.method}"
@@ -233,6 +290,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_graph)
+
+    p = sub.add_parser(
+        "compile",
+        help="run the pass pipeline with per-pass timing and caching",
+    )
+    p.add_argument("model")
+    p.add_argument("--backend", default="python",
+                   choices=("python", "numpy"),
+                   help="executable backend to generate")
+    p.add_argument("--jacobian", action="store_true",
+                   help="additionally generate the analytic Jacobian")
+    p.add_argument("--shared-cse", action="store_true",
+                   help="parallel-CSE task mode (see `codegen --shared-cse`)")
+    p.add_argument("--explain", action="store_true",
+                   help="print the per-pass wall-time/node-count table")
+    p.add_argument("--cache-dir", metavar="PATH",
+                   help="content-addressed artifact cache directory; an "
+                        "unchanged model skips analysis and codegen")
+    p.add_argument("--dump-after", action="append", metavar="PASS",
+                   help="print a context snapshot after the named pass "
+                        "(repeatable; '*' dumps after every pass)")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the structured PipelineReport JSON to PATH")
+    p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("codegen", help="emit generated code")
     p.add_argument("model")

@@ -46,7 +46,7 @@ from .gen_python import NameTable
 from .tasks import TaskPlan, partition_tasks
 from .transform import OdeSystem
 
-__all__ = ["NumpyModule", "generate_numpy"]
+__all__ = ["NumpyModule", "generate_numpy", "load_numpy_module"]
 
 
 @dataclass
@@ -285,5 +285,30 @@ def generate_numpy(
         num_states=n,
         num_partials=len(plan.partial_slots),
         num_cse_serial=serial.num_extracted,
+        num_cse_parallel=num_cse_parallel,
+    )
+
+
+def load_numpy_module(
+    source: str,
+    num_states: int,
+    num_partials: int,
+    num_cse_serial: int = 0,
+    num_cse_parallel: int = 0,
+    name: str = "cached",
+) -> NumpyModule:
+    """Rebuild a :class:`NumpyModule` from previously generated source.
+
+    Counterpart of :func:`repro.codegen.gen_python.load_python_module` for
+    the vectorized backend: one ``exec`` against the ufunc namespace.
+    """
+    namespace = _ufunc_names()
+    exec(compile(source, f"<cached-numpy {name}>", "exec"), namespace)
+    return NumpyModule(
+        source=source,
+        namespace=namespace,
+        num_states=num_states,
+        num_partials=num_partials,
+        num_cse_serial=num_cse_serial,
         num_cse_parallel=num_cse_parallel,
     )

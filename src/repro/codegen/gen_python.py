@@ -31,7 +31,7 @@ from ..symbolic.simplify import simplify
 from .tasks import TaskPlan, partition_tasks
 from .transform import OdeSystem
 
-__all__ = ["NameTable", "PythonModule", "generate_python"]
+__all__ = ["NameTable", "PythonModule", "generate_python", "load_python_module"]
 
 
 class NameTable:
@@ -291,5 +291,31 @@ def generate_python(
         num_states=n,
         num_partials=len(plan.partial_slots),
         num_cse_serial=serial.num_extracted,
+        num_cse_parallel=num_cse_parallel,
+    )
+
+
+def load_python_module(
+    source: str,
+    num_states: int,
+    num_partials: int,
+    num_cse_serial: int = 0,
+    num_cse_parallel: int = 0,
+    name: str = "cached",
+) -> PythonModule:
+    """Rebuild a :class:`PythonModule` from previously generated source.
+
+    The artifact cache (:mod:`repro.compiler.cache`) persists the generated
+    text; re-entry is a single ``exec`` against the stock math namespace —
+    no CSE, no expression printing, no task partitioning.
+    """
+    namespace = _base_namespace()
+    exec(compile(source, f"<cached {name}>", "exec"), namespace)
+    return PythonModule(
+        source=source,
+        namespace=namespace,
+        num_states=num_states,
+        num_partials=num_partials,
+        num_cse_serial=num_cse_serial,
         num_cse_parallel=num_cse_parallel,
     )

@@ -271,7 +271,9 @@ def generate_program(
     ``rhs_batch``/``make_rhs_batch``/``make_jac_batch`` entry points.
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        from ..compiler.context import unknown_backend_message
+
+        raise ValueError(unknown_backend_message(backend))
     report = verify_compilable(system)
     plan = partition_tasks(
         system,

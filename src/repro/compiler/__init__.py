@@ -1,0 +1,58 @@
+"""The pass-based compiler driver.
+
+The staged compiler of the paper's Figure 7 as an explicit pipeline: a
+:class:`CompilationContext` carries the artifacts between stages, a
+:class:`PassManager` runs the registered passes with per-pass wall time
+and node-count observability, and an :class:`ArtifactCache` keyed by the
+content hash of the flattened model skips analysis and code generation
+when nothing changed.  :func:`repro.frontend.compile_model` and
+:func:`repro.frontend.compile_source` are thin facades over
+:func:`compile_context`.
+"""
+
+from .cache import (
+    ArtifactCache,
+    CompiledArtifacts,
+    artifact_key,
+    flat_model_to_obj,
+    model_fingerprint,
+)
+from .context import (
+    CompilationContext,
+    CompileError,
+    CompileOptions,
+    Diagnostic,
+    EXECUTABLE_BACKENDS,
+    SOURCE_ONLY_BACKENDS,
+    unknown_backend_message,
+)
+from .manager import Pass, PassManager
+from .passes import (
+    CACHE_SKIPPED_PASSES,
+    DEFAULT_PASS_NAMES,
+    build_default_manager,
+    compile_context,
+)
+from .report import PipelineReport
+
+__all__ = [
+    "ArtifactCache",
+    "CompiledArtifacts",
+    "artifact_key",
+    "flat_model_to_obj",
+    "model_fingerprint",
+    "CompilationContext",
+    "CompileError",
+    "CompileOptions",
+    "Diagnostic",
+    "EXECUTABLE_BACKENDS",
+    "SOURCE_ONLY_BACKENDS",
+    "unknown_backend_message",
+    "Pass",
+    "PassManager",
+    "CACHE_SKIPPED_PASSES",
+    "DEFAULT_PASS_NAMES",
+    "build_default_manager",
+    "compile_context",
+    "PipelineReport",
+]

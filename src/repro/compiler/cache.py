@@ -1,0 +1,399 @@
+"""Content-addressed artifact caching for compiled models.
+
+The hot path of the ensemble and checkpoint/resume workloads is
+*recompiling an unchanged model*: the flat equation system is identical,
+only runtime inputs differ.  This module fingerprints the flattened model
+(a canonical JSON form of the hash-consed expression trees) together with
+the codegen options, and persists everything downstream of analysis — the
+SCC partition, the ODE system, the verify report, the task plan, and the
+generated module sources — keyed by that content hash.  A cache hit
+rebuilds the executable modules with a single ``exec`` and skips the
+analysis and code-generation passes entirely.
+
+Two layers:
+
+* an **in-memory** table (always on) sharing the deserialized artifacts
+  within a process, and
+* an optional **on-disk** store (one ``<key>.json`` per artifact under a
+  cache directory) surviving across processes — the compiler-side
+  equivalent of the runtime's checkpoint files.
+
+Only trusted directories should be used as cache roots: cached artifacts
+contain generated source that is ``exec``-ed on load (exactly like the
+source the generator itself produces).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Any
+
+from ..analysis.depgraph import DiGraph, VariableAssignment
+from ..analysis.partition import Partition, Subsystem
+from ..codegen.costmodel import CostModel
+from ..codegen.gen_numpy import NumpyModule, load_numpy_module
+from ..codegen.gen_python import PythonModule, load_python_module
+from ..codegen.tasks import Assignment, TaskBody, TaskPlan
+from ..codegen.transform import OdeSystem
+from ..codegen.verify import VerifyReport
+from ..model.flatten import FlatModel
+from ..schedule.task import Task, TaskGraph
+from ..symbolic.serialize import (
+    expr_from_obj,
+    expr_to_obj,
+    system_from_obj,
+    system_to_obj,
+)
+from .context import CompileOptions
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CompiledArtifacts",
+    "ArtifactCache",
+    "flat_model_to_obj",
+    "model_fingerprint",
+    "artifact_key",
+]
+
+#: bumped whenever the artifact JSON layout changes; part of every key
+ARTIFACT_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def flat_model_to_obj(flat: FlatModel) -> dict[str, Any]:
+    """A canonical, JSON-stable form of a flattened model.
+
+    Dict iteration order is insertion order, which for a
+    :class:`FlatModel` is the state-vector layout — exactly what generated
+    code depends on — so the canonical form captures both content *and*
+    ordering.
+    """
+
+    def var_obj(v) -> list:
+        return [v.name, v.kind.name, v.start, v.value]
+
+    return {
+        "name": flat.name,
+        "free_var": flat.free_var.name,
+        "states": [var_obj(v) for v in flat.states.values()],
+        "algebraics": [var_obj(v) for v in flat.algebraics.values()],
+        "parameters": [var_obj(v) for v in flat.parameters.values()],
+        "odes": [
+            [eq.state, expr_to_obj(eq.rhs), eq.label] for eq in flat.odes
+        ],
+        "explicit_algs": [
+            [eq.var, expr_to_obj(eq.rhs), eq.label]
+            for eq in flat.explicit_algs
+        ],
+        "implicit": [
+            [expr_to_obj(eq.lhs), expr_to_obj(eq.rhs), eq.label]
+            for eq in flat.implicit
+        ],
+    }
+
+
+def _digest(obj: Any) -> str:
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def model_fingerprint(flat: FlatModel) -> str:
+    """Content hash of the flattened model (independent of options)."""
+    return _digest(flat_model_to_obj(flat))
+
+
+def artifact_key(model_hash: str, options: CompileOptions) -> str:
+    """Cache key: model content + every option that affects generated code."""
+    return _digest({
+        "format": ARTIFACT_FORMAT,
+        "model": model_hash,
+        "options": options.codegen_fingerprint(),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Artifact (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def _partition_to_obj(part: Partition) -> dict[str, Any]:
+    return {
+        "subsystems": [
+            {
+                "index": s.index,
+                "variables": list(s.variables),
+                "equations": list(s.equations),
+                "level": s.level,
+                "predecessors": list(s.predecessors),
+                "successors": list(s.successors),
+            }
+            for s in part.subsystems
+        ],
+        "membership": dict(part.membership),
+        "condensed": {
+            "nodes": list(part.condensed.nodes),
+            "edges": [list(e) for e in part.condensed.edges()],
+        },
+        "assignment": {
+            "defining": dict(part.assignment.defining),
+            "uses": {
+                label: sorted(vars_)
+                for label, vars_ in part.assignment.uses.items()
+            },
+        },
+    }
+
+
+def _partition_from_obj(obj: dict[str, Any]) -> Partition:
+    condensed = DiGraph()
+    for node in obj["condensed"]["nodes"]:
+        condensed.add_node(node)
+    for src, dst in obj["condensed"]["edges"]:
+        condensed.add_edge(src, dst)
+    assignment = VariableAssignment(
+        defining=dict(obj["assignment"]["defining"]),
+        uses={
+            label: frozenset(vars_)
+            for label, vars_ in obj["assignment"]["uses"].items()
+        },
+    )
+    subsystems = [
+        Subsystem(
+            index=s["index"],
+            variables=tuple(s["variables"]),
+            equations=tuple(s["equations"]),
+            level=s["level"],
+            predecessors=tuple(s["predecessors"]),
+            successors=tuple(s["successors"]),
+        )
+        for s in obj["subsystems"]
+    ]
+    return Partition(
+        subsystems=subsystems,
+        membership=dict(obj["membership"]),
+        condensed=condensed,
+        assignment=assignment,
+    )
+
+
+def _plan_to_obj(plan: TaskPlan) -> dict[str, Any]:
+    return {
+        "bodies": [
+            {
+                "task_id": b.task_id,
+                "name": b.name,
+                "assignments": [
+                    [a.target, expr_to_obj(a.expr)] for a in b.assignments
+                ],
+            }
+            for b in plan.bodies
+        ],
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "name": t.name,
+                "outputs": list(t.outputs),
+                "inputs": list(t.inputs),
+                "weight": t.weight,
+                "num_ops": t.num_ops,
+                "depends_on": list(t.depends_on),
+            }
+            for t in plan.graph
+        ],
+        "partial_slots": list(plan.partial_slots),
+        "cost_model": {
+            f.name: getattr(plan.cost_model, f.name)
+            for f in dataclass_fields(plan.cost_model)
+        },
+    }
+
+
+def _plan_from_obj(obj: dict[str, Any]) -> TaskPlan:
+    bodies = tuple(
+        TaskBody(
+            task_id=b["task_id"],
+            name=b["name"],
+            assignments=tuple(
+                Assignment(target, expr_from_obj(expr))
+                for target, expr in b["assignments"]
+            ),
+        )
+        for b in obj["bodies"]
+    )
+    tasks = [
+        Task(
+            task_id=t["task_id"],
+            name=t["name"],
+            outputs=tuple(t["outputs"]),
+            inputs=tuple(t["inputs"]),
+            weight=t["weight"],
+            num_ops=t["num_ops"],
+            depends_on=tuple(t["depends_on"]),
+        )
+        for t in obj["tasks"]
+    ]
+    return TaskPlan(
+        bodies=bodies,
+        graph=TaskGraph(tasks),
+        partial_slots=tuple(obj["partial_slots"]),
+        cost_model=CostModel(**obj["cost_model"]),
+    )
+
+
+def _module_to_obj(module) -> dict[str, Any]:
+    return {
+        "source": module.source,
+        "num_states": module.num_states,
+        "num_partials": module.num_partials,
+        "num_cse_serial": module.num_cse_serial,
+        "num_cse_parallel": module.num_cse_parallel,
+    }
+
+
+@dataclass
+class CompiledArtifacts:
+    """Everything the cache restores on a hit (post-analysis artifacts)."""
+
+    partition: Partition
+    system: OdeSystem
+    verify_report: VerifyReport
+    plan: TaskPlan
+    module: PythonModule
+    vector_module: NumpyModule | None
+
+    def to_obj(self, model_hash: str, key: str) -> dict[str, Any]:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "model": self.system.name,
+            "model_hash": model_hash,
+            "key": key,
+            "system": system_to_obj(self.system),
+            "partition": _partition_to_obj(self.partition),
+            "verify_report": {
+                "num_rhs": self.verify_report.num_rhs,
+                "num_nodes": self.verify_report.num_nodes,
+                "functions_used": list(self.verify_report.functions_used),
+                "symbols_used": list(self.verify_report.symbols_used),
+            },
+            "plan": _plan_to_obj(self.plan),
+            "module": _module_to_obj(self.module),
+            "vector_module": (
+                None
+                if self.vector_module is None
+                else _module_to_obj(self.vector_module)
+            ),
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "CompiledArtifacts":
+        name = obj.get("model", "cached")
+        vr = obj["verify_report"]
+        mod = obj["module"]
+        vmod = obj["vector_module"]
+        return cls(
+            partition=_partition_from_obj(obj["partition"]),
+            system=system_from_obj(obj["system"]),
+            verify_report=VerifyReport(
+                num_rhs=vr["num_rhs"],
+                num_nodes=vr["num_nodes"],
+                functions_used=tuple(vr["functions_used"]),
+                symbols_used=tuple(vr["symbols_used"]),
+            ),
+            plan=_plan_from_obj(obj["plan"]),
+            module=load_python_module(name=name, **mod),
+            vector_module=(
+                None if vmod is None else load_numpy_module(name=name, **vmod)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+
+
+class ArtifactCache:
+    """Two-level content-addressed cache of compiled artifacts.
+
+    ``root=None`` keeps the cache purely in memory (still useful: repeated
+    ensemble compiles of the same model within one process).  With a
+    directory, artifacts are persisted as ``<key>.json`` and survive
+    process restarts; writes are atomic (write-to-temp + rename), matching
+    the checkpoint layer's crash-safety discipline.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[str, CompiledArtifacts] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ------------------------------------------------------------
+
+    def _path(self, key: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / f"{key}.json"
+
+    # -- operations -------------------------------------------------------
+
+    def load(self, key: str) -> CompiledArtifacts | None:
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        path = self._path(key)
+        if path is not None and path.exists():
+            try:
+                obj = json.loads(path.read_text())
+                if obj.get("format") != ARTIFACT_FORMAT:
+                    raise ValueError("artifact format mismatch")
+                artifacts = CompiledArtifacts.from_obj(obj)
+            except (ValueError, KeyError, TypeError, OSError):
+                # A corrupt or stale artifact is a miss, never an error:
+                # the compiler regenerates and overwrites it.
+                self.misses += 1
+                return None
+            self._memory[key] = artifacts
+            self.hits += 1
+            return artifacts
+        self.misses += 1
+        return None
+
+    def store(
+        self, key: str, artifacts: CompiledArtifacts, model_hash: str
+    ) -> None:
+        self._memory[key] = artifacts
+        path = self._path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            artifacts.to_obj(model_hash, key), separators=(",", ":")
+        )
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(payload)
+        tmp.replace(path)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.root is not None and self.root.exists():
+            for p in self.root.glob("*.json"):
+                p.unlink()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = str(self.root) if self.root else "memory-only"
+        return (
+            f"<ArtifactCache {where}: {len(self._memory)} in memory, "
+            f"{self.hits} hit(s), {self.misses} miss(es)>"
+        )

@@ -1,0 +1,196 @@
+"""Ordered pass registration and execution with per-pass observability.
+
+The :class:`PassManager` owns the pipeline: passes are registered in order
+(each declaring which context artifacts it requires and provides), and
+:meth:`PassManager.run` executes them against one
+:class:`~repro.compiler.context.CompilationContext`, recording per-pass
+wall time, expression-node counts before/after, skip reasons (cache hits,
+``skip=...``) and optional post-pass snapshots (``--dump-after``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .context import CompilationContext, CompileError, Diagnostic
+
+__all__ = ["Pass", "PassManager"]
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One first-class compiler stage.
+
+    ``run`` mutates the context; ``requires``/``provides`` name context
+    artifact fields and form the dependency contract checked at
+    registration and before execution.  ``skip_when`` may return a reason
+    string (e.g. ``"cache hit"``) to skip the pass for this compilation.
+    """
+
+    name: str
+    run: Callable[[CompilationContext], None]
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+    description: str = ""
+    skip_when: Callable[[CompilationContext], str | None] | None = None
+
+    def __str__(self) -> str:
+        return f"<pass {self.name}>"
+
+
+@dataclass
+class _PassRecord:
+    """Per-pass execution record (serialised into ctx.pass_metrics)."""
+
+    name: str
+    wall_s: float = 0.0
+    nodes_before: int = 0
+    nodes_after: int = 0
+    status: str = "ran"  # "ran" | "skipped" | "failed"
+    skip_reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "status": self.status,
+            "skip_reason": self.skip_reason,
+        }
+
+
+class PassManager:
+    """Ordered pass pipeline with dependency checking.
+
+    ``run_until`` stops after the named pass (inclusive); ``skip``
+    suppresses individual passes — the requires/provides contract is
+    still enforced, so skipping a load-bearing pass fails loudly rather
+    than producing a half-built program.
+    """
+
+    def __init__(self, passes: Iterable[Pass] = ()) -> None:
+        self._passes: list[Pass] = []
+        self._provided: set[str] = set()
+        for p in passes:
+            self.register(p)
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, pass_: Pass, after: str | None = None) -> None:
+        """Append ``pass_`` (or insert it directly after pass ``after``).
+
+        Registration validates the dependency declaration: everything the
+        pass requires must be provided by some earlier pass.
+        """
+        if any(p.name == pass_.name for p in self._passes):
+            raise ValueError(f"duplicate pass name {pass_.name!r}")
+        if after is None:
+            index = len(self._passes)
+        else:
+            index = self._index_of(after) + 1
+        provided_before: set[str] = set()
+        for p in self._passes[:index]:
+            provided_before.update(p.provides)
+        missing = [r for r in pass_.requires if r not in provided_before]
+        if missing:
+            raise ValueError(
+                f"pass {pass_.name!r} requires {missing} but no earlier "
+                f"pass provides them"
+            )
+        self._passes.insert(index, pass_)
+
+    def _index_of(self, name: str) -> int:
+        for i, p in enumerate(self._passes):
+            if p.name == name:
+                return i
+        raise KeyError(f"no pass named {name!r}")
+
+    @property
+    def passes(self) -> tuple[Pass, ...]:
+        return tuple(self._passes)
+
+    @property
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._passes)
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        ctx: CompilationContext,
+        until: str | None = None,
+        skip: Sequence[str] = (),
+    ) -> CompilationContext:
+        if until is not None:
+            self._index_of(until)  # raise early on unknown names
+        unknown = [s for s in skip if s not in self.pass_names]
+        if unknown:
+            raise KeyError(f"cannot skip unknown pass(es): {unknown}")
+
+        total_t0 = time.perf_counter()
+        for pass_ in self._passes:
+            record = _PassRecord(name=pass_.name)
+            reason = None
+            if pass_.name in skip:
+                reason = "skipped by caller"
+            elif pass_.skip_when is not None:
+                reason = pass_.skip_when(ctx)
+            if reason:
+                record.status = "skipped"
+                record.skip_reason = reason
+                ctx.pass_metrics.append(record.as_dict())
+                if until is not None and pass_.name == until:
+                    break
+                continue
+
+            missing = [
+                r for r in pass_.requires if getattr(ctx, r, None) is None
+            ]
+            if missing:
+                raise CompileError([
+                    ctx.diagnose(
+                        pass_.name,
+                        f"missing required artifact(s) {missing} — was an "
+                        f"earlier pass skipped?",
+                    )
+                ])
+
+            record.nodes_before = ctx.expr_node_count()
+            t0 = time.perf_counter()
+            try:
+                pass_.run(ctx)
+            except Exception as exc:
+                record.status = "failed"
+                record.wall_s = time.perf_counter() - t0
+                ctx.pass_metrics.append(record.as_dict())
+                diag = ctx.diagnose(pass_.name, _one_line(exc))
+                if ctx.options.collect_errors:
+                    raise CompileError([diag]) from exc
+                raise
+            record.wall_s = time.perf_counter() - t0
+            record.nodes_after = ctx.expr_node_count()
+            ctx.pass_metrics.append(record.as_dict())
+
+            if pass_.name in ctx.options.dump_after or "*" in ctx.options.dump_after:
+                ctx.dumps[pass_.name] = ctx.snapshot()
+            if until is not None and pass_.name == until:
+                break
+
+        ctx.metrics["compile_wall_s"] = time.perf_counter() - total_t0
+        ctx.metrics["passes_ran"] = [
+            m["name"] for m in ctx.pass_metrics if m["status"] == "ran"
+        ]
+        ctx.metrics["passes_skipped"] = {
+            m["name"]: m["skip_reason"]
+            for m in ctx.pass_metrics
+            if m["status"] == "skipped"
+        }
+        return ctx
+
+
+def _one_line(exc: Exception) -> str:
+    text = str(exc) or type(exc).__name__
+    return " ".join(text.split())

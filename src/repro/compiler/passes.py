@@ -1,0 +1,283 @@
+"""The Figure-7 stages re-wrapped as registered passes.
+
+Each compiler stage that used to be a bare function call inside
+``frontend.compile_model`` is a first-class :class:`~repro.compiler.manager.Pass`
+here, declaring what it consumes and produces on the
+:class:`~repro.compiler.context.CompilationContext`:
+
+=============  =========================  ==========================
+pass           requires                   provides
+=============  =========================  ==========================
+parse          (source)                   model
+flatten        (model)                    flat
+typecheck      flat                       types
+fingerprint    flat                       model_hash, cache_key
+cache-lookup   flat                       (partition … vector_module)
+partition      flat                       partition
+transform      flat                       system
+verify         system                     verify_report
+tasks          system                     plan
+codegen        system, plan               module, vector_module
+link           system, plan, module       program
+cache-store    program                    —
+=============  =========================  ==========================
+
+``partition`` through ``codegen`` are skipped on an artifact-cache hit;
+``parse``/``flatten`` are skipped when the caller already supplies a
+model / flat model.  The driver functions at the bottom
+(:func:`compile_context`, :func:`build_default_manager`) are what the
+:mod:`repro.frontend` facade and the ``repro compile`` CLI verb call.
+"""
+
+from __future__ import annotations
+
+from ..analysis import partition as run_partition
+from ..codegen.gen_numpy import generate_numpy
+from ..codegen.gen_python import generate_python
+from ..codegen.program import GeneratedProgram
+from ..codegen.tasks import partition_tasks
+from ..codegen.transform import make_ode_system
+from ..codegen.verify import verify_compilable
+from ..model import check_types
+from ..model.flatten import FlatModel
+from .cache import CompiledArtifacts, artifact_key, model_fingerprint
+from .context import CompilationContext, CompileOptions
+from .manager import Pass, PassManager
+
+__all__ = [
+    "build_default_manager",
+    "compile_context",
+    "DEFAULT_PASS_NAMES",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pass bodies
+# ---------------------------------------------------------------------------
+
+
+def _run_parse(ctx: CompilationContext) -> None:
+    from ..language import load_model
+
+    ctx.model = load_model(ctx.source, ctx.extra_classes)
+
+
+def _skip_parse(ctx: CompilationContext) -> str | None:
+    if ctx.source is None:
+        return "no source text (programmatic model)"
+    return None
+
+
+def _run_flatten(ctx: CompilationContext) -> None:
+    ctx.flat = ctx.model.flatten()
+
+
+def _skip_flatten(ctx: CompilationContext) -> str | None:
+    if ctx.flat is not None:
+        return "caller supplied a flat model"
+    return None
+
+
+def _run_typecheck(ctx: CompilationContext) -> None:
+    ctx.types = check_types(ctx.flat)
+    ctx.metrics["type_checked_nodes"] = ctx.types.num_checked_nodes
+
+
+def _run_fingerprint(ctx: CompilationContext) -> None:
+    ctx.model_hash = model_fingerprint(ctx.flat)
+    ctx.cache_key = artifact_key(ctx.model_hash, ctx.options)
+    ctx.metrics["model_hash"] = ctx.model_hash
+    ctx.metrics["cache_key"] = ctx.cache_key
+
+
+def _run_cache_lookup(ctx: CompilationContext) -> None:
+    hit = ctx.options.cache.load(ctx.cache_key)
+    ctx.metrics["cache_hit"] = hit is not None
+    if hit is None:
+        return
+    ctx.cache_hit = True
+    ctx.partition = hit.partition
+    ctx.system = hit.system
+    ctx.verify_report = hit.verify_report
+    ctx.plan = hit.plan
+    ctx.module = hit.module
+    ctx.vector_module = hit.vector_module
+
+
+def _skip_when_no_cache(ctx: CompilationContext) -> str | None:
+    if ctx.options.cache is None:
+        return "caching disabled"
+    return None
+
+
+def _skip_when_cached(ctx: CompilationContext) -> str | None:
+    if ctx.cache_hit:
+        return "artifact cache hit"
+    return None
+
+
+def _run_analysis_partition(ctx: CompilationContext) -> None:
+    ctx.partition = run_partition(ctx.flat)
+    ctx.metrics["num_subsystems"] = ctx.partition.num_subsystems
+    ctx.metrics["num_levels"] = ctx.partition.num_levels
+
+
+def _run_transform(ctx: CompilationContext) -> None:
+    ctx.system = make_ode_system(ctx.flat)
+
+
+def _run_verify(ctx: CompilationContext) -> None:
+    ctx.verify_report = verify_compilable(ctx.system)
+
+
+def _run_tasks(ctx: CompilationContext) -> None:
+    opts = ctx.options
+    ctx.plan = partition_tasks(
+        ctx.system,
+        cost_model=opts.cost_model,
+        group_threshold=opts.group_threshold,
+        split_threshold=opts.split_threshold,
+        shared_cse=opts.shared_cse,
+    )
+    ctx.metrics["num_tasks"] = ctx.plan.num_tasks
+
+
+def _run_codegen(ctx: CompilationContext) -> None:
+    opts = ctx.options
+    ctx.module = generate_python(
+        ctx.system,
+        plan=ctx.plan,
+        jacobian=opts.jacobian,
+        cse_min_ops=opts.cse_min_ops,
+    )
+    if opts.backend == "numpy":
+        ctx.vector_module = generate_numpy(
+            ctx.system,
+            plan=ctx.plan,
+            jacobian=opts.jacobian,
+            cse_min_ops=opts.cse_min_ops,
+        )
+
+
+def _run_link(ctx: CompilationContext) -> None:
+    ctx.program = GeneratedProgram(
+        system=ctx.system,
+        plan=ctx.plan,
+        module=ctx.module,
+        verify_report=ctx.verify_report,
+        vector_module=ctx.vector_module,
+    )
+    ctx.metrics["num_cse_serial"] = ctx.module.num_cse_serial
+    ctx.metrics["num_cse_parallel"] = ctx.module.num_cse_parallel
+    ctx.metrics["generated_lines"] = ctx.module.num_lines
+
+
+def _run_cache_store(ctx: CompilationContext) -> None:
+    ctx.options.cache.store(
+        ctx.cache_key,
+        CompiledArtifacts(
+            partition=ctx.partition,
+            system=ctx.system,
+            verify_report=ctx.verify_report,
+            plan=ctx.plan,
+            module=ctx.module,
+            vector_module=ctx.vector_module,
+        ),
+        model_hash=ctx.model_hash,
+    )
+
+
+def _skip_store(ctx: CompilationContext) -> str | None:
+    if ctx.options.cache is None:
+        return "caching disabled"
+    if ctx.cache_hit:
+        return "artifact cache hit (already stored)"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Default pipeline
+# ---------------------------------------------------------------------------
+
+
+def build_default_manager() -> PassManager:
+    """The standard Figure-7 pipeline as an ordered, inspectable object."""
+    return PassManager([
+        Pass("parse", _run_parse, requires=(), provides=("model",),
+             description="ObjectMath-like source text → Model",
+             skip_when=_skip_parse),
+        Pass("flatten", _run_flatten, requires=(), provides=("flat",),
+             description="OO model → flat equation system",
+             skip_when=_skip_flatten),
+        Pass("typecheck", _run_typecheck, requires=("flat",),
+             provides=("types",),
+             description="type derivation and structural checking"),
+        Pass("fingerprint", _run_fingerprint, requires=("flat",),
+             provides=("model_hash", "cache_key"),
+             description="content hash of flat model + codegen options"),
+        Pass("cache-lookup", _run_cache_lookup, requires=("cache_key",),
+             provides=("partition", "system", "verify_report", "plan",
+                       "module", "vector_module"),
+             description="restore artifacts on a content-hash hit",
+             skip_when=_skip_when_no_cache),
+        Pass("partition", _run_analysis_partition, requires=("flat",),
+             provides=("partition",),
+             description="dependency graph → SCC partition + levels",
+             skip_when=_skip_when_cached),
+        Pass("transform", _run_transform, requires=("flat",),
+             provides=("system",),
+             description="expression transformer → explicit ODE system",
+             skip_when=_skip_when_cached),
+        Pass("verify", _run_verify, requires=("system",),
+             provides=("verify_report",),
+             description="compilable-subset verifier",
+             skip_when=_skip_when_cached),
+        Pass("tasks", _run_tasks, requires=("system",), provides=("plan",),
+             description="task partitioning (group/split, cost model)",
+             skip_when=_skip_when_cached),
+        Pass("codegen", _run_codegen, requires=("system", "plan"),
+             provides=("module", "vector_module"),
+             description="CSE + code emission (python / numpy modules)",
+             skip_when=_skip_when_cached),
+        Pass("link", _run_link,
+             requires=("system", "plan", "module", "verify_report"),
+             provides=("program",),
+             description="assemble the GeneratedProgram"),
+        Pass("cache-store", _run_cache_store,
+             requires=("program", "cache_key"), provides=(),
+             description="persist artifacts under the content hash",
+             skip_when=_skip_store),
+    ])
+
+
+DEFAULT_PASS_NAMES = build_default_manager().pass_names
+
+#: passes skipped when the artifact cache hits — the whole analysis and
+#: code-generation middle of the pipeline
+CACHE_SKIPPED_PASSES = ("partition", "transform", "verify", "tasks", "codegen")
+
+
+def compile_context(
+    source: str | None = None,
+    model=None,
+    flat: FlatModel | None = None,
+    options: CompileOptions | None = None,
+    extra_classes=None,
+    until: str | None = None,
+    skip=(),
+) -> CompilationContext:
+    """Run the default pipeline over one input and return the context.
+
+    Exactly one of ``source`` / ``model`` / ``flat`` should be given (a
+    ``model`` alongside ``flat`` is allowed and recorded as provenance).
+    """
+    ctx = CompilationContext(
+        options=options or CompileOptions(),
+        source=source,
+        extra_classes=extra_classes,
+        model=model,
+        flat=flat,
+    )
+    manager = build_default_manager()
+    manager.run(ctx, until=until, skip=skip)
+    return ctx

@@ -1,0 +1,134 @@
+"""Structured per-compilation report: where compile time goes.
+
+:class:`PipelineReport` is the observability artifact of the pass-based
+driver — per-pass wall time, expression-node counts before/after, CSE hit
+counts, cache status, and the model content hash.  It renders as an
+aligned text table (``repro compile --explain``) and serialises to JSON
+(the ``benchmarks/results/BENCH_pipeline.json`` CI smoke artifact).
+
+Not to be confused with :class:`repro.analysis.PipelineReport`, which
+simulates *pipeline parallelism between subsystems* at run time; this one
+reports on the compiler's own pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .context import CompilationContext
+
+__all__ = ["PipelineReport"]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Immutable summary of one run through the pass pipeline."""
+
+    model: str
+    model_hash: str | None
+    backend: str
+    cache_hit: bool
+    total_wall_s: float
+    #: per-pass dicts: name, wall_s, nodes_before, nodes_after, status, skip_reason
+    passes: tuple[dict[str, Any], ...]
+    metrics: dict[str, Any] = field(default_factory=dict)
+    diagnostics: tuple[str, ...] = ()
+
+    @classmethod
+    def from_context(cls, ctx: CompilationContext) -> "PipelineReport":
+        return cls(
+            model=ctx.model_name,
+            model_hash=ctx.model_hash,
+            backend=ctx.options.backend,
+            cache_hit=ctx.cache_hit,
+            total_wall_s=float(ctx.metrics.get("compile_wall_s", 0.0)),
+            passes=tuple(dict(m) for m in ctx.pass_metrics),
+            metrics={
+                k: v for k, v in ctx.metrics.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+            diagnostics=tuple(str(d) for d in ctx.diagnostics),
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def pass_wall_s(self, name: str) -> float:
+        for m in self.passes:
+            if m["name"] == name:
+                return float(m["wall_s"])
+        raise KeyError(name)
+
+    def ran(self, name: str) -> bool:
+        return any(
+            m["name"] == name and m["status"] == "ran" for m in self.passes
+        )
+
+    @property
+    def skipped_passes(self) -> tuple[str, ...]:
+        return tuple(
+            m["name"] for m in self.passes if m["status"] == "skipped"
+        )
+
+    # -- rendering --------------------------------------------------------
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "model_hash": self.model_hash,
+            "backend": self.backend,
+            "cache_hit": self.cache_hit,
+            "total_wall_s": self.total_wall_s,
+            "passes": list(self.passes),
+            "metrics": dict(self.metrics),
+            "diagnostics": list(self.diagnostics),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_obj(), indent=indent)
+
+    def summary_lines(self) -> list[str]:
+        """The ``--explain`` table."""
+        lines = [
+            f"compile pipeline for model {self.model!r} "
+            f"(backend {self.backend}):",
+            f"  model hash: {self.model_hash or '<not computed>'}",
+            f"  cache: {'hit' if self.cache_hit else 'miss/disabled'}",
+            f"  {'pass':<12} {'time':>10}  {'nodes':>13}  status",
+        ]
+        for m in self.passes:
+            if m["status"] == "ran":
+                nodes = f"{m['nodes_before']}->{m['nodes_after']}"
+                status = "ran"
+                timing = f"{m['wall_s'] * 1e3:8.2f}ms"
+            else:
+                nodes = "-"
+                status = f"skipped ({m['skip_reason']})"
+                timing = "-"
+            lines.append(
+                f"  {m['name']:<12} {timing:>10}  {nodes:>13}  {status}"
+            )
+        lines.append(f"  total: {self.total_wall_s * 1e3:.2f} ms")
+        for key in ("num_cse_serial", "num_cse_parallel", "num_tasks",
+                    "num_subsystems", "generated_lines"):
+            if key in self.metrics:
+                lines.append(f"  {key.replace('_', ' ')}: {self.metrics[key]}")
+        for diag in self.diagnostics:
+            lines.append(f"  ! {diag}")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())
+
+    def compile_breakdown(self) -> str:
+        """One compact line for CompiledModel.summary(): pass → time."""
+        parts = []
+        for m in self.passes:
+            if m["status"] == "ran" and m["wall_s"] > 0:
+                parts.append(f"{m['name']} {m['wall_s'] * 1e3:.1f}ms")
+        joined = ", ".join(parts) if parts else "no passes ran"
+        cache = " [cache hit]" if self.cache_hit else ""
+        return (
+            f"compile {self.total_wall_s * 1e3:.1f} ms{cache}: {joined}"
+        )

@@ -9,25 +9,33 @@ compiled and run on a parallel MIMD computer."
 dependency analysis, expression transformation, verification, task
 partitioning and Python code generation, returning everything a user
 needs to simulate or benchmark the model.
+
+Both entry points are thin facades over the pass-based driver in
+:mod:`repro.compiler`: the same stages now run as registered passes with
+per-pass wall-time/node-count observability (see
+:meth:`CompiledModel.summary` and ``repro compile --explain``) and an
+optional content-addressed artifact cache.  The facade signatures are
+frozen; driver-only knobs (caching, ``--dump-after`` snapshots,
+diagnostic collection) live on :class:`repro.compiler.CompileOptions`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import difflib
+import inspect
+from dataclasses import dataclass, field
 from typing import Mapping, Union
 
-from .analysis import Partition, partition
+from .analysis import Partition
 from .codegen import (
     CostModel,
     DEFAULT_COST_MODEL,
     GeneratedProgram,
     OdeSystem,
-    generate_program,
-    make_ode_system,
 )
-from .model import FlatModel, Model, TypeReport, check_types
+from .compiler import CompileOptions, PipelineReport, compile_context
+from .model import FlatModel, Model, TypeReport
 from .model.classes import ModelClass
-from .language import load_model
 
 __all__ = ["CompiledModel", "compile_model", "compile_source"]
 
@@ -42,10 +50,22 @@ class CompiledModel:
     partition: Partition
     system: OdeSystem
     program: GeneratedProgram
+    #: per-pass observability record from the driver (None for hand-built
+    #: instances; always set by compile_model/compile_source)
+    report: PipelineReport | None = field(default=None, compare=False)
 
     @property
     def name(self) -> str:
         return self.flat.name
+
+    @property
+    def model_hash(self) -> str | None:
+        """Content hash of the flattened model (cache key ingredient).
+
+        Recorded in checkpoint metadata so a resumed run can detect that
+        it is being resumed against a different model.
+        """
+        return self.report.model_hash if self.report is not None else None
 
     def summary(self) -> str:
         lines = [
@@ -60,6 +80,8 @@ class CompiledModel:
             f"{self.program.module.num_cse_serial} global CSEs / "
             f"{self.program.module.num_cse_parallel} per-task CSEs",
         ]
+        if self.report is not None:
+            lines.append(f"  {self.report.compile_breakdown()}")
         return "\n".join(lines)
 
 
@@ -77,17 +99,7 @@ def compile_model(
     ``backend="numpy"`` additionally compiles the vectorized NumPy module
     (see :mod:`repro.codegen.gen_numpy`), enabling batched evaluation.
     """
-    if isinstance(model, FlatModel):
-        source_model = None
-        flat = model
-    else:
-        source_model = model
-        flat = model.flatten()
-    types = check_types(flat)
-    part = partition(flat)
-    system = make_ode_system(flat)
-    program = generate_program(
-        system,
+    options = CompileOptions(
         cost_model=cost_model,
         jacobian=jacobian,
         group_threshold=group_threshold,
@@ -95,14 +107,26 @@ def compile_model(
         shared_cse=shared_cse,
         backend=backend,
     )
+    if isinstance(model, FlatModel):
+        ctx = compile_context(flat=model, options=options)
+    else:
+        ctx = compile_context(model=model, options=options)
     return CompiledModel(
-        model=source_model,
-        flat=flat,
-        types=types,
-        partition=part,
-        system=system,
-        program=program,
+        model=ctx.model,
+        flat=ctx.flat,
+        types=ctx.types,
+        partition=ctx.partition,
+        system=ctx.system,
+        program=ctx.program,
+        report=PipelineReport.from_context(ctx),
     )
+
+
+#: keyword arguments compile_source may forward to compile_model
+_COMPILE_KWARGS = tuple(
+    name for name in inspect.signature(compile_model).parameters
+    if name != "model"
+)
 
 
 def compile_source(
@@ -111,4 +135,25 @@ def compile_source(
     **kwargs,
 ) -> CompiledModel:
     """Parse ObjectMath-like source text and run the full pipeline."""
-    return compile_model(load_model(source, extra_classes), **kwargs)
+    for key in kwargs:
+        if key not in _COMPILE_KWARGS:
+            close = difflib.get_close_matches(key, _COMPILE_KWARGS, n=1,
+                                              cutoff=0.6)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise TypeError(
+                f"compile_source() got an unexpected keyword argument "
+                f"{key!r}{hint} (valid options: {', '.join(_COMPILE_KWARGS)})"
+            )
+    options = CompileOptions(**kwargs)
+    ctx = compile_context(
+        source=source, options=options, extra_classes=extra_classes
+    )
+    return CompiledModel(
+        model=ctx.model,
+        flat=ctx.flat,
+        types=ctx.types,
+        partition=ctx.partition,
+        system=ctx.system,
+        program=ctx.program,
+        report=PipelineReport.from_context(ctx),
+    )

@@ -1,0 +1,135 @@
+"""Edge-case coverage for analysis/pipeline.simulate_pipeline.
+
+Covers the branches the main suites never reach: a single-stage DAG
+(pipelining degenerates to sequential execution), all-zero stage costs
+(the ``speedup == inf`` branch), and communication latency dominating the
+makespan on a dependency chain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import simulate_pipeline
+from repro.analysis.depgraph import DiGraph, VariableAssignment
+from repro.analysis.partition import Partition, Subsystem
+
+
+def _chain_partition(n: int) -> Partition:
+    """A hand-built n-stage dependency chain 0 → 1 → … → n-1."""
+    condensed = DiGraph()
+    for i in range(n):
+        condensed.add_node(i)
+    for i in range(1, n):
+        condensed.add_edge(i - 1, i)
+    subsystems = [
+        Subsystem(
+            index=i,
+            variables=(f"v{i}",),
+            equations=(f"e{i}",),
+            level=i,
+            predecessors=(i - 1,) if i > 0 else (),
+            successors=(i + 1,) if i < n - 1 else (),
+        )
+        for i in range(n)
+    ]
+    return Partition(
+        subsystems=subsystems,
+        membership={f"v{i}": i for i in range(n)},
+        condensed=condensed,
+        assignment=VariableAssignment(
+            defining={f"v{i}": f"e{i}" for i in range(n)},
+            uses={f"e{i}": frozenset() for i in range(n)},
+        ),
+    )
+
+
+class TestSingleStageDag:
+    def test_pipelining_degenerates_to_sequential(self):
+        part = _chain_partition(1)
+        report = simulate_pipeline(part, [2.0], num_steps=5)
+        assert report.num_stages == 1
+        assert report.sequential_time == pytest.approx(10.0)
+        assert report.pipelined_time == pytest.approx(10.0)
+        assert report.speedup == pytest.approx(1.0)
+        assert report.bottleneck_cost == pytest.approx(2.0)
+
+    def test_single_stage_latency_is_irrelevant(self):
+        part = _chain_partition(1)
+        report = simulate_pipeline(part, [2.0], num_steps=5,
+                                   comm_latency=100.0)
+        # No DAG edges, so per-edge latency is never charged.
+        assert report.pipelined_time == pytest.approx(10.0)
+
+    def test_costs_accepted_as_mapping(self):
+        part = _chain_partition(1)
+        report = simulate_pipeline(part, {0: 3.0}, num_steps=2)
+        assert report.stage_costs == (3.0,)
+        assert report.sequential_time == pytest.approx(6.0)
+
+
+class TestZeroCostStages:
+    def test_all_zero_costs_give_infinite_speedup(self):
+        part = _chain_partition(3)
+        report = simulate_pipeline(part, [0.0, 0.0, 0.0], num_steps=10)
+        assert report.pipelined_time == 0.0
+        assert report.sequential_time == 0.0
+        assert math.isinf(report.speedup)
+        assert report.speedup > 0
+        assert report.bottleneck_cost == 0.0
+
+    def test_zero_costs_with_latency_are_not_infinite(self):
+        part = _chain_partition(2)
+        report = simulate_pipeline(part, [0.0, 0.0], num_steps=4,
+                                   comm_latency=1.0)
+        # The edge latency still serialises the chain; speedup is 0/x = 0.
+        assert report.pipelined_time == pytest.approx(1.0)
+        assert report.speedup == 0.0
+
+    def test_str_renders_infinite_speedup(self):
+        part = _chain_partition(1)
+        report = simulate_pipeline(part, [0.0], num_steps=1)
+        assert "inf" in str(report)
+
+
+class TestCommLatencyDominates:
+    def test_chain_makespan_formula(self):
+        # Two stages of cost 1 with latency 100: the first result crosses
+        # the link once (start-up), after which the bottleneck stage paces
+        # the pipeline — makespan = latency + stage0 + num_steps * stage1.
+        part = _chain_partition(2)
+        steps = 5
+        report = simulate_pipeline(part, [1.0, 1.0], num_steps=steps,
+                                   comm_latency=100.0)
+        assert report.pipelined_time == pytest.approx(100.0 + 1.0 + steps)
+        assert report.sequential_time == pytest.approx(2.0 * steps)
+        assert report.speedup < 1.0  # latency makes pipelining a loss
+
+    def test_latency_free_chain_approaches_bottleneck_rate(self):
+        part = _chain_partition(2)
+        report = simulate_pipeline(part, [1.0, 1.0], num_steps=5)
+        assert report.pipelined_time == pytest.approx(1.0 + 5.0)
+        assert report.speedup == pytest.approx(10.0 / 6.0)
+
+    def test_latency_charged_per_edge_on_deeper_chains(self):
+        part = _chain_partition(3)
+        one = simulate_pipeline(part, [1.0, 1.0, 1.0], num_steps=1,
+                                comm_latency=10.0)
+        # One step through a 3-chain: each of the two edges pays latency.
+        assert one.pipelined_time == pytest.approx(3 * 1.0 + 2 * 10.0)
+
+
+class TestValidation:
+    def test_num_steps_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_steps"):
+            simulate_pipeline(_chain_partition(1), [1.0], num_steps=0)
+
+    def test_wrong_cost_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 2 stage costs"):
+            simulate_pipeline(_chain_partition(2), [1.0], num_steps=1)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_pipeline(_chain_partition(1), [-1.0], num_steps=1)

@@ -1,0 +1,436 @@
+"""Tests of the pass-based compiler driver (repro.compiler).
+
+Covers: bit-identical equivalence with the pre-refactor monolithic
+pipeline on all four example models, pass-manager mechanics
+(registration contracts, run_until/skip), content-addressed artifact
+caching (memory and disk, asserted via the metrics dict), early backend
+validation, keyword-argument validation, diagnostics provenance, the
+per-pass observability surfaced through ``CompiledModel.summary()`` and
+the ``repro compile`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import partition
+from repro.apps import (
+    BearingParams,
+    Bearing3dParams,
+    build_bearing2d,
+    build_bearing3d,
+    build_powerplant,
+    build_servo,
+)
+from repro.codegen import generate_program, make_ode_system
+from repro.compiler import (
+    ArtifactCache,
+    CACHE_SKIPPED_PASSES,
+    CompilationContext,
+    CompileError,
+    CompileOptions,
+    Pass,
+    PassManager,
+    PipelineReport,
+    build_default_manager,
+    compile_context,
+    model_fingerprint,
+)
+from repro.frontend import compile_model, compile_source
+from repro.model import check_types
+
+
+_BUILDERS = {
+    "servo": build_servo,
+    "powerplant": build_powerplant,
+    "bearing2d": lambda: build_bearing2d(BearingParams(num_rollers=4)),
+    "bearing3d": lambda: build_bearing3d(
+        Bearing3dParams(num_rollers=4, contact_harmonics=2)
+    ),
+}
+
+
+def _monolith_compile(model, backend):
+    """The pre-refactor frontend.compile_model, inlined verbatim."""
+    flat = model.flatten()
+    check_types(flat)
+    partition(flat)
+    system = make_ode_system(flat)
+    return generate_program(system, backend=backend)
+
+
+class TestMonolithEquivalence:
+    """The pass driver must reproduce the monolith bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_identical_generated_source_and_rhs(self, name, backend):
+        old = _monolith_compile(_BUILDERS[name](), backend)
+        new = compile_model(_BUILDERS[name](), backend=backend).program
+
+        assert new.module.source == old.module.source
+        if backend == "numpy":
+            assert new.vector_module is not None
+            assert new.vector_module.source == old.vector_module.source
+        else:
+            assert new.vector_module is None
+
+        y0 = old.start_vector()
+        assert np.array_equal(new.rhs(0.0, y0), old.rhs(0.0, y0))
+
+    def test_task_plan_and_reports_match(self):
+        model = _BUILDERS["bearing2d"]()
+        old = _monolith_compile(model, "python")
+        new = compile_model(_BUILDERS["bearing2d"]()).program
+        assert new.num_tasks == old.num_tasks
+        assert [t.weight for t in new.task_graph] == \
+            [t.weight for t in old.task_graph]
+        assert new.verify_report == old.verify_report
+        assert new.plan.partial_slots == old.plan.partial_slots
+
+
+class TestPassManager:
+    def test_default_pipeline_order(self):
+        manager = build_default_manager()
+        names = manager.pass_names
+        assert names.index("flatten") < names.index("typecheck")
+        assert names.index("partition") < names.index("codegen")
+        assert names[-1] == "cache-store"
+
+    def test_duplicate_name_rejected(self):
+        manager = build_default_manager()
+        with pytest.raises(ValueError, match="duplicate pass"):
+            manager.register(Pass("flatten", lambda ctx: None))
+
+    def test_requires_contract_checked_at_registration(self):
+        manager = PassManager()
+        with pytest.raises(ValueError, match="requires"):
+            manager.register(
+                Pass("needs-flat", lambda ctx: None, requires=("flat",))
+            )
+
+    def test_register_after(self):
+        manager = build_default_manager()
+        manager.register(
+            Pass("custom", lambda ctx: None, requires=("flat",)),
+            after="flatten",
+        )
+        names = manager.pass_names
+        assert names.index("custom") == names.index("flatten") + 1
+
+    def test_run_until_stops_early(self):
+        ctx = compile_context(model=build_servo(), until="partition")
+        assert ctx.partition is not None
+        assert ctx.system is None
+        assert ctx.program is None
+
+    def test_skip_pass(self):
+        ctx = compile_context(model=build_servo(), skip=("typecheck",))
+        assert ctx.types is None
+        assert ctx.program is not None
+        skipped = ctx.metrics["passes_skipped"]
+        assert skipped["typecheck"] == "skipped by caller"
+
+    def test_skip_unknown_pass_rejected(self):
+        with pytest.raises(KeyError, match="unknown pass"):
+            compile_context(model=build_servo(), skip=("no-such-pass",))
+
+    def test_skipping_load_bearing_pass_fails_loudly(self):
+        with pytest.raises(CompileError, match="missing required artifact"):
+            compile_context(model=build_servo(), skip=("transform",))
+
+    def test_per_pass_metrics_recorded(self):
+        ctx = compile_context(model=build_servo())
+        ran = {m["name"]: m for m in ctx.pass_metrics if m["status"] == "ran"}
+        for name in ("flatten", "typecheck", "partition", "transform",
+                     "verify", "tasks", "codegen", "link"):
+            assert name in ran
+            assert ran[name]["wall_s"] >= 0.0
+        assert ran["flatten"]["nodes_after"] > 0
+        assert ctx.metrics["compile_wall_s"] > 0.0
+
+    def test_dump_after_snapshots(self):
+        ctx = compile_context(
+            model=build_servo(),
+            options=CompileOptions(dump_after=("transform", "codegen")),
+        )
+        assert set(ctx.dumps) == {"transform", "codegen"}
+        assert "system" in ctx.dumps["transform"]
+        assert "def RHS" in ctx.dumps["codegen"]
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = build_servo().flatten()
+        b = build_servo().flatten()
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_differs_between_models(self):
+        servo = build_servo().flatten()
+        plant = build_powerplant().flatten()
+        assert model_fingerprint(servo) != model_fingerprint(plant)
+
+    def test_options_change_cache_key(self):
+        from repro.compiler import artifact_key
+
+        h = model_fingerprint(build_servo().flatten())
+        assert artifact_key(h, CompileOptions(backend="python")) != \
+            artifact_key(h, CompileOptions(backend="numpy"))
+        assert artifact_key(h, CompileOptions()) != \
+            artifact_key(h, CompileOptions(jacobian=True))
+
+
+class TestArtifactCache:
+    def test_second_compile_hits_and_skips(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        opts = CompileOptions(backend="numpy", cache=cache)
+
+        ctx1 = compile_context(model=build_servo(), options=opts)
+        assert ctx1.metrics["cache_hit"] is False
+        assert ctx1.metrics["passes_skipped"].keys().isdisjoint(
+            CACHE_SKIPPED_PASSES
+        )
+
+        ctx2 = compile_context(model=build_servo(), options=opts)
+        # The acceptance assertion: the metrics dict proves analysis and
+        # codegen were skipped on the hit.
+        assert ctx2.metrics["cache_hit"] is True
+        for name in CACHE_SKIPPED_PASSES:
+            assert ctx2.metrics["passes_skipped"][name] == "artifact cache hit"
+        assert ctx2.program.module.source == ctx1.program.module.source
+
+    def test_disk_reload_across_cache_instances(self, tmp_path):
+        root = tmp_path / "cache"
+        opts1 = CompileOptions(backend="numpy", jacobian=True,
+                               cache=ArtifactCache(root))
+        ctx1 = compile_context(model=build_servo(), options=opts1)
+
+        # Fresh cache object: memory empty, must come back from disk.
+        opts2 = CompileOptions(backend="numpy", jacobian=True,
+                               cache=ArtifactCache(root))
+        ctx2 = compile_context(model=build_servo(), options=opts2)
+        assert ctx2.metrics["cache_hit"] is True
+
+        y0 = ctx1.program.start_vector()
+        assert np.array_equal(ctx2.program.rhs(0.0, y0),
+                              ctx1.program.rhs(0.0, y0))
+        jac1, jac2 = ctx1.program.make_jac(), ctx2.program.make_jac()
+        assert jac1 is not None and jac2 is not None
+        assert np.array_equal(jac2(0.0, y0), jac1(0.0, y0))
+        Y = np.tile(y0, (3, 1))
+        assert np.array_equal(ctx2.program.rhs_batch(0.0, Y),
+                              ctx1.program.rhs_batch(0.0, Y))
+        assert ctx2.partition.num_subsystems == ctx1.partition.num_subsystems
+        assert ctx2.plan.partial_slots == ctx1.plan.partial_slots
+        assert ctx2.verify_report == ctx1.verify_report
+
+    def test_different_options_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        compile_context(model=build_servo(),
+                        options=CompileOptions(cache=cache))
+        ctx = compile_context(
+            model=build_servo(),
+            options=CompileOptions(cache=cache, jacobian=True),
+        )
+        assert ctx.metrics["cache_hit"] is False
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root)
+        opts = CompileOptions(cache=cache)
+        ctx = compile_context(model=build_servo(), options=opts)
+        artifact = root / f"{ctx.cache_key}.json"
+        assert artifact.exists()
+        artifact.write_text("{not json")
+
+        ctx2 = compile_context(
+            model=build_servo(),
+            options=CompileOptions(cache=ArtifactCache(root)),
+        )
+        assert ctx2.metrics["cache_hit"] is False
+        assert ctx2.program is not None
+
+    def test_memory_only_cache(self):
+        cache = ArtifactCache()
+        opts = CompileOptions(cache=cache)
+        compile_context(model=build_servo(), options=opts)
+        ctx = compile_context(model=build_servo(), options=opts)
+        assert ctx.metrics["cache_hit"] is True
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestEarlyValidation:
+    def test_unknown_backend_lists_all_four(self):
+        with pytest.raises(ValueError, match="unknown backend") as exc:
+            compile_model(build_servo(), backend="mlir")
+        text = str(exc.value)
+        for name in ("python", "numpy", "c", "fortran"):
+            assert name in text
+
+    def test_backend_typo_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'python'"):
+            compile_model(build_servo(), backend="pyton")
+
+    def test_validated_before_any_pass_runs(self):
+        # The options object itself rejects the backend, so not even
+        # flattening happens — previously this surfaced after the whole
+        # front half of the pipeline had run.
+        with pytest.raises(ValueError, match="unknown backend"):
+            CompileOptions(backend="wasm")
+
+    def test_compile_source_unknown_kwarg_with_suggestion(self):
+        with pytest.raises(TypeError, match="did you mean 'jacobian'"):
+            compile_source("MODEL m; END m;", jacobain=True)
+
+    def test_compile_source_unknown_kwarg_lists_options(self):
+        with pytest.raises(TypeError, match="valid options"):
+            compile_source("MODEL m; END m;", totally_bogus=1)
+
+
+def _bad_types_model():
+    """Flattens fine but fails type derivation (wrong call arity)."""
+    from repro.model import Model, ModelClass
+    from repro.symbolic.expr import Call
+
+    cls = ModelClass("C")
+    x = cls.state("x", start=1.0)
+    cls.ode(x, Call("atan2", [x]), label="Eq")
+    model = Model("bad")
+    model.instance("I", cls)
+    return model
+
+
+class TestDiagnostics:
+    def test_strict_mode_preserves_exception_and_records_provenance(self):
+        from repro.model.typecheck import TypeError_
+
+        ctx = CompilationContext(model=_bad_types_model())
+        with pytest.raises(TypeError_, match="atan2 expects 2"):
+            build_default_manager().run(ctx)
+        assert len(ctx.errors) == 1
+        diag = ctx.errors[0]
+        assert diag.pass_name == "typecheck"
+        assert diag.model == "bad"
+        assert "atan2" in diag.message
+
+    def test_collect_mode_raises_single_compile_error(self):
+        ctx = CompilationContext(
+            model=_bad_types_model(),
+            options=CompileOptions(collect_errors=True),
+        )
+        with pytest.raises(CompileError) as exc:
+            build_default_manager().run(ctx)
+        assert "typecheck" in str(exc.value)
+        assert "bad" in str(exc.value)
+        assert exc.value.diagnostics[0].pass_name == "typecheck"
+
+    def test_failed_pass_recorded_in_metrics(self):
+        ctx = CompilationContext(model=_bad_types_model())
+        with pytest.raises(Exception):
+            build_default_manager().run(ctx)
+        statuses = {m["name"]: m["status"] for m in ctx.pass_metrics}
+        assert statuses["typecheck"] == "failed"
+
+
+class TestObservabilitySurface:
+    def test_compiled_model_summary_reports_compile_time(self):
+        compiled = compile_model(build_servo())
+        text = compiled.summary()
+        assert "compile" in text
+        assert "codegen" in text
+        assert compiled.model_hash is not None
+
+    def test_pipeline_report_roundtrips_json(self):
+        compiled = compile_model(build_servo())
+        obj = json.loads(compiled.report.to_json())
+        assert obj["model"] == "servo"
+        assert obj["model_hash"] == compiled.model_hash
+        names = [p["name"] for p in obj["passes"]]
+        assert "codegen" in names and "transform" in names
+        assert obj["total_wall_s"] > 0
+
+    def test_report_query_helpers(self):
+        report = compile_model(build_servo()).report
+        assert report.ran("codegen")
+        assert not report.ran("parse")
+        assert report.pass_wall_s("codegen") >= 0.0
+        with pytest.raises(KeyError):
+            report.pass_wall_s("no-such-pass")
+
+
+_CLI_MODEL = """
+MODEL pipe_cli;
+CLASS Osc
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Osc;
+INSTANCE A INHERITS Osc;
+END pipe_cli;
+"""
+
+
+class TestCompileCli:
+    @pytest.fixture()
+    def model_file(self, tmp_path):
+        path = tmp_path / "model.om"
+        path.write_text(_CLI_MODEL)
+        return str(path)
+
+    def test_explain_prints_pass_table(self, model_file, capsys):
+        from repro.cli import main
+
+        assert main(["compile", model_file, "--explain"]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("compile pipeline", "model hash:", "codegen",
+                         "transform", "total:"):
+            assert fragment in out
+
+    def test_report_json_written(self, model_file, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "results" / "pipeline.json"
+        assert main([
+            "compile", model_file, "--report", str(report_path),
+        ]) == 0
+        obj = json.loads(report_path.read_text())
+        assert obj["model"] == "pipe_cli"
+        assert any(p["name"] == "codegen" for p in obj["passes"])
+
+    def test_cache_dir_hit_on_second_invocation(self, model_file, tmp_path,
+                                                capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["compile", model_file, "--explain",
+                     "--cache-dir", cache_dir]) == 0
+        assert "cache: miss/disabled" in capsys.readouterr().out
+        assert main(["compile", model_file, "--explain",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: hit" in out
+        assert "skipped (artifact cache hit)" in out
+
+    def test_dump_after(self, model_file, capsys):
+        from repro.cli import main
+
+        assert main(["compile", model_file, "--dump-after", "codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "dump after pass codegen" in out
+        assert "def RHS" in out
+
+    def test_bad_model_reports_diagnostic_not_traceback(self, tmp_path,
+                                                        capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.om"
+        bad.write_text("MODEL b; CLASS C STATE x := ; END C; END b;")
+        assert main(["compile", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error[parse]" in err
+        assert "Traceback" not in err
