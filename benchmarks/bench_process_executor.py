@@ -1,0 +1,242 @@
+"""Process-executor benchmark: serial vs thread vs process RHS throughput.
+
+The first *real-speedup* datapoint in the bench trajectory: where
+``bench_fig12_speedup`` reports what a machine *model* would do and the
+threaded pool is GIL-bound by construction, this benchmark times the
+actual supervisor/worker protocol on the host's cores — generated bearing
+tasks under an LPT schedule, state exchanged through shared memory.
+
+Two subjects, spanning the granularity axis the paper calls out
+("the performance is better if we have a larger problem"):
+
+* the paper's 10-roller 2D bearing (fine-grained tasks — IPC-bound), and
+* a synthetic 3D-class bearing (``contact_harmonics`` inflated contact
+  forces — the compute/communication ratio of the large problems).
+
+Usable as a standalone smoke check or the full run::
+
+    python benchmarks/bench_process_executor.py --quick   # CI smoke
+    python benchmarks/bench_process_executor.py           # full numbers
+
+Both modes verify every executor bit-identical against ``SerialExecutor``
+before timing anything and write
+``benchmarks/results/BENCH_process_executor.json``.  The full run asserts
+the headline ratio — process RHS throughput > 1.5x serial on the heavy
+bearing with 4 workers — but only on hosts with >= 4 cores; on smaller
+hosts (this container, small CI runners) the measured numbers are
+recorded as-is.  A finally-guard closes every pool and sweeps stray
+``/dev/shm`` segments so even a crashed run leaks nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import emit, table  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SPEEDUP_GATE = 1.5
+GATE_MIN_CORES = 4
+
+
+def _programs(quick: bool):
+    from repro.apps import (
+        Bearing3dParams,
+        BearingParams,
+        build_bearing2d,
+        build_bearing3d,
+    )
+    from repro.frontend import compile_model
+
+    if quick:
+        subjects = {
+            "bearing2d-4": build_bearing2d(BearingParams(num_rollers=4)),
+            "bearing3d-4x4": build_bearing3d(
+                Bearing3dParams(num_rollers=4, contact_harmonics=4)
+            ),
+        }
+    else:
+        subjects = {
+            "bearing2d-10": build_bearing2d(BearingParams(num_rollers=10)),
+            "bearing3d-12x12": build_bearing3d(
+                Bearing3dParams(num_rollers=12, contact_harmonics=12)
+            ),
+        }
+    return {name: compile_model(model).program
+            for name, model in subjects.items()}
+
+
+def _verify_bit_identical(program, executor, y, p, ref) -> None:
+    res = program.results_buffer()
+    executor.evaluate(0.0, y, p, res)
+    if not np.array_equal(res, ref):
+        raise AssertionError(
+            f"executor {type(executor).__name__} diverged from serial "
+            f"(max abs diff {np.max(np.abs(res - ref)):.3e})"
+        )
+
+
+def _time_rounds(program, executor, y, p, reps: int) -> float:
+    """Best-of-3 wall time for ``reps`` full RHS rounds."""
+    res = program.results_buffer()
+    best = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(reps):
+            res.fill(0.0)
+            executor.evaluate(0.0, y, p, res)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_model(program, name: str, workers: int, reps: int) -> list[dict]:
+    from repro.runtime import ProcessExecutor, SerialExecutor, ThreadedExecutor
+
+    y = program.start_vector()
+    p = program.param_vector()
+    ref = program.results_buffer()
+    serial = SerialExecutor(program)
+    serial.evaluate(0.0, y, p, ref)
+
+    t_serial = _time_rounds(program, serial, y, p, reps)
+    rows = [{
+        "model": name,
+        "executor": "serial",
+        "workers": 1,
+        "rounds_per_s": reps / t_serial,
+        "speedup_vs_serial": 1.0,
+    }]
+    for label, factory in (
+        ("thread", lambda: ThreadedExecutor(program, num_workers=workers)),
+        ("process", lambda: ProcessExecutor(program, num_workers=workers)),
+    ):
+        executor = factory()
+        try:
+            _verify_bit_identical(program, executor, y, p, ref)
+            t = _time_rounds(program, executor, y, p, reps)
+        finally:
+            executor.close()
+        rows.append({
+            "model": name,
+            "executor": label,
+            "workers": workers,
+            "rounds_per_s": reps / t,
+            "speedup_vs_serial": t_serial / t,
+        })
+    return rows
+
+
+def _sweep_leaked_segments() -> list[str]:
+    """Unlink any shared-memory segment a crashed pool left behind."""
+    from repro.runtime import SHM_PREFIX
+
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    leaked = sorted(p.name for p in shm_dir.glob(f"{SHM_PREFIX}_*"))
+    for name in leaked:
+        try:
+            (shm_dir / name).unlink()
+        except OSError:
+            pass
+    return leaked
+
+
+def run(quick: bool, workers: int, reps: int) -> dict:
+    programs = _programs(quick)
+    rows: list[dict] = []
+    for name, program in programs.items():
+        rows.extend(bench_model(program, name, workers, reps))
+    return {
+        "quick": quick,
+        "workers": workers,
+        "reps": reps,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+
+
+def _report(results: dict) -> None:
+    rows = [
+        [
+            r["model"],
+            r["executor"],
+            r["workers"],
+            f"{r['rounds_per_s']:.0f}",
+            f"{r['speedup_vs_serial']:.2f}x",
+        ]
+        for r in results["rows"]
+    ]
+    lines = table(
+        ["model", "executor", "workers", "rounds/s", "vs serial"], rows
+    )
+    lines += [
+        "",
+        f"host cores: {results['cpu_count']}, "
+        f"pool size: {results['workers']}, reps: {results['reps']}",
+        "every executor verified bit-identical to SerialExecutor "
+        "before timing",
+    ]
+    emit("BENCH_process_executor",
+         "Process pool vs thread pool vs serial RHS", lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny models and few reps (CI smoke: "
+                             "exercises shared-memory setup/teardown and "
+                             "JSON emission, skips the speedup gate)")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="pool size for thread/process executors")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="RHS rounds per timing (default 20 quick, "
+                             "200 full)")
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (20 if args.quick else 200)
+
+    try:
+        results = run(args.quick, args.workers, reps)
+    finally:
+        leaked = _sweep_leaked_segments()
+        if leaked:
+            print(f"warning: swept leaked shm segments: {leaked}",
+                  file=sys.stderr)
+    _report(results)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_process_executor.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    cores = results["cpu_count"] or 1
+    if not args.quick and cores >= GATE_MIN_CORES:
+        heavy = [r for r in results["rows"]
+                 if r["executor"] == "process"
+                 and r["model"].startswith("bearing3d")]
+        worst = max(heavy, key=lambda r: r["speedup_vs_serial"])
+        if worst["speedup_vs_serial"] < SPEEDUP_GATE:
+            print(
+                f"FAIL: process executor reached only "
+                f"{worst['speedup_vs_serial']:.2f}x vs serial on "
+                f"{worst['model']} (gate {SPEEDUP_GATE}x, "
+                f"{cores} cores)", file=sys.stderr,
+            )
+            return 1
+    elif not args.quick:
+        print(f"# speedup gate skipped: host has {cores} core(s) "
+              f"(< {GATE_MIN_CORES})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -157,7 +157,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         y0 = np.asarray(y0_list)
         params = np.asarray(p_list)
-    if args.backend == "numpy":
+    events = RuntimeEvents()
+    rhs_facade = None
+    if args.executor != "serial":
+        # Route the RHS through the supervisor/worker runtime: generated
+        # scalar tasks under an LPT schedule, evaluated by a thread pool
+        # (protocol fidelity) or a process pool (true multi-core).
+        from .runtime import ParallelRHS, ProcessExecutor, ThreadedExecutor
+
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        executor_cls = (ThreadedExecutor if args.executor == "thread"
+                        else ProcessExecutor)
+        executor = executor_cls(program, num_workers=args.workers,
+                                events=events)
+        rhs_facade = ParallelRHS(program, executor, params=params)
+        f = rhs_facade
+    elif args.backend == "numpy":
         # The vectorized module evaluates unbatched states too (its
         # ``[..., i]`` indexing is shape-agnostic), so a single
         # trajectory can ride the ufunc RHS.
@@ -165,7 +182,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         f = program.make_rhs(params)
 
-    events = RuntimeEvents()
     method = args.method
     resume = None
     if args.resume:
@@ -210,6 +226,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   f"(resume with --resume {args.checkpoint})",
                   file=sys.stderr)
         return 1
+    finally:
+        if rhs_facade is not None:
+            rhs_facade.close()
     if not result.success:
         print(f"solver failed: {result.message}", file=sys.stderr)
         return 1
@@ -218,6 +237,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{args.checkpoint}")
     if compiled.report is not None:
         print(f"# {compiled.report.compile_breakdown()}")
+    if rhs_facade is not None:
+        line = (f"# executor: {args.executor} x{args.workers}, "
+                f"{rhs_facade.ncalls} parallel RHS rounds")
+        if events.kinds():
+            line += f" ({events.summary()})"
+        print(line)
     print(
         f"# {compiled.name}: {result.stats.naccepted} steps, "
         f"{result.stats.nfev} RHS evaluations, method {result.method}"
@@ -350,6 +375,16 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("python", "numpy"),
                    help="executable backend: scalar generated Python "
                         "(default) or the vectorized NumPy module")
+    p.add_argument("--executor", default="serial",
+                   choices=("serial", "thread", "process"),
+                   help="RHS evaluation strategy: plain serial calls "
+                        "(default), the GIL-bound thread pool, or the "
+                        "multi-core process pool with shared-memory "
+                        "state exchange (runs the generated scalar "
+                        "tasks under an LPT schedule)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker count for --executor thread/process "
+                        "(default 2)")
     p.add_argument("--rtol", type=float, default=1e-6)
     p.add_argument("--atol", type=float, default=1e-9)
     p.add_argument("--start-file", help="start-value file overriding defaults")

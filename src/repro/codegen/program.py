@@ -33,9 +33,44 @@ from .tasks import TaskPlan, partition_tasks
 from .transform import OdeSystem
 from .verify import VerifyReport, verify_compilable
 
-__all__ = ["GeneratedProgram", "generate_program", "BACKENDS"]
+__all__ = ["GeneratedProgram", "ProgramSpec", "generate_program", "BACKENDS"]
 
 BACKENDS = ("python", "numpy")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A picklable rebuild recipe for a program's executable parts.
+
+    Modules produced by ``exec`` cannot cross a process boundary, so the
+    process pool (:class:`repro.runtime.ProcessExecutor`) ships this spec
+    to each worker instead: generated source text plus the few integers
+    and slot tables a worker needs to re-``exec`` the module in its own
+    interpreter and evaluate tasks against the shared results buffer.
+    Everything here is plain strings/ints/tuples, so the spec pickles
+    under any multiprocessing start method.
+    """
+
+    name: str
+    source: str
+    num_states: int
+    num_partials: int
+    num_tasks: int
+    #: per-task output indices into the results vector (state slots first,
+    #: partial-sum slots after), used by worker-side fault injection
+    task_slots: tuple[tuple[int, ...], ...]
+
+    def build_module(self) -> PythonModule:
+        """Re-``exec`` the generated source into a fresh namespace."""
+        from .gen_python import load_python_module
+
+        return load_python_module(
+            self.source, self.num_states, self.num_partials, name=self.name
+        )
+
+    def build_tasks(self) -> list[Callable]:
+        """The per-task functions, rebuilt in the calling interpreter."""
+        return self.build_module().tasks
 
 
 @dataclass
@@ -212,6 +247,20 @@ class GeneratedProgram:
 
     def results_buffer(self) -> np.ndarray:
         return np.zeros(self.num_states + self.num_partials, dtype=float)
+
+    def rebuild_spec(self) -> ProgramSpec:
+        """A :class:`ProgramSpec` from which worker processes re-create
+        the scalar module (source + layout; no live code objects)."""
+        return ProgramSpec(
+            name=self.system.name,
+            source=self.module.source,
+            num_states=self.num_states,
+            num_partials=self.num_partials,
+            num_tasks=self.num_tasks,
+            task_slots=tuple(
+                self.task_output_slots(tid) for tid in range(self.num_tasks)
+            ),
+        )
 
     def task_output_slots(self, task_id: int) -> tuple[int, ...]:
         """Indices in the results vector written by ``task_id``.

@@ -1,5 +1,6 @@
 """Parallel runtime: machine models, the discrete-event supervisor/worker
-simulator, real (threaded) execution of generated task code, and the
+simulator, real execution of generated task code (serial, threaded, and
+multi-core process pools with shared-memory state exchange), and the
 fault-tolerance layer (fault injection, retry/reassignment, structured
 event logging, checkpoint/restart)."""
 
@@ -36,6 +37,7 @@ from .messages import (
     worker_message_bytes,
 )
 from .parallel_rhs import ParallelRHS, VirtualTimeParallelRHS
+from .process_executor import ProcessExecutor, SHM_PREFIX
 from .simulator import (
     RoundBreakdown,
     RunReport,
@@ -81,6 +83,8 @@ __all__ = [
     "worker_message_bytes",
     "ParallelRHS",
     "VirtualTimeParallelRHS",
+    "ProcessExecutor",
+    "SHM_PREFIX",
     "RoundBreakdown",
     "RunReport",
     "simulate_round",

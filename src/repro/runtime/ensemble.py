@@ -66,13 +66,35 @@ class EnsembleRHS:
     def num_states(self) -> int:
         return self.program.num_states
 
+    def _check_batch(self, batch: int, what: str) -> None:
+        """Per-trajectory params must match the state stack's batch
+        exactly — a mismatch would either raise a raw broadcast error deep
+        inside the generated module or (when one batch is 1) silently
+        broadcast to the wrong trajectories."""
+        if self.params.ndim == 2 and self.params.shape[0] != batch:
+            raise ValueError(
+                f"per-trajectory params have batch {self.params.shape[0]} "
+                f"but {what} has batch {batch}"
+            )
+
     def __call__(self, t, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y)
+        if self.params.ndim == 2:
+            if Y.ndim < 2:
+                raise ValueError(
+                    "per-trajectory params require a stacked (batch, n) "
+                    f"state array, got shape {Y.shape}"
+                )
+            self._check_batch(Y.shape[0], "Y")
         if self.reuse_output:
             out = self._out
-            if out is None or out.shape != Y.shape:
-                out = self._out = np.empty_like(Y, dtype=float)
+            # Re-check dtype too: an integer Y (or an externally replaced
+            # buffer) must not poison the float output path.
+            if (out is None or out.shape != Y.shape
+                    or out.dtype != np.float64):
+                out = self._out = np.empty(Y.shape, dtype=float)
         else:
-            out = np.empty_like(Y, dtype=float)
+            out = np.empty(Y.shape, dtype=float)
         self._rhs_v(t, Y, self.params, out)
         self.ncalls += 1
         return out
@@ -89,11 +111,7 @@ class EnsembleRHS:
         from ..solver.batch import solve_ivp_batch
 
         Y0 = np.atleast_2d(np.asarray(Y0, dtype=float))
-        if self.params.ndim == 2 and self.params.shape[0] != Y0.shape[0]:
-            raise ValueError(
-                f"per-trajectory params have batch {self.params.shape[0]} "
-                f"but Y0 has batch {Y0.shape[0]}"
-            )
+        self._check_batch(Y0.shape[0], "Y0")
         return solve_ivp_batch(self, t_span, Y0, method=method, **options)
 
     def __repr__(self) -> str:

@@ -4,9 +4,10 @@
 should be side-effect free" (section 2.4): to a solver, the parallelised
 right-hand side is just another callable.  Two facades are provided:
 
-* :class:`ParallelRHS` — wraps a real executor (serial or threaded); the
-  numerics are produced by the generated task functions under the current
-  schedule, and measured per-task times can drive the semi-dynamic LPT,
+* :class:`ParallelRHS` — wraps a real executor (serial, threaded or
+  process-based); the numerics are produced by the generated task
+  functions under the current schedule, and measured per-task times can
+  drive the semi-dynamic LPT,
 * :class:`VirtualTimeParallelRHS` — additionally advances a *virtual
   parallel clock* via the discrete-event simulator, so a full bearing
   simulation can report the RHS-calls/second a given machine model would
@@ -24,6 +25,7 @@ from ..schedule.lpt import lpt_schedule
 from ..schedule.semidynamic import SemiDynamicScheduler
 from .machine import MachineModel
 from .simulator import simulate_round
+from .process_executor import ProcessExecutor
 from .supervisor import SerialExecutor, ThreadedExecutor
 
 __all__ = ["ParallelRHS", "VirtualTimeParallelRHS"]
@@ -44,12 +46,20 @@ class ParallelRHS:
     def __init__(
         self,
         program: GeneratedProgram,
-        executor: SerialExecutor | ThreadedExecutor | None = None,
+        executor: SerialExecutor | ThreadedExecutor | ProcessExecutor | None = None,
         params: np.ndarray | None = None,
         scheduler: SemiDynamicScheduler | None = None,
         feed_measurements: bool = False,
         copy_output: bool = True,
     ) -> None:
+        if feed_measurements and scheduler is None:
+            raise ValueError(
+                "feed_measurements=True requires a scheduler: measured "
+                "task times have nowhere to go, so the run would silently "
+                "use the static LPT schedule; pass "
+                "scheduler=SemiDynamicScheduler(...) or drop "
+                "feed_measurements"
+            )
         self.program = program
         self.executor = executor or SerialExecutor(program)
         self.params = (
@@ -68,13 +78,10 @@ class ParallelRHS:
     def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
         res = self._res
         res.fill(0.0)
-        if isinstance(self.executor, ThreadedExecutor):
-            schedule = (
-                self.scheduler.schedule if self.scheduler is not None else None
-            )
-            self.executor.evaluate(t, y, self.params, res, schedule)
-        else:
-            self.executor.evaluate(t, y, self.params, res)
+        schedule = (
+            self.scheduler.schedule if self.scheduler is not None else None
+        )
+        self.executor.evaluate(t, y, self.params, res, schedule)
         if self.scheduler is not None and self.feed_measurements:
             self.scheduler.observe(self.executor.last_task_times.tolist())
         self.ncalls += 1
@@ -107,9 +114,12 @@ class VirtualTimeParallelRHS(ParallelRHS):
     ) -> None:
         if time_source not in ("static", "measured"):
             raise ValueError("time_source must be 'static' or 'measured'")
+        # Measured times flow into the virtual clock directly (below);
+        # they additionally feed the scheduler only when one is present.
         super().__init__(
             program, SerialExecutor(program), params, scheduler,
-            feed_measurements=(time_source == "measured"),
+            feed_measurements=(time_source == "measured"
+                               and scheduler is not None),
         )
         self.machine = machine
         self.num_workers = num_workers

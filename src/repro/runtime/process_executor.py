@@ -1,0 +1,726 @@
+"""Process-based supervisor/worker execution with shared-memory state.
+
+:class:`ProcessExecutor` is the multi-core counterpart of
+:class:`~repro.runtime.supervisor.ThreadedExecutor`: a pool of persistent
+OS worker *processes* evaluates the generated per-task RHS functions each
+round, sidestepping the GIL so the paper's wall-clock speedup claim can
+be measured on real hardware rather than only in the discrete-event
+simulator.
+
+State exchange is the supervisor↔worker broadcast the paper times in
+section 4, implemented the cheap way Voliansky & Pranolo (arXiv:1908.02244)
+show it must be for object-level parallelism to pay off:
+
+* the state vector ``y``, parameter vector ``p``, results buffer ``res``,
+  per-task wall times and worker heartbeats all live in
+  :mod:`multiprocessing.shared_memory` blocks; workers attach NumPy views
+  once at startup and never again,
+* per round the supervisor broadcasts only a tiny control tuple
+  ``(epoch, round_index, t, task_ids)`` over a per-worker duplex pipe —
+  no array ever crosses a pipe, no per-round pickling of ``y``/``res``,
+* workers cannot receive live function objects (modules created via
+  ``exec`` do not pickle), so each worker re-creates the generated module
+  from its :class:`~repro.codegen.program.ProgramSpec` — source text plus
+  layout integers — in its own interpreter at startup.
+
+Fault tolerance (parity with the threaded pool)
+-----------------------------------------------
+Thread ``is_alive()`` has no meaning across processes; liveness is
+instead established by a *heartbeat protocol*: every worker runs a tiny
+daemon thread bumping a per-worker counter in the shared heartbeat block
+every ``heartbeat_interval`` seconds, and the supervisor declares a
+worker dead when its process has exited **or** its heartbeat has not
+advanced within ``heartbeat_timeout``.  Each worker has its own pipe, so
+a worker killed with ``SIGKILL`` mid-round cannot corrupt a shared queue
+or deadlock the barrier — its pipe simply reports EOF (or its heartbeat
+goes stale) and the supervisor fails its tasks over:
+retry on the original worker → reassignment to an idle healthy worker →
+inline execution on the supervisor → degradation to serial once fewer
+than ``min_workers`` remain, with every incident recorded in
+:class:`~repro.runtime.events.RuntimeEvents`.  Workers that out-wait the
+bounded round timeout are ``kill()``-ed before their tasks are re-run, so
+an abandoned worker can never scribble a stale result into the shared
+buffer of a later round.
+
+Re-execution is bit-safe for the same reason as in the threaded pool:
+tasks are pure functions of ``(t, y, p)`` writing disjoint ``res`` slots,
+so every recovered round is bit-identical to :class:`SerialExecutor`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import warnings
+from multiprocessing import connection, shared_memory
+
+import numpy as np
+
+from ..codegen.program import GeneratedProgram, ProgramSpec
+from ..schedule.lpt import Schedule, lpt_schedule
+from .events import RuntimeEvents
+from .faults import FaultInjector, FaultSpec
+from .supervisor import RetryPolicy, TaskFailure, dependency_levels
+
+__all__ = ["ProcessExecutor", "SHM_PREFIX"]
+
+#: prefix of every shared-memory segment the executor creates; lets CI
+#: (and operators) audit /dev/shm for leaks after a run
+SHM_PREFIX = "repro_px"
+
+
+class _NonFiniteOutput(RuntimeError):
+    """Internal marker: a task completed but produced NaN/Inf outputs."""
+
+
+class _WorkerFaultArbiter:
+    """Worker-side fault matching against a pickled FaultSpec plan.
+
+    Mirrors :meth:`FaultInjector._claim` with worker-local burn-out
+    counters (process pools cannot share the supervisor's lock); specs
+    pinned to another worker never match, un-pinned specs burn out
+    independently per worker.
+    """
+
+    def __init__(self, plan: tuple[FaultSpec, ...], worker_id: int) -> None:
+        self.plan = plan
+        self.worker_id = worker_id
+        self._remaining = {i: spec.count for i, spec in enumerate(plan)}
+
+    def claim(self, task_id: int, round_index: int) -> FaultSpec | None:
+        for i, spec in enumerate(self.plan):
+            if spec.task_id != task_id:
+                continue
+            if (spec.round_index is not None
+                    and spec.round_index != round_index):
+                continue
+            if spec.worker is not None and spec.worker != self.worker_id:
+                continue
+            left = self._remaining[i]
+            if left == 0:
+                continue
+            if left > 0:
+                self._remaining[i] = left - 1
+            return spec
+        return None
+
+
+def _worker_main(
+    worker_id: int,
+    spec: ProgramSpec,
+    shm_names: dict,
+    num_params: int,
+    num_workers: int,
+    conn,
+    fault_plan: tuple[FaultSpec, ...],
+    heartbeat_interval: float,
+) -> None:
+    """Worker process entry point: attach, rebuild, serve rounds forever."""
+    # Attaching re-registers each segment with the (shared, set-backed)
+    # resource tracker — a no-op; the supervisor owns and unlinks them.
+    segments = {
+        key: shared_memory.SharedMemory(name=name)
+        for key, name in shm_names.items()
+    }
+    n_res = spec.num_states + spec.num_partials
+    y = np.ndarray((spec.num_states,), dtype=np.float64,
+                   buffer=segments["y"].buf)
+    p = np.ndarray((num_params,), dtype=np.float64,
+                   buffer=segments["p"].buf)
+    res = np.ndarray((n_res,), dtype=np.float64, buffer=segments["res"].buf)
+    times = np.ndarray((spec.num_tasks,), dtype=np.float64,
+                       buffer=segments["times"].buf)
+    heartbeats = np.ndarray((num_workers,), dtype=np.int64,
+                            buffer=segments["hb"].buf)
+
+    # Orphan watchdog: under fork, a worker inherits the supervisor-side
+    # pipe ends of workers spawned before it, so supervisor death does
+    # NOT surface as EOF on ``conn.recv()`` — without this check a
+    # SIGKILL'd supervisor leaves workers blocked forever, and the
+    # still-open resource-tracker pipe keeps the shm segments alive too.
+    supervisor_pid = os.getppid()
+
+    def beat_forever() -> None:
+        while True:
+            heartbeats[worker_id] += 1
+            if os.getppid() != supervisor_pid:
+                os._exit(2)  # reparented: the supervisor is gone
+            time.sleep(heartbeat_interval)
+
+    threading.Thread(target=beat_forever, daemon=True,
+                     name=f"heartbeat-{worker_id}").start()
+
+    tasks = spec.build_tasks()
+    arbiter = _WorkerFaultArbiter(fault_plan, worker_id)
+    task_slots = spec.task_slots
+
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            return
+        if job is None:
+            return
+        epoch, round_index, t, task_ids = job
+        completed: list[int] = []
+        fired: list[tuple[int, str]] = []
+        error_name: str | None = None
+        failed_tid: int | None = None
+        for tid in task_ids:
+            fault = arbiter.claim(tid, round_index)
+            start = time.perf_counter()
+            try:
+                if fault is None:
+                    tasks[tid](t, y, p, res)
+                else:
+                    fired.append((tid, fault.mode))
+                    if fault.mode == "raise":
+                        raise RuntimeError(
+                            f"injected failure in task {tid} "
+                            f"(round {round_index})"
+                        )
+                    if fault.mode == "kill":
+                        # A real crash: die without any farewell message.
+                        if hasattr(signal, "SIGKILL"):
+                            os.kill(os.getpid(), signal.SIGKILL)
+                        os._exit(1)
+                    if fault.mode == "hang":
+                        time.sleep(fault.hang_seconds)
+                    tasks[tid](t, y, p, res)
+                    if fault.mode == "nan":
+                        for s in task_slots[tid]:
+                            res[s] = np.nan
+                    elif fault.mode == "inf":
+                        for s in task_slots[tid]:
+                            res[s] = np.inf
+                    elif fault.mode == "corrupt":
+                        slots = task_slots[tid]
+                        target = (fault.corrupt_slot
+                                  if fault.corrupt_slot is not None
+                                  else (slots[0] if slots else None))
+                        if target is not None:
+                            res[target] = fault.corrupt_value
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                error_name = type(exc).__name__
+                failed_tid = tid
+                break
+            times[tid] = time.perf_counter() - start
+            completed.append(tid)
+        try:
+            conn.send((epoch, worker_id, tuple(completed), error_name,
+                       failed_tid, tuple(fired)))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class ProcessExecutor:
+    """Persistent worker processes executing scheduled task lists.
+
+    Drop-in peer of :class:`~repro.runtime.supervisor.SerialExecutor` and
+    :class:`~repro.runtime.supervisor.ThreadedExecutor` behind
+    :class:`~repro.runtime.parallel_rhs.ParallelRHS`: the same
+    ``evaluate(t, y, p, res, schedule)`` contract, bit-identical numerics,
+    measured per-task times for the semi-dynamic LPT, and the same
+    retry → reassign → inline → degrade recovery ladder.  See the module
+    docstring for the shared-memory layout and heartbeat protocol.
+    """
+
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        num_workers: int,
+        *,
+        injector: FaultInjector | None = None,
+        events: RuntimeEvents | None = None,
+        retry_policy: RetryPolicy | None = None,
+        level_timeout: float = 30.0,
+        validate_outputs: bool = True,
+        min_workers: int = 1,
+        join_timeout: float = 5.0,
+        heartbeat_interval: float = 0.02,
+        heartbeat_timeout: float = 5.0,
+        start_method: str | None = None,
+        startup_timeout: float = 30.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if level_timeout <= 0:
+            raise ValueError("level_timeout must be positive")
+        if min_workers < 0:
+            raise ValueError("min_workers must be non-negative")
+        if heartbeat_interval <= 0 or heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval > 0"
+            )
+        self.program = program
+        self.num_workers = num_workers
+        self._levels = dependency_levels(program.task_graph)
+        self.last_task_times = np.zeros(program.num_tasks)
+
+        self.events = events if events is not None else RuntimeEvents()
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.level_timeout = level_timeout
+        self.validate_outputs = validate_outputs
+        self.min_workers = min_workers
+        self.join_timeout = join_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+
+        #: supervisor-side task functions (inline fallback / degraded mode)
+        self._tasks = (
+            injector.wrap_tasks(program) if injector is not None
+            else list(program.module.tasks)
+        )
+        self._slots = [
+            np.asarray(program.task_output_slots(tid), dtype=int)
+            for tid in range(program.num_tasks)
+        ]
+
+        spec = program.rebuild_spec()
+        self._num_params = int(program.param_vector().size)
+        n_res = program.num_states + program.num_partials
+        tag = f"{SHM_PREFIX}_{os.getpid()}_{id(self) & 0xFFFFFF:06x}"
+        float_bytes = np.dtype(np.float64).itemsize
+        sizes = {
+            "y": max(1, program.num_states) * float_bytes,
+            "p": max(1, self._num_params) * float_bytes,
+            "res": max(1, n_res) * float_bytes,
+            "times": max(1, program.num_tasks) * float_bytes,
+            "hb": num_workers * np.dtype(np.int64).itemsize,
+        }
+        self._shms: dict[str, shared_memory.SharedMemory] = {}
+        try:
+            for key, size in sizes.items():
+                self._shms[key] = shared_memory.SharedMemory(
+                    create=True, name=f"{tag}_{key}", size=size
+                )
+        except Exception:
+            self._release_shared_memory()
+            raise
+        self._y = np.ndarray((program.num_states,), dtype=np.float64,
+                             buffer=self._shms["y"].buf)
+        self._p = np.ndarray((self._num_params,), dtype=np.float64,
+                             buffer=self._shms["p"].buf)
+        self._res = np.ndarray((n_res,), dtype=np.float64,
+                               buffer=self._shms["res"].buf)
+        self._times = np.ndarray((program.num_tasks,), dtype=np.float64,
+                                 buffer=self._shms["times"].buf)
+        self._heartbeats = np.ndarray((num_workers,), dtype=np.int64,
+                                      buffer=self._shms["hb"].buf)
+        self._heartbeats[:] = 0
+
+        fault_plan = tuple(injector.plan) if injector is not None else ()
+        shm_names = {k: s.name for k, s in self._shms.items()}
+        ctx = multiprocessing.get_context(start_method)
+        self._procs: list = []
+        self._conns: list = []
+        self._closing = False
+        self._epoch = 0
+        self._round = -1
+        self._dead: set[int] = set()
+        self.degraded = False
+        #: (heartbeat value, monotonic time it last advanced) per worker
+        self._hb_seen: list[tuple[int, float]] = []
+        try:
+            for w in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(w, spec, shm_names, self._num_params, num_workers,
+                          child_conn, fault_plan, heartbeat_interval),
+                    daemon=True,
+                    name=f"rhs-proc-{w}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            self.close()
+            raise
+        now = time.monotonic()
+        self._hb_seen = [(0, now) for _ in range(num_workers)]
+        self._await_startup(startup_timeout)
+
+    def _await_startup(self, timeout: float) -> None:
+        """Block until every worker's heartbeat has started (module rebuilt,
+        shared memory attached) so the first round's liveness window is not
+        charged the pool's startup cost."""
+        deadline = time.monotonic() + timeout
+        waiting = set(range(self.num_workers))
+        while waiting and time.monotonic() < deadline:
+            for w in list(waiting):
+                if self._heartbeats[w] > 0:
+                    waiting.discard(w)
+                elif not self._procs[w].is_alive():
+                    self._mark_dead(w, "died during startup")
+                    waiting.discard(w)
+            if waiting:
+                time.sleep(0.002)
+        for w in waiting:
+            self._mark_dead(w, "startup timeout")
+
+    # -- liveness ---------------------------------------------------------------
+
+    def _worker_alive(self, w: int) -> bool:
+        if w in self._dead:
+            return False
+        if not self._procs[w].is_alive():
+            return False
+        value = int(self._heartbeats[w])
+        seen, since = self._hb_seen[w]
+        now = time.monotonic()
+        if value != seen:
+            self._hb_seen[w] = (value, now)
+            return True
+        return (now - since) <= self.heartbeat_timeout
+
+    def _healthy_workers(self) -> list[int]:
+        return [w for w in range(self.num_workers) if self._worker_alive(w)]
+
+    def _mark_dead(self, worker_id: int, reason: str) -> None:
+        if worker_id in self._dead:
+            return
+        self._dead.add(worker_id)
+        # Make death final: an abandoned-but-running worker must never
+        # write a stale result into the shared buffer of a later round.
+        proc = self._procs[worker_id] if self._procs else None
+        if proc is not None and proc.is_alive():
+            proc.kill()
+        self.events.record("worker_dead", worker=worker_id, reason=reason)
+        if (not self.degraded
+                and len(self._healthy_workers()) < max(self.min_workers, 1)):
+            self.degraded = True
+            self.events.record(
+                "degraded", healthy=len(self._healthy_workers()),
+                min_workers=self.min_workers,
+            )
+            warnings.warn(
+                "ProcessExecutor degraded to serial execution: "
+                f"{len(self._dead)} of {self.num_workers} workers dead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # -- supervisor-side helpers -----------------------------------------------
+
+    def _validate_task_outputs(self, tid: int) -> None:
+        slots = self._slots[tid]
+        if slots.size and not np.all(np.isfinite(self._res[slots])):
+            raise _NonFiniteOutput(f"task {tid} produced non-finite output")
+
+    def _run_inline(self, tid: int, t: float) -> None:
+        """Execute one task on the supervisor (last-resort and degraded
+        paths), against the shared-memory views, with timing + validation."""
+        start = time.perf_counter()
+        self._tasks[tid](t, self._y, self._p, self._res)
+        self._times[tid] = time.perf_counter() - start
+        if self.validate_outputs:
+            self._validate_task_outputs(tid)
+
+    def _run_level_serial(self, level: list[int], t: float) -> None:
+        for tid in level:
+            try:
+                self._run_inline(tid, t)
+            except _NonFiniteOutput as exc:
+                raise TaskFailure(tid, exc, "non-finite output") from exc
+            except Exception as exc:
+                raise TaskFailure(tid, exc) from exc
+
+    # -- the hardened barrier ---------------------------------------------------
+
+    def _run_level(self, level: list[int], assignment, t: float,
+                   round_index: int) -> None:
+        policy = self.retry_policy
+        self._epoch += 1
+        epoch = self._epoch
+
+        # Sweep before dispatch so a worker that died *between* rounds is
+        # recorded as dead (not just silently remapped around).
+        for w in range(self.num_workers):
+            if w not in self._dead and not self._worker_alive(w):
+                self._mark_dead(
+                    w,
+                    "heartbeat lost" if self._procs[w].is_alive()
+                    else "process exited",
+                )
+
+        healthy = set(self._healthy_workers())
+        outstanding: dict[int, list[int]] = {}
+        pending: dict[int, list[int]] = {}
+        for tid in level:
+            w = assignment[tid]
+            if w not in healthy:
+                w = min(healthy, key=lambda h: len(pending.get(h, [])),
+                        default=-1)
+            pending.setdefault(w, []).append(tid)
+
+        inline_tasks = pending.pop(-1, [])
+        attempts: dict[int, int] = {tid: 0 for tid in level}
+        reassigned: set[int] = set()
+
+        def dispatch(worker_id: int, task_ids: list[int]) -> None:
+            outstanding[worker_id] = list(task_ids)
+            try:
+                self._conns[worker_id].send(
+                    (epoch, round_index, t, tuple(task_ids))
+                )
+            except (BrokenPipeError, OSError):
+                outstanding.pop(worker_id, None)
+                self._mark_dead(worker_id, "pipe closed")
+                fail_over(task_ids, worker_id, None)
+
+        def fail_over(task_ids: list[int], from_worker: int,
+                      cause: BaseException | None) -> None:
+            """Move tasks off ``from_worker`` (reassign or run inline)."""
+            if not task_ids:
+                return
+            targets = [w for w in self._healthy_workers()
+                       if w not in outstanding]
+            fresh = [tid for tid in task_ids if tid not in reassigned]
+            burnt = [tid for tid in task_ids if tid in reassigned]
+            if fresh and targets:
+                target = targets[0]
+                for tid in fresh:
+                    reassigned.add(tid)
+                    attempts[tid] = 0
+                self.events.record(
+                    "task_reassigned", tasks=tuple(fresh),
+                    from_worker=from_worker, to_worker=target,
+                )
+                dispatch(target, fresh)
+            else:
+                burnt = burnt + (fresh if not targets else [])
+            if burnt:
+                self.events.record(
+                    "task_inline", tasks=tuple(burnt),
+                    from_worker=from_worker,
+                )
+            for tid in burnt:
+                try:
+                    self._run_inline(tid, t)
+                except _NonFiniteOutput as exc:
+                    raise TaskFailure(
+                        tid, cause or exc, "non-finite output"
+                    ) from exc
+                except Exception as exc:
+                    raise TaskFailure(tid, exc) from exc
+
+        for w, task_ids in list(pending.items()):
+            dispatch(w, task_ids)
+        fail_over(inline_tasks, -1, None)
+
+        deadline = time.monotonic() + self.level_timeout
+        while outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Round timeout: every still-outstanding worker is hung.
+                # Kill and fail over; the kill makes stale writes impossible.
+                for w in list(outstanding):
+                    self.events.record(
+                        "worker_timeout", worker=w,
+                        tasks=tuple(outstanding[w]),
+                        timeout=self.level_timeout,
+                    )
+                    task_ids = outstanding.pop(w)
+                    self._mark_dead(w, "round timeout")
+                    fail_over(task_ids, w, None)
+                deadline = time.monotonic() + self.level_timeout
+                continue
+
+            ready = connection.wait(
+                [self._conns[w] for w in outstanding],
+                timeout=min(remaining, 0.05),
+            )
+            if not ready:
+                # Heartbeat/liveness sweep: a SIGKILL'd worker never
+                # replies; its process exit (or stale heartbeat) is the
+                # only signal the supervisor gets.
+                for w in list(outstanding):
+                    if not self._worker_alive(w):
+                        task_ids = outstanding.pop(w)
+                        self._mark_dead(w, "heartbeat lost")
+                        fail_over(task_ids, w, None)
+                continue
+
+            conn_to_worker = {id(self._conns[w]): w for w in outstanding}
+            for conn in ready:
+                w = conn_to_worker.get(id(conn))
+                if w is None or w not in outstanding:
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    task_ids = outstanding.pop(w)
+                    self._mark_dead(w, "process exited")
+                    fail_over(task_ids, w, None)
+                    continue
+                msg_epoch, mw, completed, error_name, failed_tid, fired = msg
+                if msg_epoch != epoch or mw != w:
+                    continue  # stale reply from an abandoned level
+                task_ids = outstanding.pop(w)
+                for ftid, mode in fired:
+                    self.events.record(
+                        "fault_injected", task=ftid, mode=mode,
+                        round=round_index, worker=w,
+                    )
+
+                bad_output: int | None = None
+                if self.validate_outputs:
+                    for tid in completed:
+                        try:
+                            self._validate_task_outputs(tid)
+                        except _NonFiniteOutput:
+                            bad_output = tid
+                            error_name = "_NonFiniteOutput"
+                            failed_tid = tid
+                            self.events.record(
+                                "task_nonfinite", task=tid, worker=w,
+                            )
+                            break
+
+                if error_name is None and bad_output is None:
+                    continue  # worker finished its list cleanly
+
+                assert failed_tid is not None
+                if bad_output is None:
+                    self.events.record(
+                        "task_error", task=failed_tid, worker=w,
+                        error=error_name,
+                    )
+                done_ok = (tuple(completed) if bad_output is None
+                           else tuple(completed[: completed.index(bad_output)]))
+                still_todo = [tid for tid in task_ids if tid not in done_ok]
+                attempts[failed_tid] += 1
+
+                if (attempts[failed_tid] < policy.max_attempts
+                        and self._worker_alive(w)):
+                    delay = policy.delay(attempts[failed_tid])
+                    if delay > 0:
+                        time.sleep(delay)
+                    self.events.record(
+                        "task_retry", task=failed_tid, worker=w,
+                        attempt=attempts[failed_tid] + 1,
+                    )
+                    dispatch(w, still_todo)
+                else:
+                    fail_over(still_todo, w, None)
+
+    # -- public API -------------------------------------------------------------
+
+    def evaluate(
+        self,
+        t: float,
+        y: np.ndarray,
+        p: np.ndarray,
+        res: np.ndarray,
+        schedule: Schedule | None = None,
+    ) -> None:
+        """Run one RHS round under ``schedule`` (defaults to LPT)."""
+        if self._closing:
+            raise RuntimeError("executor is closed")
+        if schedule is None:
+            schedule = lpt_schedule(self.program.task_graph, self.num_workers)
+        if schedule.num_workers != self.num_workers:
+            raise ValueError(
+                f"schedule is for {schedule.num_workers} workers, pool has "
+                f"{self.num_workers}"
+            )
+        p = np.asarray(p, dtype=float)
+        if p.size != self._num_params:
+            raise ValueError(
+                f"parameter vector has {p.size} entries, program expects "
+                f"{self._num_params}"
+            )
+        # Broadcast: one memcpy each into the shared blocks; workers see
+        # the new state without any message carrying an array.
+        self._y[:] = y
+        self._p[:] = p
+        self._res[:] = res
+        self._times[:] = 0.0
+        self._round += 1
+        round_index = (
+            self.injector.begin_round() if self.injector is not None
+            else self._round
+        )
+        try:
+            if self.degraded or not self._healthy_workers():
+                if not self.degraded:
+                    self.degraded = True
+                    self.events.record("degraded", healthy=0,
+                                       min_workers=self.min_workers)
+                for level in self._levels:
+                    self._run_level_serial(level, t)
+            else:
+                for level in self._levels:
+                    if self.degraded:
+                        self._run_level_serial(level, t)
+                    else:
+                        self._run_level(level, schedule.assignment, t,
+                                        round_index)
+        finally:
+            # Gather: results and measured times come back by memcpy too.
+            res[:] = self._res
+            self.last_task_times[:] = self._times
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent and safe under a half-dead pool.
+
+        Live workers get a farewell ``None`` and ``join_timeout`` to exit;
+        stragglers are killed (processes, unlike threads, can be).  All
+        shared-memory segments are closed and unlinked, so a clean close
+        leaks nothing into ``/dev/shm``."""
+        if self._closing:
+            return
+        self._closing = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for w, proc in enumerate(self._procs):
+            proc.join(timeout=self.join_timeout)
+            if proc.is_alive():
+                self.events.record("close_timeout", worker=w,
+                                   timeout=self.join_timeout)
+                proc.kill()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._release_shared_memory()
+
+    def _release_shared_memory(self) -> None:
+        # NumPy views pin the mapped buffer; drop them or close() raises
+        # BufferError ("cannot close exported pointers exist").
+        self._y = self._p = self._res = None
+        self._times = self._heartbeats = None
+        for shm in self._shms.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view leaked elsewhere
+                pass
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._shms = {}
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort leak guard
+        try:
+            if not self._closing:
+                self.close()
+        except Exception:
+            pass

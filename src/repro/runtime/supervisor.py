@@ -6,11 +6,14 @@ writing into disjoint slots of a shared results buffer (so no locking is
 needed), with a barrier between dependency levels (partial-sum tasks
 before their combining tasks).
 
-On this 1-CPU host (and under the CPython GIL) this yields concurrency,
-not wall-clock speedup — the quantitative speedup claims are reproduced by
-:mod:`repro.runtime.simulator`; this executor exists to run the *actual
-protocol* end-to-end: real schedules, real per-task timings for the
-semi-dynamic LPT, and bit-identical numerics versus the serial RHS.
+Under the CPython GIL the *threaded* pool yields concurrency, not
+wall-clock speedup; it exists to run the actual protocol end-to-end —
+real schedules, real per-task timings for the semi-dynamic LPT, and
+bit-identical numerics versus the serial RHS.  Real multi-core speedup
+is the job of :class:`~repro.runtime.process_executor.ProcessExecutor`,
+which runs the same protocol over OS processes with shared-memory state
+exchange; the discrete-event :mod:`repro.runtime.simulator` remains the
+way to study machines larger than the host.
 
 Fault tolerance
 ---------------
@@ -156,8 +159,12 @@ class SerialExecutor:
         )
 
     def evaluate(
-        self, t: float, y: np.ndarray, p: np.ndarray, res: np.ndarray
+        self, t: float, y: np.ndarray, p: np.ndarray, res: np.ndarray,
+        schedule=None,
     ) -> None:
+        """Evaluate every task in dependency order (``schedule`` is
+        accepted for executor-interface parity and ignored: one processor
+        has nothing to balance)."""
         tasks = self._tasks
         times = self.last_task_times
         # Clear stale measurements so an aborted evaluation can never leave
@@ -398,6 +405,11 @@ class ThreadedExecutor:
                 dispatch(target, fresh)
             else:
                 burnt = burnt + (fresh if not targets else [])
+            if burnt:
+                self.events.record(
+                    "task_inline", tasks=tuple(burnt),
+                    from_worker=from_worker,
+                )
             for tid in burnt:
                 try:
                     self._run_inline(tid, t, y, p, res)

@@ -44,8 +44,12 @@ class SemiDynamicScheduler:
         self.num_workers = num_workers
         self.reschedule_every = reschedule_every
         self.smoothing = smoothing
-        #: current execution-time estimates (seeded from the static weights)
-        self.estimates = np.array([t.weight for t in graph.tasks])
+        #: current execution-time estimates (seeded from the static weights;
+        #: forced to float so integer task weights cannot fix an integer
+        #: dtype that the in-place smoothing update in observe() cannot
+        #: cast back into)
+        self.estimates = np.array([t.weight for t in graph.tasks],
+                                  dtype=float)
         self.steps_since_reschedule = 0
         self.num_reschedules = 0
         #: cumulative wall-clock time spent inside the scheduler itself

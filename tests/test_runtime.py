@@ -324,6 +324,37 @@ class TestParallelRhsFacades:
                 time_source="guess",
             )
 
+    def test_feed_measurements_without_scheduler_rejected(
+        self, compiled_small_bearing
+    ):
+        # feed_measurements=True with scheduler=None used to silently
+        # drop every measurement and run the static LPT forever; the
+        # misconfiguration must fail loudly at construction instead.
+        program = compiled_small_bearing.program
+        with pytest.raises(ValueError, match="requires a scheduler"):
+            ParallelRHS(program, feed_measurements=True)
+        # The valid configuration still works and feeds the scheduler.
+        scheduler = SemiDynamicScheduler(program.task_graph, 1,
+                                         reschedule_every=1)
+        f = ParallelRHS(program, scheduler=scheduler,
+                        feed_measurements=True)
+        f(0.0, program.start_vector())
+        assert scheduler.num_reschedules == 1
+        f.close()
+
+    def test_measured_virtual_time_without_scheduler_still_works(
+        self, compiled_small_bearing
+    ):
+        # VirtualTimeParallelRHS consumes measured times directly (for
+        # the virtual clock); it must not trip the new scheduler guard.
+        f = VirtualTimeParallelRHS(
+            compiled_small_bearing.program, SPARCCENTER_2000,
+            num_workers=2, time_source="measured",
+        )
+        assert f.feed_measurements is False
+        f(0.0, compiled_small_bearing.program.start_vector())
+        assert f.virtual_time > 0
+
 
 class TestExecutorFailureInjection:
     def test_worker_exception_propagates_not_deadlocks(

@@ -169,6 +169,18 @@ class TestSemiDynamic:
         assert sched.overhead_seconds > 0
         assert sched.overhead_fraction(1e9) < 1e-6
 
+    def test_integer_weights_regression(self):
+        # Integer task weights used to seed an integer estimates array;
+        # the in-place `estimates *= 1.0 - s` smoothing update then died
+        # with a UFuncTypeError (cannot cast float64 to int64).
+        g = _tasks([3, 1, 2, 5])
+        sched = SemiDynamicScheduler(g, 2, reschedule_every=1,
+                                     smoothing=0.5)
+        schedule = sched.observe([1.0, 1.0, 1.0, 1.0])
+        assert sched.estimates.dtype == float
+        assert sched.estimates[0] == pytest.approx(2.0)
+        assert schedule.num_workers == 2
+
     def test_validation(self):
         g = _tasks([1.0])
         with pytest.raises(ValueError):

@@ -183,3 +183,35 @@ def test_ensemble_rhs_validation(servo_numpy, compiled_servo):
     ens = EnsembleRHS(program, params=P)
     with pytest.raises(ValueError, match="batch"):
         ens.solve((0.0, 0.01), _ic_batch(program, 2))
+
+
+def test_ensemble_rhs_call_batch_mismatch_regression(servo_numpy):
+    # __call__ used to skip the batch check that solve() performs: a
+    # mismatched (batch_p, m) / (batch_y, n) pair surfaced as a raw
+    # broadcast error (or a silently wrong broadcast when one batch is 1)
+    # deep inside the generated module.
+    program = servo_numpy.program
+    P = np.tile(program.param_vector(), (3, 1))
+    ens = EnsembleRHS(program, params=P)
+    with pytest.raises(ValueError, match="batch 3 but Y has batch 2"):
+        ens(0.0, _ic_batch(program, 2))
+    # A batch-1 params stack must not silently broadcast over 4 lanes.
+    ens1 = EnsembleRHS(program, params=P[:1])
+    with pytest.raises(ValueError, match="batch 1 but Y has batch 4"):
+        ens1(0.0, _ic_batch(program, 4))
+    # Per-trajectory params reject an unstacked single state vector.
+    with pytest.raises(ValueError, match="stacked"):
+        ens(0.0, program.start_vector())
+
+
+def test_ensemble_rhs_integer_state_keeps_float_buffer(servo_numpy):
+    # An integer Y stack must not poison the reused float output buffer.
+    program = servo_numpy.program
+    ens = EnsembleRHS(program)
+    Y_int = np.ones((2, program.num_states), dtype=int)
+    out = ens(0.0, Y_int)
+    assert out.dtype == np.float64
+    np.testing.assert_array_equal(
+        out, ens(0.0, np.ones((2, program.num_states), dtype=float))
+    )
+    assert ens(0.0, Y_int.astype(float)).dtype == np.float64
