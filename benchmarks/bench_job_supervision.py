@@ -1,0 +1,174 @@
+"""Job-supervision overhead benchmark: supervised vs raw solves.
+
+The supervision layer (deadline guard on every RHS round, per-attempt
+checkpointing, retry bookkeeping, circuit-breaker accounting) must be
+cheap enough to wrap *every* job a simulation service runs.  This
+benchmark times the servo model end to end four ways:
+
+* ``raw``          — ``solve_ivp`` on the bare generated RHS,
+* ``supervised``   — the same solve through ``JobManager.submit`` with no
+                     deadline and no checkpointing (pure bookkeeping),
+* ``+deadline``    — adds a (never-firing) wall-clock deadline, costing
+                     one ``time.monotonic`` read per RHS round,
+* ``+checkpoint``  — adds crash-consistent checkpointing every 25 steps
+                     (fsync'd temp-write + rotation + directory fsync),
+
+and reports per-solve wall times plus the overhead ratios against
+``raw``.  A retry micro-section measures the fixed cost of one
+supervised crash-and-resume cycle (fault at a scripted round, resume from
+the newest checkpoint).
+
+Usage::
+
+    python benchmarks/bench_job_supervision.py --quick   # CI smoke
+    python benchmarks/bench_job_supervision.py           # full numbers
+
+Writes ``benchmarks/results/BENCH_job_supervision.json`` and
+``job_supervision.txt``.  The full run asserts the pure-bookkeeping
+overhead stays under ``OVERHEAD_GATE`` (2.0x on an uncontended host; the
+solve itself is milliseconds, so the gate is deliberately loose).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _report import emit, table  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OVERHEAD_GATE = 2.0
+T_SPAN = (0.0, 4.0)
+
+
+def _compiled():
+    from repro.apps import build_servo
+    from repro.frontend import compile_model
+
+    return compile_model(build_servo())
+
+
+def _time(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats; skip the overhead gate")
+    args = parser.parse_args()
+    repeats = 3 if args.quick else 10
+
+    from repro.runtime import (
+        FaultInjector,
+        FaultSpec,
+        JobManager,
+        JobRetryPolicy,
+        JobSpec,
+        RuntimeEvents,
+    )
+    from repro.solver import solve_ivp
+
+    compiled = _compiled()
+    program = compiled.program
+    rhs = program.make_rhs(program.param_vector())
+    y0 = program.start_vector()
+
+    def raw():
+        return solve_ivp(rhs, T_SPAN, y0, method="rk45",
+                         rtol=1e-6, atol=1e-9)
+
+    reference = raw()
+    assert reference.success
+
+    def spec(**overrides):
+        base = dict(
+            program=program, model_hash=compiled.model_hash,
+            t_span=T_SPAN, method="rk45", rtol=1e-6, atol=1e-9,
+            retry=JobRetryPolicy(max_retries=2, backoff=0.0, jitter=0.0),
+        )
+        base.update(overrides)
+        return JobSpec(**base)
+
+    timings: dict[str, float] = {"raw": _time(raw, repeats)}
+    with tempfile.TemporaryDirectory(prefix="bench-jobs-") as workdir:
+        with JobManager(events=RuntimeEvents(),
+                        workdir=workdir) as manager:
+            variants = {
+                "supervised": spec(checkpoint_every=10**9),
+                "+deadline": spec(deadline=3600.0,
+                                  checkpoint_every=10**9),
+                "+checkpoint": spec(deadline=3600.0, checkpoint_every=25),
+            }
+            for name, jobspec in variants.items():
+                result = manager.run(jobspec)
+                np.testing.assert_array_equal(result.ys, reference.ys)
+                timings[name] = _time(lambda s=jobspec: manager.run(s),
+                                      repeats)
+
+            # fixed cost of one crash + checkpoint-resume cycle
+            def crash_resume():
+                injector = FaultInjector(
+                    [FaultSpec(task_id=0, mode="raise", round_index=300)]
+                )
+                job = manager.submit(spec(
+                    fault_injector=injector, checkpoint_every=25,
+                ))
+                assert job.completed and len(job.attempts) == 2
+                return job
+
+            crash_resume()  # warm caches before timing
+            retry_time = _time(crash_resume, max(2, repeats // 2))
+
+    ratios = {k: v / timings["raw"] for k, v in timings.items()}
+    rows = [
+        [name, f"{timings[name] * 1e3:.2f}", f"{ratios[name]:.2f}x"]
+        for name in timings
+    ]
+    rows.append(["crash+resume", f"{retry_time * 1e3:.2f}",
+                 f"{retry_time / timings['raw']:.2f}x"])
+    lines = table(["variant", "best ms/solve", "vs raw"], rows)
+    lines.append("")
+    lines.append(
+        f"supervision bookkeeping overhead: "
+        f"{(ratios['supervised'] - 1) * 100:.1f}% "
+        f"(gate {'skipped (--quick)' if args.quick else f'< {OVERHEAD_GATE}x'})"
+    )
+    emit("job_supervision", "Job supervision overhead (servo, rk45)",
+         lines)
+
+    payload = {
+        "t_span": list(T_SPAN),
+        "repeats": repeats,
+        "timings_s": timings,
+        "ratios_vs_raw": ratios,
+        "crash_resume_s": retry_time,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_job_supervision.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if not args.quick and ratios["supervised"] > OVERHEAD_GATE:
+        print(f"FAIL: supervision overhead {ratios['supervised']:.2f}x "
+              f"exceeds {OVERHEAD_GATE}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

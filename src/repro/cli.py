@@ -158,6 +158,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         y0 = np.asarray(y0_list)
         params = np.asarray(p_list)
     events = RuntimeEvents()
+    if args.deadline is not None or args.max_job_retries > 0:
+        # Supervised-job path: wall-clock deadline, bounded retries with
+        # backoff, resume-from-checkpoint on retry, circuit-breaker tier
+        # routing (see repro.runtime.jobs).
+        return _simulate_supervised(args, compiled, events, y0, params)
     rhs_facade = None
     if args.executor != "serial":
         # Route the RHS through the supervisor/worker runtime: generated
@@ -235,14 +240,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if checkpointer is not None and checkpointer.nsaved:
         print(f"# wrote {checkpointer.nsaved} checkpoint(s) to "
               f"{args.checkpoint}")
+    runtime_line = None
+    if rhs_facade is not None:
+        runtime_line = (f"# executor: {args.executor} x{args.workers}, "
+                        f"{rhs_facade.ncalls} parallel RHS rounds")
+        if events.kinds():
+            runtime_line += f" ({events.summary()})"
+    return _report_result(args, compiled, result, runtime_line)
+
+
+def _report_result(args, compiled, result, runtime_line=None) -> int:
+    """Shared result reporting for the direct and supervised solve paths."""
     if compiled.report is not None:
         print(f"# {compiled.report.compile_breakdown()}")
-    if rhs_facade is not None:
-        line = (f"# executor: {args.executor} x{args.workers}, "
-                f"{rhs_facade.ncalls} parallel RHS rounds")
-        if events.kinds():
-            line += f" ({events.summary()})"
-        print(line)
+    if runtime_line is not None:
+        print(runtime_line)
     print(
         f"# {compiled.name}: {result.stats.naccepted} steps, "
         f"{result.stats.nfev} RHS evaluations, method {result.method}"
@@ -268,6 +280,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for name, value in zip(names, result.y_final):
             print(f"{name.ljust(width)}  {value: .12g}")
     return 0
+
+
+def _simulate_supervised(args, compiled, events, y0, params) -> int:
+    """`simulate --deadline/--max-job-retries`: run through JobManager."""
+    from .runtime.jobs import JobManager, JobRetryPolicy, JobSpec
+    from .solver.recovery import RecoveryPolicy
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    retry = JobRetryPolicy(
+        max_retries=max(0, args.max_job_retries), backoff=args.backoff,
+    )
+    recovery = (RecoveryPolicy(max_retries=args.max_retries)
+                if args.max_retries > 0 else None)
+    spec = JobSpec(
+        name=compiled.name,
+        program=compiled.program,
+        model_hash=compiled.model_hash,
+        backend=args.backend,
+        t_span=(args.t_start, args.t_end),
+        method=args.method,
+        rtol=args.rtol,
+        atol=args.atol,
+        y0=np.asarray(y0, dtype=float),
+        params=np.asarray(params, dtype=float),
+        executor=args.executor,
+        workers=args.workers,
+        deadline=args.deadline,
+        retry=retry,
+        recovery=recovery,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    with JobManager(events=events) as manager:
+        job = manager.submit(spec)
+    if job.failure is not None:
+        f = job.failure
+        print(f"job failed [{f.kind}] after {f.attempts} attempt(s): "
+              f"{f.reason}", file=sys.stderr)
+        if args.checkpoint:
+            print(f"# resume with --resume {args.checkpoint}",
+                  file=sys.stderr)
+        return 1
+    result = job.result
+    runtime_line = (
+        f"# job: {len(job.attempts)} attempt(s), executor "
+        f"{job.executor_used}"
+        + (f" (requested {args.executor})"
+           if job.executor_used != args.executor else "")
+    )
+    if events.kinds():
+        runtime_line += f" ({events.summary()})"
+    return _report_result(args, compiled, result, runtime_line)
 
 
 _APPS = {
@@ -401,6 +468,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="recover from RHS failures/non-finite values by "
                         "shrinking the step and retrying up to N times "
                         "(0 disables recovery)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the whole run in seconds; "
+                        "routes the solve through the supervised job "
+                        "layer, which terminates it with a structured "
+                        "failure when the budget elapses")
+    p.add_argument("--max-job-retries", type=int, default=0, metavar="N",
+                   help="retry the whole solve up to N times on failure "
+                        "(exponential backoff, resume from the newest "
+                        "valid checkpoint; 0 = direct unsupervised solve "
+                        "unless --deadline is given)")
+    p.add_argument("--backoff", type=float, default=0.05, metavar="S",
+                   help="base backoff between job retries in seconds, "
+                        "doubled per retry with deterministic jitter "
+                        "(default 0.05)")
     p.add_argument("--json", action="store_true",
                    help="print the final state as JSON")
     p.add_argument("--csv", help="write the full trajectory as CSV")

@@ -12,14 +12,28 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from .circuit import CircuitBreaker, CircuitOpen
 from .ensemble import EnsembleRHS
 from .events import RuntimeEvent, RuntimeEvents
 from .faults import (
     FAULT_MODES,
+    STORAGE_FAULT_KINDS,
     FaultInjector,
     FaultSpec,
     InjectedFault,
+    StorageFaultInjector,
+    StorageFaultSpec,
     WorkerKill,
+)
+from .jobs import (
+    EXECUTOR_TIERS,
+    DeadlineGuard,
+    Job,
+    JobDeadlineExceeded,
+    JobFailure,
+    JobManager,
+    JobRetryPolicy,
+    JobSpec,
 )
 from .machine import (
     IDEAL_MACHINE,
@@ -60,14 +74,27 @@ __all__ = [
     "Checkpointer",
     "load_checkpoint",
     "save_checkpoint",
+    "CircuitBreaker",
+    "CircuitOpen",
     "EnsembleRHS",
     "RuntimeEvent",
     "RuntimeEvents",
     "FAULT_MODES",
+    "STORAGE_FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "StorageFaultInjector",
+    "StorageFaultSpec",
     "WorkerKill",
+    "EXECUTOR_TIERS",
+    "DeadlineGuard",
+    "Job",
+    "JobDeadlineExceeded",
+    "JobFailure",
+    "JobManager",
+    "JobRetryPolicy",
+    "JobSpec",
     "RetryPolicy",
     "TaskFailure",
     "IDEAL_MACHINE",

@@ -14,10 +14,17 @@ the last accepted step:
 * solver work counters (``Stats``) and free-form metadata.
 
 Checkpoints are JSON (small state vectors; human-inspectable) and are
-written atomically — serialize to ``<path>.tmp`` then ``os.replace`` — so
-a crash mid-write can never destroy the previous good checkpoint.  The
-``version`` field is checked on load: readers reject formats they do not
-understand instead of misinterpreting them.
+written **crash-consistently**: serialize to ``<path>.tmp``, ``fsync`` the
+file so the bytes are durable, ``os.replace`` into place, then ``fsync``
+the containing directory so the rename itself survives a power loss.  A
+CRC-32 of the canonical payload is embedded and re-verified on load, so a
+torn or bit-flipped file is detected instead of deserialised into garbage.
+Saves **rotate**: the previous checkpoint is kept as ``<path>.1`` (up to
+``keep`` generations), and :func:`load_checkpoint` falls back to the most
+recent generation that validates — a corrupted latest checkpoint costs one
+checkpoint interval of progress, never the whole run.  The ``version``
+field is checked on load: readers reject formats they do not understand
+instead of misinterpreting them.
 
 :class:`Checkpointer` is the driver-facing hook: the adaptive solver
 loops call :meth:`Checkpointer.step` after every accepted step and the
@@ -29,21 +36,27 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from .events import RuntimeEvents
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import StorageFaultInjector
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointError",
     "Checkpointer",
+    "fsync_directory",
     "load_checkpoint",
     "restore_stepper",
+    "rotated_paths",
     "save_checkpoint",
     "snapshot_stepper",
 ]
@@ -97,27 +110,104 @@ def _jsonify(obj: Any) -> Any:
     return obj
 
 
-def save_checkpoint(ckpt: Checkpoint, path: str | Path) -> Path:
-    """Atomically write ``ckpt`` to ``path`` (tmp-file + rename)."""
+def _payload_crc(payload: dict[str, Any]) -> int:
+    """CRC-32 of the canonical (sorted-key, compact) payload JSON, with
+    any embedded ``crc`` field excluded."""
+    body = {k: v for k, v in payload.items() if k != "crc"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(text.encode())
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush directory metadata so a completed rename survives a crash.
+
+    Best-effort: directory fds are not fsync-able on every platform, and
+    durability degradation there must not break the write itself.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def rotated_paths(path: Path, keep: int) -> list[Path]:
+    """The retained generations for ``path``: itself, then ``.1``…``.keep-1``
+    (newest first)."""
+    return [path] + [
+        path.with_name(f"{path.name}.{i}") for i in range(1, keep)
+    ]
+
+
+def save_checkpoint(
+    ckpt: Checkpoint,
+    path: str | Path,
+    keep: int = 3,
+    faults: "StorageFaultInjector | None" = None,
+) -> Path:
+    """Crash-consistently write ``ckpt`` to ``path``.
+
+    Serialize to ``<path>.tmp``, fsync, rotate the previous generations
+    (``path`` → ``path.1`` → … up to ``keep`` files total), rename the
+    temp file into place and fsync the directory.  A crash at any point
+    leaves at least one complete, CRC-valid earlier generation on disk.
+    ``keep=1`` disables rotation (the previous file is simply replaced).
+
+    ``faults`` is the storage-fault hook used by the chaos harness: it may
+    delay the write (``slow_io``) or hand back a truncated/bit-flipped
+    payload (``torn_write``/``bit_flip``), simulating the crash windows
+    this path defends against.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
     path = Path(path)
-    payload = {"format": _MAGIC, **_jsonify(asdict(ckpt))}
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload))
+    try:
+        payload = {"format": _MAGIC, **_jsonify(asdict(ckpt))}
+        payload["crc"] = _payload_crc(payload)
+        data = json.dumps(payload).encode()
+        if faults is not None:
+            faults.before_io("checkpoint_save", path)
+            data = faults.filter_payload("checkpoint_save", path, data)
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except BaseException:
+        # Serialization (or an injected fault) died mid-write: remove the
+        # partial temp file instead of leaving it to be mistaken for a
+        # pending checkpoint by a later crash-recovery scan.
+        tmp.unlink(missing_ok=True)
+        raise
+    generations = rotated_paths(path, keep)
+    for older, newer in zip(reversed(generations), reversed(generations[:-1])):
+        if newer.exists():
+            os.replace(newer, older)
     os.replace(tmp, path)
+    fsync_directory(path.parent if path.parent != Path("") else Path("."))
     return path
 
 
-def load_checkpoint(path: str | Path) -> Checkpoint:
-    """Read and validate a checkpoint written by :func:`save_checkpoint`."""
-    path = Path(path)
+def _load_one(path: Path) -> Checkpoint:
     try:
         payload = json.loads(path.read_text())
     except FileNotFoundError:
         raise CheckpointError(f"no checkpoint at {path}") from None
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("format") != _MAGIC:
         raise CheckpointError(f"{path} is not a repro checkpoint")
+    crc = payload.pop("crc", None)
+    if crc is not None and crc != _payload_crc(payload):
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: CRC mismatch "
+            f"(stored {crc}, computed {_payload_crc(payload)})"
+        )
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
@@ -129,7 +219,45 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
     if missing:
         raise CheckpointError(f"checkpoint {path} missing fields {missing}")
     payload.pop("format")
-    return Checkpoint(**payload)
+    try:
+        return Checkpoint(**payload)
+    except TypeError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+
+
+def load_checkpoint(
+    path: str | Path,
+    fallback: bool = True,
+    keep: int = 3,
+    events: RuntimeEvents | None = None,
+) -> Checkpoint:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`.
+
+    With ``fallback=True`` (the default) a corrupt or unreadable latest
+    generation falls back to ``<path>.1`` … ``<path>.{keep-1}``, returning
+    the newest one that validates and recording a ``checkpoint_fallback``
+    event; only when every generation fails does the original error
+    propagate.
+    """
+    path = Path(path)
+    candidates = rotated_paths(path, keep) if fallback else [path]
+    first_error: CheckpointError | None = None
+    for i, candidate in enumerate(candidates):
+        try:
+            ckpt = _load_one(candidate)
+        except CheckpointError as exc:
+            if first_error is None:
+                first_error = exc
+            continue
+        if i > 0 and events is not None:
+            events.record(
+                "checkpoint_fallback", path=str(path),
+                used=str(candidate), generation=i,
+                reason=str(first_error),
+            )
+        return ckpt
+    assert first_error is not None
+    raise first_error
 
 
 # -- stepper snapshot/restore (duck-typed over the solver families) ------------
@@ -201,11 +329,17 @@ class Checkpointer:
         rng_seed: int | None = None,
         task_times_source: Callable[[], list[float] | None] | None = None,
         meta: dict[str, Any] | None = None,
+        keep: int = 3,
+        faults: "StorageFaultInjector | None" = None,
     ) -> None:
         if every < 1:
             raise ValueError("checkpoint interval must be >= 1")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.path = Path(path)
         self.every = every
+        self.keep = keep
+        self.faults = faults
         self.events = events
         self.rng_seed = rng_seed
         self.task_times_source = task_times_source
@@ -244,7 +378,7 @@ class Checkpointer:
 
     def _save(self, ckpt: Checkpoint) -> None:
         ckpt = self._finalize(ckpt)
-        save_checkpoint(ckpt, self.path)
+        save_checkpoint(ckpt, self.path, keep=self.keep, faults=self.faults)
         self.last_checkpoint = ckpt
         self.nsaved += 1
         self.steps_since_save = 0

@@ -1,0 +1,179 @@
+"""Per-executor-tier circuit breakers for the job supervision layer.
+
+The intra-run executor ladder (retry → reassign → inline → degrade) keeps
+*one* simulation alive; a multi-tenant service has the complementary
+problem of *many* jobs hitting the same broken tier.  When the process
+pool is repeatedly failing or degrading (a cgroup OOM-killing workers, a
+full ``/dev/shm``), routing every new job into it costs each job its full
+retry budget before it lands somewhere healthy.  A circuit breaker makes
+that shared knowledge explicit:
+
+* **closed** — the tier is healthy; jobs flow through.  Consecutive
+  failures are counted; ``failure_threshold`` of them **open** the circuit.
+* **open** — jobs are routed to the next tier down without touching this
+  one.  After ``cooldown`` seconds the breaker moves to **half-open**.
+* **half-open** — a bounded number of probe jobs (``half_open_probes``)
+  are let through.  A probe success closes the circuit; a probe failure
+  re-opens it and restarts the cooldown.
+
+Every transition is recorded in the :class:`~repro.runtime.events.RuntimeEvents`
+log (``circuit_open`` / ``circuit_half_open`` / ``circuit_closed``).  Time
+comes from an injectable ``clock`` so tests can drive the cooldown without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .events import RuntimeEvents
+
+__all__ = ["CircuitBreaker", "CircuitOpen", "CIRCUIT_STATES"]
+
+CIRCUIT_STATES = ("closed", "open", "half_open")
+
+
+class CircuitOpen(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.check` when the circuit rejects."""
+
+    def __init__(self, name: str, retry_in: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open (retry in {retry_in:.3g}s)"
+        )
+        self.name = name
+        self.retry_in = retry_in
+
+
+class CircuitBreaker:
+    """One breaker guarding one executor tier (thread-safe).
+
+    The job manager calls :meth:`allow` before routing a job to the tier
+    and :meth:`record_success`/:meth:`record_failure` with the outcome.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        events: RuntimeEvents | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self.events = events
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opened_count = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.events is not None:
+            self.events.record(kind, circuit=self.name, **data)
+
+    def _maybe_half_open(self) -> None:
+        """open → half_open once the cooldown has elapsed (lock held)."""
+        if (self._state == "open"
+                and self.clock() - self._opened_at >= self.cooldown):
+            self._state = "half_open"
+            self._probes_in_flight = 0
+            self._emit("circuit_half_open", after=self.cooldown)
+
+    def _trip(self, reason: str) -> None:
+        """→ open (lock held)."""
+        self._state = "open"
+        self._opened_at = self.clock()
+        self._probes_in_flight = 0
+        self.opened_count += 1
+        self._emit("circuit_open", reason=reason,
+                   failures=self._consecutive_failures)
+
+    # -- the breaker protocol ---------------------------------------------
+
+    def allow(self) -> bool:
+        """May a job be routed to this tier right now?
+
+        In half-open state this *claims* a probe slot: the caller must
+        follow up with ``record_success``/``record_failure``.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                return False
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def check(self) -> None:
+        """Like :meth:`allow` but raises :class:`CircuitOpen` on reject."""
+        if not self.allow():
+            with self._lock:
+                retry_in = max(
+                    0.0, self.cooldown - (self.clock() - self._opened_at)
+                )
+            raise CircuitOpen(self.name, retry_in)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._state = "closed"
+                self._probes_in_flight = 0
+                self._emit("circuit_closed", via="probe_success")
+            elif self._state == "open":
+                # A success reported for a job admitted before the trip:
+                # evidence the tier works, close directly.
+                self._state = "closed"
+                self._emit("circuit_closed", via="late_success")
+
+    def record_failure(self, reason: str = "failure") -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            if self._state == "half_open":
+                self._trip(f"probe_failed: {reason}")
+            elif (self._state == "closed"
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip(reason)
+
+    def reset(self) -> None:
+        """Force-close (administrative override)."""
+        with self._lock:
+            previous = self._state
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+            if previous != "closed":
+                self._emit("circuit_closed", via="reset")
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.name!r} {self.state}, "
+            f"{self._consecutive_failures} consecutive failure(s), "
+            f"opened {self.opened_count}x>"
+        )

@@ -32,6 +32,7 @@ from the bounded ``hang`` sleep), so fault schedules are reproducible.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -46,14 +47,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "FAULT_MODES",
+    "STORAGE_FAULT_KINDS",
+    "STORAGE_OPS",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "StorageFaultInjector",
+    "StorageFaultSpec",
     "WorkerKill",
     "current_worker_id",
 ]
 
 FAULT_MODES = ("raise", "hang", "nan", "inf", "corrupt", "kill")
+
+#: storage-layer fault kinds fired by :class:`StorageFaultInjector`
+STORAGE_FAULT_KINDS = ("torn_write", "bit_flip", "stale_lock", "slow_io")
+
+#: IO operations the storage layers expose as fault hook points
+STORAGE_OPS = (
+    "cache_store", "cache_load", "checkpoint_save", "checkpoint_load",
+)
 
 #: thread-name prefix assigned by the executor to pool workers; the
 #: injector parses it to implement per-worker fault specs
@@ -273,4 +286,197 @@ class FaultInjector:
         return (
             f"<FaultInjector {len(self.plan)} specs, fired={self.fired}, "
             f"round={self.round_index}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Storage faults: the crash windows of the cache and checkpoint layers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StorageFaultSpec:
+    """One scripted storage fault.
+
+    ``op`` selects the hook point (one of :data:`STORAGE_OPS`, or ``"*"``
+    for any); ``kind`` is one of :data:`STORAGE_FAULT_KINDS`:
+
+    ``torn_write``
+        the payload handed to the writer is truncated at
+        ``truncate_fraction`` of its length — the on-disk image a crash
+        between ``write`` and ``fsync`` would leave,
+    ``bit_flip``
+        one payload byte (position drawn from the injector's seeded RNG)
+        has a bit flipped — silent media corruption,
+    ``stale_lock``
+        a background thread grabs the target's advisory lock and holds it
+        for ``hold_seconds`` before releasing — the abandoned-lock-holder
+        scenario a lock-acquisition timeout must survive,
+    ``slow_io``
+        the IO call is delayed by ``delay_seconds`` — a degraded disk or
+        saturated NFS mount.
+
+    ``count`` firings are allowed before the spec burns out (``-1`` =
+    unlimited), matching :class:`FaultSpec` semantics.
+    """
+
+    op: str
+    kind: str
+    count: int = 1
+    delay_seconds: float = 0.02
+    hold_seconds: float = 0.1
+    truncate_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown storage fault kind {self.kind!r}; choose from "
+                f"{STORAGE_FAULT_KINDS}"
+            )
+        if self.op != "*" and self.op not in STORAGE_OPS:
+            raise ValueError(
+                f"unknown storage op {self.op!r}; choose from "
+                f"{STORAGE_OPS} or '*'"
+            )
+        if self.count == 0 or self.count < -1:
+            raise ValueError("count must be positive or -1 (unlimited)")
+        if not (0.0 <= self.truncate_fraction < 1.0):
+            raise ValueError("truncate_fraction must be in [0, 1)")
+        if self.delay_seconds < 0 or self.hold_seconds < 0:
+            raise ValueError("delays must be non-negative")
+
+
+class StorageFaultInjector:
+    """Scripted faults for the storage layers (cache + checkpoints).
+
+    The cache and checkpoint writers call :meth:`before_io` ahead of each
+    IO operation, :meth:`filter_payload` on the bytes about to be written,
+    and :meth:`before_lock` ahead of each advisory lock acquisition.
+    Without a matching armed spec every hook is the identity, so the hooks
+    cost one method call on the (already IO-bound) storage path.
+
+    All randomness (bit positions for ``bit_flip``) comes from a generator
+    seeded at construction; fault schedules are reproducible.
+    """
+
+    def __init__(
+        self,
+        plan: Iterable[StorageFaultSpec] = (),
+        seed: int = 0,
+        events: RuntimeEvents | None = None,
+    ) -> None:
+        self.plan: list[StorageFaultSpec] = list(plan)
+        self.seed = seed
+        self.events = events
+        self.fired = 0
+        self._rng = np.random.default_rng(seed)
+        self._remaining: dict[int, int] = {
+            i: spec.count for i, spec in enumerate(self.plan)
+        }
+        self._lock = threading.Lock()
+        self._holders: list[threading.Thread] = []
+
+    def add(self, spec: StorageFaultSpec) -> "StorageFaultInjector":
+        with self._lock:
+            self.plan.append(spec)
+            self._remaining[len(self.plan) - 1] = spec.count
+        return self
+
+    def _claim(self, op: str, kinds: tuple[str, ...]) -> StorageFaultSpec | None:
+        with self._lock:
+            for i, spec in enumerate(self.plan):
+                if spec.kind not in kinds:
+                    continue
+                if spec.op != "*" and spec.op != op:
+                    continue
+                left = self._remaining[i]
+                if left == 0:
+                    continue
+                if left > 0:
+                    self._remaining[i] = left - 1
+                self.fired += 1
+                return spec
+        return None
+
+    def _record(self, spec: StorageFaultSpec, op: str, path) -> None:
+        if self.events is not None:
+            self.events.record(
+                "fault_injected", layer="storage", fault_kind=spec.kind,
+                op=op, path=str(path),
+            )
+
+    # -- hooks (called by cache.py / checkpoint.py) ------------------------
+
+    def before_io(self, op: str, path) -> None:
+        """Fire ``slow_io`` ahead of a read or write."""
+        spec = self._claim(op, ("slow_io",))
+        if spec is None:
+            return
+        self._record(spec, op, path)
+        time.sleep(spec.delay_seconds)
+
+    def filter_payload(self, op: str, path, data: bytes) -> bytes:
+        """Fire ``torn_write``/``bit_flip`` on the bytes being written."""
+        spec = self._claim(op, ("torn_write", "bit_flip"))
+        if spec is None or not data:
+            return data
+        self._record(spec, op, path)
+        if spec.kind == "torn_write":
+            return data[: max(1, int(len(data) * spec.truncate_fraction))]
+        pos = int(self._rng.integers(len(data)))
+        bit = 1 << int(self._rng.integers(8))
+        corrupted = bytearray(data)
+        corrupted[pos] ^= bit
+        return bytes(corrupted)
+
+    def before_lock(self, op: str, lock_path) -> None:
+        """Fire ``stale_lock``: hold the advisory lock from a background
+        thread so the caller's acquisition has to wait (or time out)."""
+        spec = self._claim(op, ("stale_lock",))
+        if spec is None:
+            return
+        self._record(spec, op, lock_path)
+        import fcntl
+        from pathlib import Path
+
+        lock_path = Path(lock_path)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:  # pragma: no cover - flock unavailable
+            os.close(fd)
+            return
+        hold = spec.hold_seconds
+
+        def _release_later() -> None:
+            time.sleep(hold)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+        holder = threading.Thread(target=_release_later, daemon=True,
+                                  name="stale-lock-holder")
+        holder.start()
+        with self._lock:
+            self._holders.append(holder)
+
+    # -- introspection -----------------------------------------------------
+
+    def remaining(self) -> int:
+        with self._lock:
+            return sum(1 if c == -1 else c for c in self._remaining.values())
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Join any background lock holders (test teardown hygiene)."""
+        with self._lock:
+            holders, self._holders = self._holders, []
+        for h in holders:
+            h.join(timeout)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StorageFaultInjector {len(self.plan)} specs, "
+            f"fired={self.fired}>"
         )

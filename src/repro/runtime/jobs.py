@@ -1,0 +1,636 @@
+"""Job-level supervision: deadlines, retry/backoff, and tier routing.
+
+PRs 1 and 5 hardened the *intra-run* execution ladder (task retry →
+reassignment → inline → degrade-to-serial); this module supervises whole
+**jobs** — one compile+solve request, the unit a simulation service
+accepts.  A :class:`JobManager` runs each :class:`JobSpec` as a supervised
+attempt loop:
+
+* a wall-clock **deadline** covers the entire job, enforced before every
+  attempt, inside every RHS round (via :class:`DeadlineGuard`), and on
+  every backoff sleep; exceeding it terminates the job with a structured
+  ``kind="deadline"`` :class:`JobFailure` (deadlines are a contract with
+  the caller, so they are never retried),
+* a :class:`JobRetryPolicy` bounds retries with exponential backoff and
+  **deterministic jitter**: the jitter stream is seeded per job from
+  ``(spec.seed, job_id)``, so a re-run of the same job plan backs off
+  identically — chaos soaks are reproducible to the event log,
+* each retry **resumes from the newest valid checkpoint** the failed
+  attempt wrote (CRC-validated with rotation fallback, see
+  :mod:`repro.runtime.checkpoint`), so work done before a crash is kept,
+* per-tier :class:`~repro.runtime.circuit.CircuitBreaker` instances route
+  jobs away from executor tiers that keep failing (process → thread →
+  serial), with half-open probing to let a recovered tier back in,
+* every decision — submission, attempt, reroute, retry, backoff, circuit
+  transition, completion, failure — lands in the shared
+  :class:`~repro.runtime.events.RuntimeEvents` log.
+
+The manager is synchronous by design: it is the *supervision substrate*
+the planned asyncio service front end (ROADMAP open item 3) will call
+into, and every waiting primitive (``clock``, ``sleep``) is injectable so
+tests drive it without real time passing.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from .checkpoint import CheckpointError, Checkpointer, load_checkpoint
+from .circuit import CircuitBreaker
+from .events import RuntimeEvents
+from .faults import WorkerKill
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..codegen.program import GeneratedProgram
+    from ..solver.common import SolverResult
+    from ..solver.recovery import RecoveryPolicy
+    from .faults import FaultInjector, StorageFaultInjector
+
+__all__ = [
+    "EXECUTOR_TIERS",
+    "DeadlineGuard",
+    "Job",
+    "JobAttempt",
+    "JobDeadlineExceeded",
+    "JobFailure",
+    "JobManager",
+    "JobRetryPolicy",
+    "JobSpec",
+]
+
+#: executor tiers in degradation order; routing walks rightward from the
+#: requested tier until a breaker admits the job (serial always does)
+EXECUTOR_TIERS = ("process", "thread", "serial")
+
+#: terminal + transient job states
+JOB_STATES = ("pending", "running", "retrying", "completed", "failed")
+
+
+class JobDeadlineExceeded(BaseException):
+    """The job's wall-clock deadline elapsed mid-solve.
+
+    Derives from ``BaseException`` (like ``WorkerKill``) so the solver
+    recovery layer's ``except Exception`` guards cannot swallow it and
+    convert a hard deadline into a shrink-and-retry loop.
+    """
+
+    def __init__(self, job_id: int, deadline: float) -> None:
+        super().__init__(
+            f"job {job_id} exceeded its {deadline:g}s deadline"
+        )
+        self.job_id = job_id
+        self.deadline = deadline
+
+
+class JobFailure(RuntimeError):
+    """A job terminated unsuccessfully, with structure for the caller.
+
+    ``kind`` classifies the terminal cause: ``"deadline"`` (wall-clock
+    budget exhausted), ``"compile"`` (the compiler rejected the model),
+    ``"solver"`` (a structured :class:`~repro.solver.recovery.SolverFailure`
+    after in-solver recovery), or ``"runtime"`` (any other executor or
+    infrastructure error).  ``attempts`` is how many attempts ran.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        name: str,
+        kind: str,
+        attempts: int,
+        reason: str,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(
+            f"job {job_id} ({name}): {kind} failure after "
+            f"{attempts} attempt(s): {reason}"
+        )
+        self.job_id = job_id
+        self.name = name
+        self.kind = kind
+        self.attempts = attempts
+        self.reason = reason
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class JobRetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    Backoff before retry ``n`` (1-based) is
+    ``backoff * backoff_factor**(n-1)`` capped at ``max_backoff``, then
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` from the *caller-supplied* RNG — the
+    manager seeds one generator per job, so schedules are reproducible.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, retry_number: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            return 0.0
+        base = min(
+            self.backoff * self.backoff_factor ** (retry_number - 1),
+            self.max_backoff,
+        )
+        if self.jitter == 0.0:
+            return base
+        return base * float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+
+
+class DeadlineGuard:
+    """RHS wrapper that enforces a wall-clock deadline per evaluation.
+
+    Raises :class:`JobDeadlineExceeded` *before* dispatching the round, so
+    a deadline can fire between solver steps without needing cooperation
+    from the stepper internals.
+    """
+
+    def __init__(
+        self,
+        f: Callable[[float, np.ndarray], np.ndarray],
+        deadline_at: float,
+        deadline: float,
+        job_id: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.f = f
+        self.deadline_at = deadline_at
+        self.deadline = deadline
+        self.job_id = job_id
+        self.clock = clock
+
+    def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
+        if self.clock() >= self.deadline_at:
+            raise JobDeadlineExceeded(self.job_id, self.deadline)
+        return self.f(t, y)
+
+
+@dataclass
+class JobSpec:
+    """One supervised compile+solve request.
+
+    Either ``source`` (ObjectMath-like model text, compiled through the
+    manager's shared artifact cache) or a ready ``program`` must be given.
+    ``executor_options`` is forwarded to the executor constructor
+    (``level_timeout``, ``retry_policy``, heartbeat knobs, …);
+    ``fault_injector`` wires a scripted task-fault plan into whichever
+    executor tier the job lands on (chaos harness hook).
+    """
+
+    name: str = "job"
+    source: str | None = None
+    program: "GeneratedProgram | None" = None
+    #: content hash recorded in checkpoint metadata (filled by the
+    #: manager when it compiles ``source`` itself)
+    model_hash: str | None = None
+    backend: str = "python"
+    jacobian: bool = False
+    t_span: tuple[float, float] = (0.0, 1.0)
+    method: str = "rk45"
+    rtol: float = 1e-6
+    atol: float = 1e-9
+    y0: np.ndarray | None = None
+    params: np.ndarray | None = None
+    executor: str = "serial"
+    workers: int = 2
+    executor_options: dict[str, Any] = field(default_factory=dict)
+    fault_injector: "FaultInjector | None" = None
+    deadline: float | None = None
+    retry: JobRetryPolicy = field(default_factory=JobRetryPolicy)
+    recovery: "RecoveryPolicy | None" = None
+    checkpoint: str | Path | None = None
+    checkpoint_every: int = 25
+    checkpoint_keep: int = 3
+    resume: str | Path | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.source is None) == (self.program is None):
+            raise ValueError(
+                "exactly one of source/program must be provided"
+            )
+        if self.executor not in EXECUTOR_TIERS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from "
+                f"{EXECUTOR_TIERS}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class JobAttempt:
+    """Outcome record of one attempt within a job."""
+
+    index: int
+    executor: str
+    outcome: str = "running"  # "completed" | "failed" | "deadline"
+    reason: str = ""
+    resumed_from_t: float | None = None
+
+
+@dataclass
+class Job:
+    """A supervised job and everything that happened to it."""
+
+    job_id: int
+    spec: JobSpec
+    state: str = "pending"
+    attempts: list[JobAttempt] = field(default_factory=list)
+    executor_used: str | None = None
+    result: "SolverResult | None" = None
+    failure: JobFailure | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.state == "completed"
+
+    def raise_for_failure(self) -> None:
+        if self.failure is not None:
+            raise self.failure
+
+
+class JobManager:
+    """Runs :class:`JobSpec` instances under full supervision.
+
+    ``workdir`` holds per-job checkpoint files (a private temp directory
+    by default, removed on :meth:`close`); ``cache`` is the shared
+    :class:`~repro.compiler.cache.ArtifactCache` for ``source`` jobs —
+    corrupted entries are quarantined and recompiled transparently.
+    ``clock``/``sleep`` are injectable for tests; ``storage_faults``
+    threads the chaos harness's :class:`StorageFaultInjector` into every
+    checkpoint write the manager makes.
+    """
+
+    def __init__(
+        self,
+        events: RuntimeEvents | None = None,
+        cache=None,
+        workdir: str | Path | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        breakers: dict[str, CircuitBreaker] | None = None,
+        failure_threshold: int = 3,
+        circuit_cooldown: float = 30.0,
+        storage_faults: "StorageFaultInjector | None" = None,
+    ) -> None:
+        self.events = events if events is not None else RuntimeEvents()
+        self.cache = cache
+        self.clock = clock
+        self.sleep = sleep
+        self.storage_faults = storage_faults
+        self._own_workdir = workdir is None
+        self.workdir = Path(
+            tempfile.mkdtemp(prefix="repro-jobs-") if workdir is None
+            else workdir
+        )
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        if breakers is None:
+            breakers = {
+                tier: CircuitBreaker(
+                    tier, failure_threshold=failure_threshold,
+                    cooldown=circuit_cooldown, clock=clock,
+                    events=self.events,
+                )
+                for tier in EXECUTOR_TIERS if tier != "serial"
+            }
+        self.breakers = breakers
+        self._next_id = 0
+        self.jobs: list[Job] = []
+        self.completed = 0
+        self.failed = 0
+
+    # -- public API --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Run ``spec`` to a terminal state; never raises for job failures
+        (inspect ``job.failure`` / call ``job.raise_for_failure()``)."""
+        job = Job(job_id=self._next_id, spec=spec)
+        self._next_id += 1
+        self.jobs.append(job)
+        self.events.record(
+            "job_submitted", job=job.job_id, name=spec.name,
+            executor=spec.executor, method=spec.method,
+            deadline=spec.deadline,
+        )
+        try:
+            self._run_job(job)
+        finally:
+            if job.state == "completed":
+                self.completed += 1
+            else:
+                self.failed += 1
+        return job
+
+    def run(self, spec: JobSpec) -> "SolverResult":
+        """Run ``spec``; return the solver result or raise the failure."""
+        job = self.submit(spec)
+        job.raise_for_failure()
+        assert job.result is not None
+        return job.result
+
+    def close(self) -> None:
+        """Remove the manager-owned checkpoint directory."""
+        if self._own_workdir and self.workdir.exists():
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def summary(self) -> str:
+        open_circuits = [
+            name for name, b in self.breakers.items() if b.state != "closed"
+        ]
+        text = (
+            f"{len(self.jobs)} job(s): {self.completed} completed, "
+            f"{self.failed} failed"
+        )
+        if open_circuits:
+            text += f"; circuits not closed: {', '.join(sorted(open_circuits))}"
+        return text
+
+    # -- internals ---------------------------------------------------------
+
+    def _fail(self, job: Job, kind: str, reason: str,
+              cause: BaseException | None = None) -> None:
+        job.failure = JobFailure(
+            job.job_id, job.spec.name, kind, len(job.attempts), reason,
+            cause,
+        )
+        job.state = "failed"
+        self.events.record(
+            "job_failed", job=job.job_id, failure_kind=kind,
+            attempts=len(job.attempts), reason=reason,
+        )
+
+    def _classify(self, exc: BaseException) -> str:
+        from ..compiler import CompileError
+        from ..language.errors import SourceError
+        from ..model import ModelError
+        from ..solver.recovery import SolverFailure
+
+        if isinstance(exc, SolverFailure):
+            return "solver"
+        if isinstance(exc, (CompileError, ModelError, SourceError)):
+            return "compile"
+        return "runtime"
+
+    def _route(self, job: Job) -> str:
+        """Pick the healthiest tier at or below the requested one."""
+        requested = job.spec.executor
+        start = EXECUTOR_TIERS.index(requested)
+        for tier in EXECUTOR_TIERS[start:]:
+            breaker = self.breakers.get(tier)
+            if breaker is None or breaker.allow():
+                if tier != requested:
+                    self.events.record(
+                        "job_rerouted", job=job.job_id,
+                        requested=requested, routed=tier,
+                    )
+                return tier
+        return "serial"  # unreachable: serial has no breaker
+
+    def _checkpoint_path(self, job: Job) -> Path:
+        if job.spec.checkpoint is not None:
+            return Path(job.spec.checkpoint)
+        return self.workdir / f"job-{job.job_id}.ckpt"
+
+    def _compile(self, spec: JobSpec):
+        from ..compiler import CompileOptions, compile_context
+
+        assert spec.source is not None
+        options = CompileOptions(
+            backend=spec.backend, jacobian=spec.jacobian, cache=self.cache,
+        )
+        ctx = compile_context(source=spec.source, options=options)
+        return ctx.program, ctx.model_hash
+
+    def _build_rhs(self, job: Job, program: "GeneratedProgram", tier: str):
+        """The solver-facing RHS callable plus its close() hook."""
+        spec = job.spec
+        params = (
+            np.asarray(spec.params, dtype=float)
+            if spec.params is not None else program.param_vector()
+        )
+        if tier == "serial":
+            if spec.fault_injector is not None:
+                from .parallel_rhs import ParallelRHS
+                from .supervisor import SerialExecutor
+
+                facade = ParallelRHS(
+                    program,
+                    SerialExecutor(program, injector=spec.fault_injector,
+                                   events=self.events),
+                    params=params,
+                )
+                return facade, facade.close
+            if spec.backend == "numpy":
+                return program.make_rhs_batch(params), None
+            return program.make_rhs(params), None
+
+        from .parallel_rhs import ParallelRHS
+
+        if tier == "thread":
+            from .supervisor import ThreadedExecutor as executor_cls
+        else:
+            from .process_executor import ProcessExecutor as executor_cls
+        executor = executor_cls(
+            program, num_workers=spec.workers,
+            injector=spec.fault_injector, events=self.events,
+            **spec.executor_options,
+        )
+        facade = ParallelRHS(program, executor, params=params)
+        return facade, facade.close
+
+    def _load_resume(self, job: Job, path: Path, required: bool = False):
+        """Newest valid checkpoint generation at ``path``, or ``None``."""
+        try:
+            return load_checkpoint(
+                path, fallback=True, keep=job.spec.checkpoint_keep,
+                events=self.events,
+            )
+        except CheckpointError as exc:
+            if required:
+                raise
+            if path.exists():
+                # Present but unreadable in every generation: that is a
+                # storage incident worth surfacing, not silence.
+                self.events.record(
+                    "checkpoint_fallback", job=job.job_id, path=str(path),
+                    used=None, reason=str(exc),
+                )
+            return None
+
+    def _run_job(self, job: Job) -> None:
+        from ..solver import solve_ivp
+        from ..solver.recovery import SolverFailure  # noqa: F401 (classify)
+
+        spec = job.spec
+        job.state = "running"
+        rng = np.random.default_rng((spec.seed, job.job_id))
+        deadline_at = (
+            self.clock() + spec.deadline if spec.deadline is not None
+            else None
+        )
+        ckpt_path = self._checkpoint_path(job)
+        resume = None
+        if spec.resume is not None:
+            try:
+                resume = load_checkpoint(
+                    spec.resume, fallback=True,
+                    keep=spec.checkpoint_keep, events=self.events,
+                )
+            except CheckpointError as exc:
+                self._fail(job, "runtime", f"cannot resume: {exc}", exc)
+                return
+
+        program = spec.program
+        model_hash = spec.model_hash
+        attempt_index = 0
+        while True:
+            attempt_index += 1
+            if deadline_at is not None and self.clock() >= deadline_at:
+                self._fail(
+                    job, "deadline",
+                    f"deadline of {spec.deadline:g}s elapsed before "
+                    f"attempt {attempt_index}",
+                )
+                return
+            tier = self._route(job)
+            breaker = self.breakers.get(tier)
+            attempt = JobAttempt(index=attempt_index, executor=tier)
+            job.attempts.append(attempt)
+            job.executor_used = tier
+            self.events.record(
+                "job_attempt", job=job.job_id, attempt=attempt_index,
+                executor=tier,
+                resumed=(None if resume is None else resume.t),
+            )
+            close_rhs = None
+            try:
+                if program is None:
+                    program, model_hash = self._compile(spec)
+                f, close_rhs = self._build_rhs(job, program, tier)
+                if deadline_at is not None:
+                    f = DeadlineGuard(
+                        f, deadline_at, spec.deadline, job.job_id,
+                        clock=self.clock,
+                    )
+                checkpointer = Checkpointer(
+                    ckpt_path, every=spec.checkpoint_every,
+                    events=self.events, keep=spec.checkpoint_keep,
+                    faults=self.storage_faults,
+                    meta={
+                        "job": job.job_id, "name": spec.name,
+                        "model_hash": model_hash,
+                    },
+                )
+                method = resume.method if resume is not None else spec.method
+                if resume is not None:
+                    attempt.resumed_from_t = float(resume.t)
+                    self.events.record(
+                        "checkpoint_resumed", job=job.job_id,
+                        t=float(resume.t), method=method,
+                    )
+                result = solve_ivp(
+                    f, spec.t_span,
+                    (spec.y0 if spec.y0 is not None
+                     else program.start_vector()),
+                    method=method, rtol=spec.rtol, atol=spec.atol,
+                    recovery=spec.recovery, checkpointer=checkpointer,
+                    resume=resume,
+                )
+                if not result.success:
+                    raise RuntimeError(
+                        f"solver reported failure: {result.message}"
+                    )
+            except JobDeadlineExceeded as exc:
+                attempt.outcome = "deadline"
+                attempt.reason = str(exc)
+                # The deadline is the caller's whole-job budget: never
+                # retried, and not held against the tier's breaker (a
+                # tight budget is not tier sickness).
+                self._fail(job, "deadline", str(exc), exc)
+                return
+            except (Exception, WorkerKill) as exc:
+                # WorkerKill is a BaseException so executor internals
+                # cannot swallow it, but when one reaches the supervisor
+                # (a kill firing on the inline/degraded path) it is an
+                # attempt crash like any other: classify and retry.
+                attempt.outcome = "failed"
+                attempt.reason = f"{type(exc).__name__}: {exc}"
+                if breaker is not None:
+                    breaker.record_failure(type(exc).__name__)
+                retry_number = attempt_index  # retries so far == index
+                if retry_number > spec.retry.max_retries:
+                    self._fail(
+                        job, self._classify(exc), attempt.reason, exc,
+                    )
+                    return
+                job.state = "retrying"
+                delay = spec.retry.delay(retry_number, rng)
+                if deadline_at is not None:
+                    remaining = deadline_at - self.clock()
+                    if remaining <= 0:
+                        self._fail(
+                            job, "deadline",
+                            f"deadline elapsed while backing off after "
+                            f"{attempt.reason}", exc,
+                        )
+                        return
+                    delay = min(delay, remaining)
+                self.events.record(
+                    "job_retry", job=job.job_id, attempt=attempt_index,
+                    delay=round(delay, 6), reason=type(exc).__name__,
+                )
+                if delay > 0:
+                    self.sleep(delay)
+                # Resume from the newest checkpoint this job has written;
+                # keep the previous resume point (e.g. spec.resume) when
+                # the failed attempt died before its first checkpoint.
+                fresh = self._load_resume(job, ckpt_path)
+                if fresh is not None:
+                    resume = fresh
+                continue
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                job.result = result
+                job.state = "completed"
+                self.events.record(
+                    "job_completed", job=job.job_id,
+                    attempts=attempt_index, executor=tier,
+                    steps=result.stats.naccepted,
+                )
+                return
+            finally:
+                if close_rhs is not None:
+                    close_rhs()

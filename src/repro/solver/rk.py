@@ -213,12 +213,16 @@ def rk45_adaptive(
             stats.naccepted += 1
             ts.append(t)
             ys.append(y.copy())
-            if checkpointer is not None:
-                checkpointer.step(make_checkpoint)
             factor = MAX_FACTOR if norm == 0 else min(
                 MAX_FACTOR, SAFETY * norm ** (-0.2)
             )
             h *= factor
+            # Checkpoint *after* the controller update so the stored h is
+            # the one the next step will use: a resumed run then retraces
+            # the uninterrupted step sequence bit-identically instead of
+            # re-entering the loop with the already-completed step's h.
+            if checkpointer is not None:
+                checkpointer.step(make_checkpoint)
         else:
             stats.nrejected += 1
             h *= max(MIN_FACTOR, SAFETY * norm ** (-0.2))

@@ -1,0 +1,140 @@
+"""Circuit-breaker state machine: trip, cooldown, half-open probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import CircuitBreaker, CircuitOpen, RuntimeEvents
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **kwargs):
+    events = RuntimeEvents()
+    defaults = dict(failure_threshold=3, cooldown=10.0, clock=clock,
+                    events=events)
+    defaults.update(kwargs)
+    return CircuitBreaker("process", **defaults), events
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        breaker, _ = make_breaker(clock)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        breaker, events = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert events.count("circuit_open") == 1
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker, _ = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_cooldown_moves_open_to_half_open(self, clock):
+        breaker, events = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.99)
+        assert breaker.state == "open"
+        clock.advance(0.02)
+        assert breaker.state == "half_open"
+        assert events.count("circuit_half_open") == 1
+
+    def test_half_open_admits_bounded_probes(self, clock):
+        breaker, _ = make_breaker(clock, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()       # the probe slot
+        assert not breaker.allow()   # no second concurrent probe
+
+    def test_probe_success_closes(self, clock):
+        breaker, events = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert events.count("circuit_closed") == 1
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker, events = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure("probe died")
+        assert breaker.state == "open"
+        assert breaker.opened_count == 2
+        clock.advance(5.0)
+        assert breaker.state == "open"  # cooldown restarted
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        kinds = [e.kind for e in events]
+        assert kinds.count("circuit_open") == 2
+
+    def test_check_raises_structured_circuit_open(self, clock):
+        breaker, _ = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpen) as err:
+            breaker.check()
+        assert err.value.name == "process"
+        assert 0.0 < err.value.retry_in <= 10.0
+
+    def test_reset_forces_closed(self, clock):
+        breaker, events = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert events.count("circuit_closed") == 1
+
+    def test_every_transition_is_logged(self, clock):
+        breaker, events = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        kinds = [e.kind for e in events]
+        assert kinds == ["circuit_open", "circuit_half_open",
+                         "circuit_closed"]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", cooldown=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", half_open_probes=0)

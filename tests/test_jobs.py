@@ -1,0 +1,427 @@
+"""Job supervision layer: deadlines, retry/backoff, checkpointed retries,
+and circuit-breaker tier routing (repro.runtime.jobs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import ArtifactCache
+from repro.runtime import (
+    FaultInjector,
+    FaultSpec,
+    JobDeadlineExceeded,
+    JobFailure,
+    JobManager,
+    JobRetryPolicy,
+    JobSpec,
+    RuntimeEvents,
+)
+from repro.solver import RecoveryPolicy, solve_ivp
+
+_SRC = """
+MODEL jobosc;
+CLASS Osc
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Osc;
+INSTANCE A INHERITS Osc;
+END jobosc;
+"""
+
+T_SPAN = (0.0, 2.0)
+
+
+class FakeClock:
+    """Monotonic clock advancing ``tick`` per call (so deadlines fire
+    deterministically without real time passing)."""
+
+    def __init__(self, tick: float = 0.0) -> None:
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.now += self.tick
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_manager(**kwargs):
+    kwargs.setdefault("events", RuntimeEvents())
+    kwargs.setdefault("sleep", lambda s: None)
+    return JobManager(**kwargs)
+
+
+def spec_kwargs(compiled_servo, **overrides):
+    base = dict(
+        program=compiled_servo.program,
+        model_hash=compiled_servo.model_hash,
+        t_span=T_SPAN,
+        retry=JobRetryPolicy(max_retries=2, backoff=0.01, jitter=0.0),
+    )
+    base.update(overrides)
+    return base
+
+
+class TestJobSpecValidation:
+    def test_requires_exactly_one_of_source_program(self, compiled_servo):
+        with pytest.raises(ValueError, match="source/program"):
+            JobSpec()
+        with pytest.raises(ValueError, match="source/program"):
+            JobSpec(source=_SRC, program=compiled_servo.program)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            JobSpec(source=_SRC, executor="gpu")
+
+    def test_rejects_bad_deadline_and_workers(self):
+        with pytest.raises(ValueError, match="deadline"):
+            JobSpec(source=_SRC, deadline=0.0)
+        with pytest.raises(ValueError, match="workers"):
+            JobSpec(source=_SRC, workers=0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            JobRetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            JobRetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            JobRetryPolicy(jitter=1.0)
+
+
+class TestHappyPath:
+    def test_serial_job_matches_unsupervised_solve(self, compiled_servo):
+        with make_manager() as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(compiled_servo)))
+        assert job.completed
+        assert job.state == "completed"
+        assert job.failure is None
+        assert len(job.attempts) == 1
+        assert job.executor_used == "serial"
+        raw = solve_ivp(
+            compiled_servo.program.make_rhs(
+                compiled_servo.program.param_vector()
+            ),
+            T_SPAN, compiled_servo.program.start_vector(),
+            method="rk45", rtol=1e-6, atol=1e-9,
+        )
+        np.testing.assert_array_equal(job.result.ys, raw.ys)
+
+    def test_source_job_compiles_through_shared_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        with make_manager(cache=cache) as manager:
+            first = manager.submit(JobSpec(source=_SRC, t_span=(0.0, 1.0)))
+            second = manager.submit(JobSpec(source=_SRC, t_span=(0.0, 1.0)))
+        assert first.completed and second.completed
+        assert cache.hits >= 1  # second job reused the artifact
+        np.testing.assert_array_equal(first.result.ys, second.result.ys)
+
+    def test_run_returns_result_directly(self, compiled_servo):
+        with make_manager() as manager:
+            result = manager.run(JobSpec(**spec_kwargs(compiled_servo)))
+        assert result.success
+
+    def test_events_trace_the_lifecycle(self, compiled_servo):
+        events = RuntimeEvents()
+        with make_manager(events=events) as manager:
+            manager.submit(JobSpec(**spec_kwargs(compiled_servo)))
+        kinds = [e.kind for e in events if e.kind.startswith("job_")]
+        assert kinds == ["job_submitted", "job_attempt", "job_completed"]
+
+    def test_summary_counts(self, compiled_servo):
+        with make_manager() as manager:
+            manager.submit(JobSpec(**spec_kwargs(compiled_servo)))
+            assert "1 completed" in manager.summary()
+
+
+class TestRetryAndFailure:
+    def _always_fail_spec(self, compiled_servo, **overrides):
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="raise", count=-1)]
+        )
+        return JobSpec(**spec_kwargs(
+            compiled_servo, fault_injector=injector, **overrides
+        ))
+
+    def test_submit_never_raises_run_does(self, compiled_servo):
+        with make_manager() as manager:
+            job = manager.submit(self._always_fail_spec(compiled_servo))
+            assert job.state == "failed"
+            with pytest.raises(JobFailure):
+                job.raise_for_failure()
+            with pytest.raises(JobFailure):
+                manager.run(self._always_fail_spec(compiled_servo))
+
+    def test_failure_is_structured(self, compiled_servo):
+        with make_manager() as manager:
+            job = manager.submit(self._always_fail_spec(compiled_servo))
+        failure = job.failure
+        assert failure.kind == "runtime"
+        assert failure.attempts == 3  # initial + max_retries=2
+        assert failure.job_id == job.job_id
+        assert "InjectedFault" in failure.reason
+        assert len(job.attempts) == 3
+        assert all(a.outcome == "failed" for a in job.attempts)
+
+    def test_zero_retries_fails_after_one_attempt(self, compiled_servo):
+        spec = self._always_fail_spec(
+            compiled_servo, retry=JobRetryPolicy(max_retries=0),
+        )
+        with make_manager() as manager:
+            job = manager.submit(spec)
+        assert job.failure.attempts == 1
+
+    def test_compile_failure_is_classified(self):
+        with make_manager() as manager:
+            job = manager.submit(JobSpec(
+                source=(
+                    "MODEL broken;\n"
+                    "CLASS C\n"
+                    "  STATE x := 1.0;\n"
+                    "  EQUATION Eq[1] := der(x) == y_undefined;\n"
+                    "END C;\n"
+                    "INSTANCE A INHERITS C;\n"
+                    "END broken;\n"
+                ),
+                retry=JobRetryPolicy(max_retries=0),
+            ))
+        assert job.state == "failed"
+        assert job.failure.kind == "compile"
+
+    def test_backoff_delays_are_deterministic_per_job(self, compiled_servo):
+        def collect_delays():
+            slept = []
+            events = RuntimeEvents()
+            with make_manager(events=events,
+                              sleep=slept.append) as manager:
+                manager.submit(JobSpec(**spec_kwargs(
+                    compiled_servo,
+                    fault_injector=FaultInjector(
+                        [FaultSpec(task_id=0, mode="raise", count=-1)]
+                    ),
+                    retry=JobRetryPolicy(
+                        max_retries=2, backoff=0.05, backoff_factor=2.0,
+                        jitter=0.25,
+                    ),
+                    seed=42,
+                )))
+            assert events.count("job_retry") == 2
+            return slept
+
+        first, second = collect_delays(), collect_delays()
+        assert first == second  # jitter seeded from (seed, job_id)
+        assert len(first) == 2
+        # exponential envelope: base 0.05 then 0.1, each within ±25%
+        assert 0.05 * 0.75 <= first[0] <= 0.05 * 1.25
+        assert 0.10 * 0.75 <= first[1] <= 0.10 * 1.25
+
+    def test_retry_resumes_from_checkpoint_bit_identically(
+        self, compiled_servo, tmp_path
+    ):
+        # Reference: unsupervised, fault-free run.
+        ref = solve_ivp(
+            compiled_servo.program.make_rhs(
+                compiled_servo.program.param_vector()
+            ),
+            T_SPAN, compiled_servo.program.start_vector(),
+            method="rk45", rtol=1e-6, atol=1e-9,
+        )
+        # One mid-run crash; the retry must resume from the newest
+        # checkpoint and retrace the remaining steps exactly.
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="raise", round_index=200)]
+        )
+        events = RuntimeEvents()
+        with make_manager(events=events) as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo,
+                fault_injector=injector,
+                checkpoint=tmp_path / "job.ckpt",
+                checkpoint_every=10,
+            )))
+        assert job.completed
+        assert len(job.attempts) == 2
+        assert job.attempts[1].resumed_from_t is not None
+        assert job.attempts[1].resumed_from_t > 0.0
+        assert events.count("checkpoint_resumed") == 1
+        np.testing.assert_array_equal(job.result.ys[-1], ref.ys[-1])
+        # The resumed trajectory covers [t_resume, t1] and must retrace
+        # the reference's accepted steps over that window exactly.
+        start = int(np.searchsorted(ref.ts, job.result.ts[0]))
+        np.testing.assert_array_equal(job.result.ts, ref.ts[start:])
+        np.testing.assert_array_equal(job.result.ys, ref.ys[start:])
+
+    def test_unreadable_resume_spec_fails_cleanly(self, compiled_servo,
+                                                  tmp_path):
+        missing = tmp_path / "nope.ckpt"
+        with make_manager() as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, resume=missing,
+            )))
+        assert job.state == "failed"
+        assert job.failure.kind == "runtime"
+        assert "cannot resume" in job.failure.reason
+
+
+class TestDeadline:
+    def test_deadline_mid_solve_is_terminal_not_retried(self,
+                                                        compiled_servo):
+        # Each clock() call advances 0.01s: a 0.5s budget dies mid-solve.
+        clock = FakeClock(tick=0.01)
+        events = RuntimeEvents()
+        with make_manager(events=events, clock=clock) as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, deadline=0.5,
+                retry=JobRetryPolicy(max_retries=5),
+            )))
+        assert job.state == "failed"
+        assert job.failure.kind == "deadline"
+        assert job.failure.attempts == 1  # deadlines are never retried
+        assert job.attempts[0].outcome == "deadline"
+        assert events.count("job_retry") == 0
+
+    def test_deadline_guard_raises_base_exception(self):
+        from repro.runtime.jobs import DeadlineGuard
+
+        clock = FakeClock()
+        guard = DeadlineGuard(
+            lambda t, y: y, deadline_at=1.0, deadline=1.0, job_id=7,
+            clock=clock,
+        )
+        y = np.zeros(2)
+        assert guard(0.0, y) is y
+        clock.advance(2.0)
+        with pytest.raises(JobDeadlineExceeded) as err:
+            guard(0.0, y)
+        assert not isinstance(err.value, Exception)
+        assert err.value.job_id == 7
+
+    def test_deadline_survives_solver_recovery(self, compiled_servo):
+        """RecoveryPolicy's Exception guards must not convert a deadline
+        into a shrink-and-retry loop."""
+        clock = FakeClock(tick=0.01)
+        with make_manager(clock=clock) as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, deadline=0.5,
+                recovery=RecoveryPolicy(max_retries=10),
+            )))
+        assert job.failure.kind == "deadline"
+
+    def test_deadline_already_spent_fails_before_attempt(self,
+                                                         compiled_servo):
+        clock = FakeClock(tick=10.0)  # first check is already past
+        with make_manager(clock=clock) as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, deadline=1.0,
+            )))
+        assert job.failure.kind == "deadline"
+        assert len(job.attempts) == 0
+
+    def test_backoff_is_capped_by_remaining_deadline(self, compiled_servo):
+        slept = []
+        clock = FakeClock(tick=0.0)
+        clock.now = 0.0
+
+        def sleeper(s):
+            slept.append(s)
+            clock.advance(s)
+
+        injector = FaultInjector(
+            [FaultSpec(task_id=0, mode="raise", count=-1)]
+        )
+        with make_manager(clock=clock, sleep=sleeper) as manager:
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, fault_injector=injector, deadline=30.0,
+                retry=JobRetryPolicy(
+                    max_retries=2, backoff=1e6, jitter=0.0,
+                ),
+            )))
+        assert job.state == "failed"
+        assert all(s <= 30.0 for s in slept)
+
+
+class TestCircuitRouting:
+    def test_thread_failures_open_circuit_and_reroute(self, compiled_servo):
+        events = RuntimeEvents()
+        clock = FakeClock()
+        with make_manager(
+            events=events, clock=clock, failure_threshold=2,
+            circuit_cooldown=1000.0,
+        ) as manager:
+            # Two thread jobs that always fail trip the thread breaker
+            # (2 attempts each, retry=0 keeps the count exact).
+            for _ in range(2):
+                manager.submit(JobSpec(**spec_kwargs(
+                    compiled_servo, executor="thread",
+                    fault_injector=FaultInjector(
+                        [FaultSpec(task_id=0, mode="raise", count=-1)]
+                    ),
+                    retry=JobRetryPolicy(max_retries=0),
+                )))
+            assert manager.breakers["thread"].state == "open"
+            # A healthy thread job is now rerouted to serial and succeeds.
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, executor="thread",
+            )))
+        assert job.completed
+        assert job.executor_used == "serial"
+        rerouted = events.of_kind("job_rerouted")
+        assert rerouted and rerouted[-1].data["routed"] == "serial"
+        assert manager.breakers["thread"].state == "open"
+
+    def test_recovered_tier_closes_via_half_open_probe(self,
+                                                       compiled_servo):
+        clock = FakeClock()
+        with make_manager(
+            clock=clock, failure_threshold=1, circuit_cooldown=5.0,
+        ) as manager:
+            manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, executor="thread",
+                fault_injector=FaultInjector(
+                    [FaultSpec(task_id=0, mode="raise", count=-1)]
+                ),
+                retry=JobRetryPolicy(max_retries=0),
+            )))
+            assert manager.breakers["thread"].state == "open"
+            clock.advance(5.0)
+            # Cooldown elapsed: the next thread job is the probe.
+            job = manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo, executor="thread",
+            )))
+            assert job.completed
+            assert job.executor_used == "thread"
+            assert manager.breakers["thread"].state == "closed"
+
+    def test_serial_jobs_never_touch_breakers(self, compiled_servo):
+        with make_manager(failure_threshold=1) as manager:
+            manager.submit(JobSpec(**spec_kwargs(
+                compiled_servo,
+                fault_injector=FaultInjector(
+                    [FaultSpec(task_id=0, mode="raise", count=-1)]
+                ),
+                retry=JobRetryPolicy(max_retries=0),
+            )))
+            assert all(
+                b.state == "closed" for b in manager.breakers.values()
+            )
+
+
+class TestWorkdir:
+    def test_owned_workdir_removed_on_close(self, compiled_servo):
+        manager = make_manager()
+        manager.submit(JobSpec(**spec_kwargs(compiled_servo)))
+        workdir = manager.workdir
+        assert workdir.exists()
+        manager.close()
+        assert not workdir.exists()
+
+    def test_user_workdir_is_preserved(self, compiled_servo, tmp_path):
+        workdir = tmp_path / "jobs"
+        with make_manager(workdir=workdir) as manager:
+            manager.submit(JobSpec(**spec_kwargs(compiled_servo)))
+        assert workdir.exists()

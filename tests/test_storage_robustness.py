@@ -1,0 +1,378 @@
+"""Crash-consistent storage: checkpoint CRC/rotation/fallback, artifact
+cache quarantine and advisory locking, storage fault injection, and the
+bounded runtime event log."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    ArtifactCache,
+    CompileOptions,
+    artifact_key,
+    compile_context,
+)
+from repro.runtime import (
+    Checkpoint,
+    CheckpointError,
+    Checkpointer,
+    RuntimeEvents,
+    StorageFaultInjector,
+    StorageFaultSpec,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.checkpoint import rotated_paths
+from repro.runtime.events import DEFAULT_MAXLEN
+
+_SRC = """
+MODEL storosc;
+CLASS Osc
+  STATE x := 1.0;
+  STATE v := 0.0;
+  PARAMETER k := 4.0;
+  EQUATION Eq[1] := der(x) == v;
+  EQUATION Eq[2] := der(v) == -k * x;
+END Osc;
+INSTANCE A INHERITS Osc;
+END storosc;
+"""
+
+
+def make_ckpt(t=1.0):
+    return Checkpoint(
+        method="rk45", t=t, y=np.array([1.0, 2.0]), h=0.1, direction=1.0,
+        order=5,
+    )
+
+
+class TestCheckpointCrc:
+    def test_round_trip_carries_valid_crc(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(), path)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["crc"], int)
+        ckpt = load_checkpoint(path)
+        assert ckpt.t == 1.0
+
+    def test_bit_flip_is_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(), path, keep=1)
+        raw = bytearray(path.read_bytes())
+        # flip one bit inside the numeric payload (not the crc field)
+        pos = raw.find(b'"t": 1.0')
+        if pos < 0:
+            pos = len(raw) // 2
+        raw[pos + 6] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, fallback=False)
+
+    def test_torn_write_is_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(), path, keep=1)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, fallback=False)
+
+    def test_no_stale_tmp_after_save(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(), path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_serialization_removes_tmp(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        bad = make_ckpt()
+        bad.meta = {"unserializable": object()}
+        with pytest.raises(TypeError):
+            save_checkpoint(bad, path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not path.exists()
+
+
+class TestCheckpointRotation:
+    def test_generations_rotate_newest_first(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        for t in (1.0, 2.0, 3.0, 4.0):
+            save_checkpoint(make_ckpt(t), path, keep=3)
+        gens = rotated_paths(path, 3)
+        assert [p.exists() for p in gens] == [True, True, True]
+        assert load_checkpoint(gens[0], fallback=False).t == 4.0
+        assert load_checkpoint(gens[1], fallback=False).t == 3.0
+        assert load_checkpoint(gens[2], fallback=False).t == 2.0
+        # keep=3 means generation .3 never appears
+        assert not path.with_name(path.name + ".3").exists()
+
+    def test_keep_one_disables_rotation(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(1.0), path, keep=1)
+        save_checkpoint(make_ckpt(2.0), path, keep=1)
+        assert load_checkpoint(path).t == 2.0
+        assert not path.with_name(path.name + ".1").exists()
+
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        events = RuntimeEvents()
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(1.0), path, keep=3)
+        save_checkpoint(make_ckpt(2.0), path, keep=3)
+        path.write_text("garbage")
+        ckpt = load_checkpoint(path, keep=3, events=events)
+        assert ckpt.t == 1.0
+        fb = events.of_kind("checkpoint_fallback")
+        assert len(fb) == 1
+        assert fb[0].data["generation"] == 1
+
+    def test_all_generations_corrupt_raises_first_error(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(1.0), path, keep=2)
+        save_checkpoint(make_ckpt(2.0), path, keep=2)
+        for p in rotated_paths(path, 2):
+            p.write_text("garbage")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path, keep=2)
+
+    def test_checkpointer_threads_keep_through(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        cp = Checkpointer(path, every=1, keep=2)
+        for t in (1.0, 2.0):
+            cp.step(lambda t=t: make_ckpt(t))
+        assert load_checkpoint(path.with_name(path.name + ".1"),
+                               fallback=False).t == 1.0
+
+
+class TestCheckpointStorageFaults:
+    def test_injected_torn_write_recovers_via_rotation(self, tmp_path):
+        events = RuntimeEvents()
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_ckpt(1.0), path, keep=3)
+        faults = StorageFaultInjector(
+            [StorageFaultSpec(op="checkpoint_save", kind="torn_write")],
+            events=events,
+        )
+        save_checkpoint(make_ckpt(2.0), path, keep=3, faults=faults)
+        assert events.count("fault_injected") == 1
+        ckpt = load_checkpoint(path, keep=3, events=events)
+        assert ckpt.t == 1.0  # torn latest fell back one generation
+        assert events.count("checkpoint_fallback") == 1
+
+    def test_injected_bit_flip_is_seeded_and_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+
+        def corrupted_bytes(seed):
+            faults = StorageFaultInjector(
+                [StorageFaultSpec(op="checkpoint_save", kind="bit_flip")],
+                seed=seed,
+            )
+            save_checkpoint(make_ckpt(2.0), path, keep=1, faults=faults)
+            return path.read_bytes()
+
+        first = corrupted_bytes(7)
+        second = corrupted_bytes(7)
+        assert first == second  # same seed, same flipped bit
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, fallback=False)
+
+    def test_slow_io_only_delays(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        faults = StorageFaultInjector(
+            [StorageFaultSpec(op="checkpoint_save", kind="slow_io",
+                              delay_seconds=0.0)],
+        )
+        save_checkpoint(make_ckpt(3.0), path, faults=faults)
+        assert load_checkpoint(path).t == 3.0
+        assert faults.fired == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            StorageFaultSpec(op="cache_store", kind="explode")
+        with pytest.raises(ValueError, match="op"):
+            StorageFaultSpec(op="nonsense", kind="slow_io")
+        with pytest.raises(ValueError):
+            StorageFaultSpec(op="*", kind="torn_write",
+                             truncate_fraction=1.0)
+
+    def test_burn_out_and_wildcard_op(self, tmp_path):
+        faults = StorageFaultInjector(
+            [StorageFaultSpec(op="*", kind="slow_io", count=2,
+                              delay_seconds=0.0)],
+        )
+        path = tmp_path / "c.ckpt"
+        for _ in range(4):
+            save_checkpoint(make_ckpt(), path, faults=faults)
+        assert faults.fired == 2
+        assert faults.remaining() == 0
+
+
+def compile_into(cache, source=_SRC):
+    ctx = compile_context(
+        source=source, options=CompileOptions(cache=cache)
+    )
+    return ctx
+
+
+class TestCacheCrashConsistency:
+    def test_store_leaves_no_tmp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        compile_into(cache)
+        files = list((tmp_path / "cache").glob("*"))
+        assert any(p.suffix == ".json" for p in files)
+        assert not any(p.name.endswith(".tmp") for p in files)
+
+    def test_corrupt_artifact_is_quarantined_not_silently_missed(
+        self, tmp_path
+    ):
+        events = RuntimeEvents()
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root, events=events)
+        ctx = compile_into(cache)
+        artifact = root / f"{ctx.cache_key}.json"
+        artifact.write_text("{not json")
+        cache.drop_memory()  # simulate a fresh process
+        assert cache.load(ctx.cache_key) is None
+        assert cache.quarantined == 1
+        assert not artifact.exists()
+        assert len(list((root / "quarantine").glob("*.json"))) == 1
+        assert events.count("cache_quarantined") == 1
+        # the quarantined slot is clean: a recompile repopulates it
+        again = compile_into(cache)
+        cache.drop_memory()
+        assert cache.load(again.cache_key) is not None
+
+    def test_quarantined_bytes_are_preserved_for_post_mortem(self,
+                                                             tmp_path):
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root)
+        ctx = compile_into(cache)
+        artifact = root / f"{ctx.cache_key}.json"
+        artifact.write_text("evidence")
+        cache.drop_memory()
+        cache.load(ctx.cache_key)
+        (entry,) = (root / "quarantine").glob("*.json")
+        assert entry.read_text() == "evidence"
+
+    def test_injected_torn_store_round_trips_to_quarantine(self, tmp_path):
+        events = RuntimeEvents()
+        faults = StorageFaultInjector(
+            [StorageFaultSpec(op="cache_store", kind="torn_write")],
+            events=events,
+        )
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root, events=events, faults=faults)
+        ctx = compile_into(cache)  # store is torn on disk
+        cache.drop_memory()
+        assert cache.load(ctx.cache_key) is None  # quarantined
+        assert cache.quarantined == 1
+
+    def test_clear_removes_locks_and_quarantine(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root)
+        ctx = compile_into(cache)
+        (root / f"{ctx.cache_key}.json").write_text("junk")
+        cache.drop_memory()
+        cache.load(ctx.cache_key)
+        cache.clear()
+        assert not list(root.glob("*.json"))
+        assert not list((root / "quarantine").glob("*"))
+        assert not list((root / "locks").glob("*"))
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="POSIX-only flock")
+class TestCacheLocking:
+    def test_no_lock_files_leak_after_store(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root)
+        compile_into(cache)
+        assert not list((root / "locks").glob("*.lock"))
+
+    def test_stale_lock_degrades_to_lockless_write(self, tmp_path):
+        """A wedged lock holder must cost a bounded wait, not a hang: the
+        writer times out, records the degradation, and still publishes."""
+        events = RuntimeEvents()
+        faults = StorageFaultInjector(
+            [StorageFaultSpec(op="cache_store", kind="stale_lock",
+                              hold_seconds=1.0)],
+            events=events,
+        )
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root, events=events, faults=faults,
+                              lock_timeout=0.1)
+        ctx = compile_into(cache)
+        faults.drain()
+        assert cache.lock_timeouts == 1
+        assert events.count("cache_lock_timeout") == 1
+        cache.drop_memory()
+        assert cache.load(ctx.cache_key) is not None  # write still landed
+
+    def test_briefly_held_lock_is_waited_out(self, tmp_path):
+        events = RuntimeEvents()
+        faults = StorageFaultInjector(
+            [StorageFaultSpec(op="cache_store", kind="stale_lock",
+                              hold_seconds=0.05)],
+            events=events,
+        )
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root, events=events, faults=faults,
+                              lock_timeout=5.0)
+        ctx = compile_into(cache)
+        faults.drain()
+        assert cache.lock_timeouts == 0
+        cache.drop_memory()
+        assert cache.load(ctx.cache_key) is not None
+
+
+class TestEventRingBuffer:
+    def test_bounded_log_drops_oldest_and_counts(self):
+        events = RuntimeEvents(maxlen=4)
+        for i in range(10):
+            events.record("tick", i=i)
+        assert len(events) == 4
+        assert events.dropped_events == 6
+        assert events.total_recorded == 10
+        retained = [e.data["i"] for e in events]
+        assert retained == [6, 7, 8, 9]
+        # sequence numbers survive eviction
+        assert [e.seq for e in events] == [6, 7, 8, 9]
+        assert "(+6 dropped)" in events.summary()
+
+    def test_unbounded_when_maxlen_none(self):
+        events = RuntimeEvents(maxlen=None)
+        for i in range(100):
+            events.record("tick", i=i)
+        assert len(events) == 100
+        assert events.dropped_events == 0
+
+    def test_default_capacity_is_generous(self):
+        assert RuntimeEvents().maxlen == DEFAULT_MAXLEN
+
+    def test_clear_resets_drop_count(self):
+        events = RuntimeEvents(maxlen=2)
+        for _ in range(5):
+            events.record("tick")
+        events.clear()
+        assert events.dropped_events == 0
+        assert len(events) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RuntimeEvents(maxlen=0)
+
+    def test_dump_jsonl_header_and_payload(self, tmp_path):
+        events = RuntimeEvents(maxlen=3)
+        for i in range(5):
+            events.record("tick", i=i, arr=np.array([1.0]))
+        out = events.dump_jsonl(tmp_path / "events.jsonl")
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["header"] == "repro-runtime-events"
+        assert header["retained"] == 3
+        assert header["total_recorded"] == 5
+        assert header["dropped_events"] == 2
+        body = [json.loads(line) for line in lines[1:]]
+        assert [e["data"]["i"] for e in body] == [2, 3, 4]
+        # non-JSON payload values are coerced, not fatal
+        assert isinstance(body[0]["data"]["arr"], str)
