@@ -1,0 +1,259 @@
+"""Fusion + K-stage ablation: do the parallel executors beat serial now?
+
+The two granularity levers this repo's runtime offers are timed together,
+exactly as the solver exercises them:
+
+* **task fusion** (the ``fuse_tasks`` compiler pass) — fewer, fatter
+  tasks per round, so per-task dispatch cost amortises, and
+* **K-stage rounds** (``evaluate_stages``) — K Runge–Kutta stages per
+  worker round-trip instead of one, so per-round dispatch cost amortises
+  across the solver's static stage structure.
+
+The timing unit is one full 6-stage DOPRI trial-stage pass through
+``ParallelRHS.eval_stages`` (the exact call ``rk45_adaptive`` makes per
+step), reported as RHS evaluations per second.  Every configuration's
+stage rows are verified bit-identical against ``SerialExecutor`` before
+timing.
+
+Usable as a standalone smoke check or the full run::
+
+    python benchmarks/bench_fusion.py --quick   # CI smoke
+    python benchmarks/bench_fusion.py           # full numbers
+
+Both modes write ``benchmarks/results/BENCH_fusion.json``.  The full run
+asserts the headline ratios on the heavy bearing — fused process pool
+> 1.5x serial and fused thread pool > 1.0x RHS throughput — but only on
+hosts where this process can use >= 4 cores; on smaller hosts the gate is
+skipped with a visible reason and the measured numbers are recorded
+as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import emit, table  # noqa: E402
+from bench_process_executor import (  # noqa: E402
+    _sweep_leaked_segments,
+    usable_cores,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+PROCESS_GATE = 1.5
+THREAD_GATE = 1.0
+GATE_MIN_CORES = 4
+
+
+def _subjects(quick: bool):
+    from repro.apps import (
+        Bearing3dParams,
+        BearingParams,
+        build_bearing2d,
+        build_bearing3d,
+    )
+
+    if quick:
+        return {
+            "bearing2d-4": build_bearing2d(BearingParams(num_rollers=4)),
+            "bearing3d-4x4": build_bearing3d(
+                Bearing3dParams(num_rollers=4, contact_harmonics=4)
+            ),
+        }
+    return {
+        "bearing2d-10": build_bearing2d(BearingParams(num_rollers=10)),
+        "bearing3d-12x12": build_bearing3d(
+            Bearing3dParams(num_rollers=12, contact_harmonics=12)
+        ),
+    }
+
+
+def _reference_stages(program):
+    """Serial 6-stage pass: the bit-identity reference and y/k fixtures."""
+    from repro.runtime import ParallelRHS, SerialExecutor
+    from repro.solver.rk import DOPRI_A, DOPRI_C
+
+    y = program.start_vector()
+    n = y.size
+    rhs = ParallelRHS(program, SerialExecutor(program))
+    k = np.empty((7, n), dtype=float)
+    k[0] = rhs(0.0, y)
+    h_dir = 1e-8  # small positive trial step: states stay in-domain
+    rhs.eval_stages(0.0, y, h_dir, k, DOPRI_A, DOPRI_C)
+    return y, h_dir, k
+
+
+def _time_stage_passes(rhs, y, h_dir, k_ref, reps: int) -> np.ndarray:
+    """Best-of-3 wall time for ``reps`` 6-stage passes; returns (time, k)."""
+    from repro.solver.rk import DOPRI_A, DOPRI_C
+
+    k = np.empty_like(k_ref)
+    k[0] = k_ref[0]
+    best = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(reps):
+            rhs.eval_stages(0.0, y, h_dir, k, DOPRI_A, DOPRI_C)
+        best = min(best, time.perf_counter() - start)
+    return best, k
+
+
+def bench_model(model, name: str, workers: int, reps: int) -> list[dict]:
+    from repro.frontend import compile_model
+    from repro.runtime import (
+        ParallelRHS,
+        ProcessExecutor,
+        SerialExecutor,
+        ThreadedExecutor,
+    )
+
+    rows: list[dict] = []
+    for fused in (False, True):
+        cm = compile_model(model, fuse=fused)
+        program = cm.program
+        y, h_dir, k_ref = _reference_stages(program)
+        serial_rhs = ParallelRHS(program, SerialExecutor(program))
+        t_serial, _ = _time_stage_passes(serial_rhs, y, h_dir, k_ref, reps)
+        rows.append({
+            "model": name, "fused": fused, "executor": "serial",
+            "workers": 1, "stage_chunk": 1, "num_tasks": program.num_tasks,
+            "rhs_evals_per_s": 6 * reps / t_serial,
+            "speedup_vs_serial": 1.0,
+        })
+        for label, factory in (
+            ("thread",
+             lambda: ThreadedExecutor(program, num_workers=workers)),
+            ("process",
+             lambda: ProcessExecutor(program, num_workers=workers)),
+        ):
+            for chunk in (1, 2, 6):
+                executor = factory()
+                rhs = ParallelRHS(program, executor, stage_chunk=chunk)
+                try:
+                    t, k = _time_stage_passes(rhs, y, h_dir, k_ref, reps)
+                    if not np.array_equal(k, k_ref):
+                        raise AssertionError(
+                            f"{label} K={chunk} fused={fused} diverged "
+                            f"from serial stage rows on {name}"
+                        )
+                finally:
+                    rhs.close()
+                rows.append({
+                    "model": name, "fused": fused, "executor": label,
+                    "workers": workers, "stage_chunk": chunk,
+                    "num_tasks": program.num_tasks,
+                    "rhs_evals_per_s": 6 * reps / t,
+                    "speedup_vs_serial": t_serial / t,
+                })
+    return rows
+
+
+def run(quick: bool, workers: int, reps: int) -> dict:
+    rows: list[dict] = []
+    for name, model in _subjects(quick).items():
+        rows.extend(bench_model(model, name, workers, reps))
+    return {
+        "quick": quick,
+        "workers": workers,
+        "reps": reps,
+        "cpu_count": os.cpu_count(),
+        "usable_cores": usable_cores(),
+        "rows": rows,
+    }
+
+
+def _report(results: dict) -> None:
+    rows = [
+        [
+            r["model"],
+            "fused" if r["fused"] else "unfused",
+            r["executor"],
+            r["stage_chunk"],
+            r["num_tasks"],
+            f"{r['rhs_evals_per_s']:.0f}",
+            f"{r['speedup_vs_serial']:.2f}x",
+        ]
+        for r in results["rows"]
+    ]
+    lines = table(
+        ["model", "fusion", "executor", "K", "tasks", "RHS evals/s",
+         "vs serial"],
+        rows,
+    )
+    lines += [
+        "",
+        f"host cores: {results['cpu_count']} "
+        f"({results['usable_cores']} usable by this process), "
+        f"pool size: {results['workers']}, "
+        f"reps: {results['reps']} six-stage passes",
+        "every configuration's stage rows verified bit-identical to "
+        "SerialExecutor before timing",
+    ]
+    emit("BENCH_fusion", "Task fusion + K-stage round ablation", lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny models and few reps (CI smoke: "
+                             "exercises every fused/K configuration and "
+                             "JSON emission, skips the speedup gate)")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, usable_cores()),
+                        help="pool size for thread/process executors "
+                             "(default: min(4, affinity-usable cores))")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="six-stage passes per timing (default 5 "
+                             "quick, 50 full)")
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (5 if args.quick else 50)
+
+    try:
+        results = run(args.quick, args.workers, reps)
+    finally:
+        leaked = _sweep_leaked_segments()
+        if leaked:
+            print(f"warning: swept leaked shm segments: {leaked}",
+                  file=sys.stderr)
+    _report(results)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_fusion.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    cores = results["usable_cores"]
+    if not args.quick and cores >= GATE_MIN_CORES:
+        failures = []
+        for executor, gate in (("process", PROCESS_GATE),
+                               ("thread", THREAD_GATE)):
+            heavy = [r for r in results["rows"]
+                     if r["executor"] == executor and r["fused"]
+                     and r["model"].startswith("bearing3d")]
+            best = max(heavy, key=lambda r: r["speedup_vs_serial"])
+            if best["speedup_vs_serial"] < gate:
+                failures.append(
+                    f"FAIL: fused {executor} pool reached only "
+                    f"{best['speedup_vs_serial']:.2f}x vs serial on "
+                    f"{best['model']} (gate {gate}x, {cores} usable cores)"
+                )
+        for line in failures:
+            print(line, file=sys.stderr)
+        if failures:
+            return 1
+    elif not args.quick:
+        print(f"# speedup gate skipped: only {cores} usable core(s) "
+              f"(os.cpu_count()={results['cpu_count']}, gate needs "
+              f">= {GATE_MIN_CORES}); recording measured numbers as-is")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

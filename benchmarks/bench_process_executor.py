@@ -48,6 +48,19 @@ SPEEDUP_GATE = 1.5
 GATE_MIN_CORES = 4
 
 
+def usable_cores() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; a container/cgroup or taskset
+    can pin the process to far fewer, which is the number that decides
+    whether a parallel-speedup gate is meaningful on this host.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def _programs(quick: bool):
     from repro.apps import (
         Bearing3dParams,
@@ -161,6 +174,7 @@ def run(quick: bool, workers: int, reps: int) -> dict:
         "workers": workers,
         "reps": reps,
         "cpu_count": os.cpu_count(),
+        "usable_cores": usable_cores(),
         "rows": rows,
     }
 
@@ -181,7 +195,8 @@ def _report(results: dict) -> None:
     )
     lines += [
         "",
-        f"host cores: {results['cpu_count']}, "
+        f"host cores: {results['cpu_count']} "
+        f"({results['usable_cores']} usable by this process), "
         f"pool size: {results['workers']}, reps: {results['reps']}",
         "every executor verified bit-identical to SerialExecutor "
         "before timing",
@@ -197,8 +212,9 @@ def main(argv: list[str] | None = None) -> int:
                              "exercises shared-memory setup/teardown and "
                              "JSON emission, skips the speedup gate)")
     parser.add_argument("--workers", type=int,
-                        default=min(4, os.cpu_count() or 1),
-                        help="pool size for thread/process executors")
+                        default=min(4, usable_cores()),
+                        help="pool size for thread/process executors "
+                             "(default: min(4, affinity-usable cores))")
     parser.add_argument("--reps", type=int, default=None,
                         help="RHS rounds per timing (default 20 quick, "
                              "200 full)")
@@ -218,7 +234,7 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")
 
-    cores = results["cpu_count"] or 1
+    cores = results["usable_cores"]
     if not args.quick and cores >= GATE_MIN_CORES:
         heavy = [r for r in results["rows"]
                  if r["executor"] == "process"
@@ -229,12 +245,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"FAIL: process executor reached only "
                 f"{worst['speedup_vs_serial']:.2f}x vs serial on "
                 f"{worst['model']} (gate {SPEEDUP_GATE}x, "
-                f"{cores} cores)", file=sys.stderr,
+                f"{cores} usable cores)", file=sys.stderr,
             )
             return 1
     elif not args.quick:
-        print(f"# speedup gate skipped: host has {cores} core(s) "
-              f"(< {GATE_MIN_CORES})")
+        print(f"# speedup gate skipped: only {cores} usable core(s) "
+              f"(os.cpu_count()={results['cpu_count']}, gate needs "
+              f">= {GATE_MIN_CORES}); recording measured numbers as-is")
     return 0
 
 

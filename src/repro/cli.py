@@ -35,9 +35,9 @@ from .solver import solve_ivp
 __all__ = ["main"]
 
 
-def _load(path: str, backend: str = "python"):
+def _load(path: str, backend: str = "python", fuse: bool = True):
     source = Path(path).read_text()
-    return compile_source(source, backend=backend)
+    return compile_source(source, backend=backend, fuse=fuse)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -74,6 +74,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         backend=args.backend,
         jacobian=args.jacobian,
         shared_cse=args.shared_cse,
+        fuse=not args.no_fuse,
+        fuse_threshold=args.fuse_threshold,
         cache=cache,
         dump_after=tuple(args.dump_after or ()),
         collect_errors=True,
@@ -145,7 +147,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .runtime.events import RuntimeEvents
     from .solver.recovery import RecoveryPolicy, SolverFailure
 
-    compiled = _load(args.model, backend=args.backend)
+    compiled = _load(args.model, backend=args.backend,
+                     fuse=not args.no_fuse)
     program = compiled.program
     y0 = program.start_vector()
     params = program.param_vector()
@@ -175,9 +178,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return 2
         executor_cls = (ThreadedExecutor if args.executor == "thread"
                         else ProcessExecutor)
+        if args.stage_chunk != "auto":
+            try:
+                stage_chunk = int(args.stage_chunk)
+            except ValueError:
+                print("error: --stage-chunk must be an integer or 'auto'",
+                      file=sys.stderr)
+                return 2
+            if stage_chunk < 1:
+                print("error: --stage-chunk must be >= 1", file=sys.stderr)
+                return 2
+        else:
+            stage_chunk = "auto"
         executor = executor_cls(program, num_workers=args.workers,
                                 events=events)
-        rhs_facade = ParallelRHS(program, executor, params=params)
+        rhs_facade = ParallelRHS(program, executor, params=params,
+                                 stage_chunk=stage_chunk)
         f = rhs_facade
     elif args.backend == "numpy":
         # The vectorized module evaluates unbatched states too (its
@@ -395,6 +411,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="additionally generate the analytic Jacobian")
     p.add_argument("--shared-cse", action="store_true",
                    help="parallel-CSE task mode (see `codegen --shared-cse`)")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="disable the fuse_tasks coarsening pass "
+                        "(A/B debugging)")
+    p.add_argument("--fuse-threshold", type=float, default=None,
+                   metavar="S",
+                   help="fused-task body-cost threshold in cost-model "
+                        "seconds (default: automatic)")
     p.add_argument("--explain", action="store_true",
                    help="print the per-pass wall-time/node-count table")
     p.add_argument("--cache-dir", metavar="PATH",
@@ -452,6 +475,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=2, metavar="N",
                    help="worker count for --executor thread/process "
                         "(default 2)")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="disable the fuse_tasks coarsening pass "
+                        "(A/B debugging)")
+    p.add_argument("--stage-chunk", default="auto", metavar="K",
+                   help="solver stages shipped per worker round-trip for "
+                        "--executor thread/process: an integer 1-6 or "
+                        "'auto' (default; calibrated from measured "
+                        "dispatch overhead)")
     p.add_argument("--rtol", type=float, default=1e-6)
     p.add_argument("--atol", type=float, default=1e-9)
     p.add_argument("--start-file", help="start-value file overriding defaults")

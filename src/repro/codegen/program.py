@@ -306,6 +306,9 @@ def generate_program(
     cse_min_ops: int = 1,
     shared_cse: bool = False,
     backend: str = "python",
+    fuse: bool = True,
+    fuse_threshold: float | None = None,
+    blocks=None,
 ) -> GeneratedProgram:
     """Run the full back half of the compiler: verify → partition → emit.
 
@@ -318,6 +321,12 @@ def generate_program(
     scalar module only; ``"numpy"`` additionally emits the vectorized
     module (same task plan, same CSE structure), enabling the batched
     ``rhs_batch``/``make_rhs_batch``/``make_jac_batch`` entry points.
+
+    ``fuse`` runs the task-fusion coarsening of :mod:`repro.codegen.fuse`
+    over the partitioned plan (``fuse_threshold=None`` picks the automatic
+    dispatch-amortising threshold; ``blocks`` optionally supplies the
+    analysis partition's state→SCC-block membership for locality-ordered
+    merging, as the pipeline's ``fuse_tasks`` pass does).
     """
     if backend not in BACKENDS:
         from ..compiler.context import unknown_backend_message
@@ -331,6 +340,13 @@ def generate_program(
         split_threshold=split_threshold,
         shared_cse=shared_cse,
     )
+    if fuse:
+        from .fuse import fuse_plan
+
+        plan, _ = fuse_plan(
+            plan, cost_model=cost_model, threshold=fuse_threshold,
+            blocks=blocks,
+        )
     module = generate_python(
         system, plan=plan, jacobian=jacobian, cse_min_ops=cse_min_ops
     )

@@ -80,6 +80,13 @@ class CompileOptions:
     shared_cse: bool = False
     backend: str = "python"
     cse_min_ops: int = 1
+    #: run the fuse_tasks pass (merge small tasks up to fuse_threshold)
+    fuse: bool = True
+    #: fused-task body-cost threshold in cost-model seconds (None = auto)
+    fuse_threshold: float | None = None
+    #: solver stages shipped per worker round-trip (None = runtime "auto");
+    #: recorded at compile time so fused artifacts can't alias across K
+    stage_chunk: int | None = None
     #: content-addressed artifact cache (None disables caching)
     cache: "ArtifactCache | None" = None
     #: pass names after which a textual context snapshot is recorded
@@ -101,6 +108,9 @@ class CompileOptions:
             "split_threshold": self.split_threshold,
             "shared_cse": self.shared_cse,
             "cse_min_ops": self.cse_min_ops,
+            "fuse": self.fuse,
+            "fuse_threshold": self.fuse_threshold,
+            "stage_chunk": self.stage_chunk,
             "cost_model": {
                 f.name: getattr(self.cost_model, f.name)
                 for f in dataclass_fields(self.cost_model)

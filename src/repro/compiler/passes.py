@@ -17,6 +17,7 @@ partition      flat                       partition
 transform      flat                       system
 verify         system                     verify_report
 tasks          system                     plan
+fuse_tasks     plan                       plan (fused)
 codegen        system, plan               module, vector_module
 link           system, plan, module       program
 cache-store    program                    —
@@ -142,6 +143,32 @@ def _run_tasks(ctx: CompilationContext) -> None:
     ctx.metrics["num_tasks"] = ctx.plan.num_tasks
 
 
+def _run_fuse_tasks(ctx: CompilationContext) -> None:
+    from ..codegen.fuse import fuse_plan
+
+    opts = ctx.options
+    blocks = ctx.partition.membership if ctx.partition is not None else None
+    ctx.plan, stats = fuse_plan(
+        ctx.plan,
+        cost_model=opts.cost_model,
+        threshold=opts.fuse_threshold,
+        blocks=blocks,
+    )
+    ctx.metrics["num_tasks"] = ctx.plan.num_tasks
+    ctx.metrics["fuse_tasks_before"] = stats.tasks_before
+    ctx.metrics["fuse_tasks_after"] = stats.tasks_after
+    ctx.metrics["fuse_threshold"] = stats.threshold
+    ctx.metrics["fuse_cost_histogram"] = stats.cost_histogram()
+
+
+def _skip_fuse(ctx: CompilationContext) -> str | None:
+    if ctx.cache_hit:
+        return "artifact cache hit"
+    if not ctx.options.fuse:
+        return "fusion disabled (fuse=False)"
+    return None
+
+
 def _run_codegen(ctx: CompilationContext) -> None:
     opts = ctx.options
     ctx.module = generate_python(
@@ -235,6 +262,10 @@ def build_default_manager() -> PassManager:
         Pass("tasks", _run_tasks, requires=("system",), provides=("plan",),
              description="task partitioning (group/split, cost model)",
              skip_when=_skip_when_cached),
+        Pass("fuse_tasks", _run_fuse_tasks, requires=("plan",),
+             provides=("plan",),
+             description="merge small tasks until dispatch cost amortises",
+             skip_when=_skip_fuse),
         Pass("codegen", _run_codegen, requires=("system", "plan"),
              provides=("module", "vector_module"),
              description="CSE + code emission (python / numpy modules)",
@@ -254,7 +285,9 @@ DEFAULT_PASS_NAMES = build_default_manager().pass_names
 
 #: passes skipped when the artifact cache hits — the whole analysis and
 #: code-generation middle of the pipeline
-CACHE_SKIPPED_PASSES = ("partition", "transform", "verify", "tasks", "codegen")
+CACHE_SKIPPED_PASSES = (
+    "partition", "transform", "verify", "tasks", "fuse_tasks", "codegen",
+)
 
 
 def compile_context(

@@ -48,6 +48,7 @@ class PipelineReport:
             metrics={
                 k: v for k, v in ctx.metrics.items()
                 if isinstance(v, (int, float, str, bool))
+                or k == "fuse_cost_histogram"
             },
             diagnostics=tuple(str(d) for d in ctx.diagnostics),
         )
@@ -114,6 +115,18 @@ class PipelineReport:
                     "num_subsystems", "generated_lines"):
             if key in self.metrics:
                 lines.append(f"  {key.replace('_', ' ')}: {self.metrics[key]}")
+        if "fuse_tasks_before" in self.metrics:
+            lines.append(
+                f"  fuse tasks: {self.metrics['fuse_tasks_before']} -> "
+                f"{self.metrics['fuse_tasks_after']} "
+                f"(threshold {self.metrics['fuse_threshold']:.3g}s)"
+            )
+            hist = self.metrics.get("fuse_cost_histogram") or ()
+            bands = ", ".join(
+                f"{label}: {count}" for label, count in hist if count
+            )
+            if bands:
+                lines.append(f"  fused cost histogram: {bands}")
         for diag in self.diagnostics:
             lines.append(f"  ! {diag}")
         return lines

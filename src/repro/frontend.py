@@ -93,11 +93,18 @@ def compile_model(
     split_threshold: float | None = None,
     shared_cse: bool = False,
     backend: str = "python",
+    fuse: bool = True,
+    fuse_threshold: float | None = None,
 ) -> CompiledModel:
     """Run the full pipeline on a model (programmatic or already flat).
 
     ``backend="numpy"`` additionally compiles the vectorized NumPy module
     (see :mod:`repro.codegen.gen_numpy`), enabling batched evaluation.
+
+    ``fuse=False`` disables the ``fuse_tasks`` coarsening pass (A/B
+    debugging escape hatch, also reachable as ``repro compile --no-fuse``);
+    ``fuse_threshold`` overrides the automatic dispatch-amortising
+    body-cost threshold (cost-model seconds per fused task).
     """
     options = CompileOptions(
         cost_model=cost_model,
@@ -106,6 +113,8 @@ def compile_model(
         split_threshold=split_threshold,
         shared_cse=shared_cse,
         backend=backend,
+        fuse=fuse,
+        fuse_threshold=fuse_threshold,
     )
     if isinstance(model, FlatModel):
         ctx = compile_context(flat=model, options=options)

@@ -71,6 +71,18 @@ __all__ = ["ProcessExecutor", "SHM_PREFIX"]
 #: (and operators) audit /dev/shm for leaks after a run
 SHM_PREFIX = "repro_px"
 
+#: rows in the stage-state / stage-result shared blocks; bounds the
+#: solver stage count a K-stage round can carry (DOPRI needs 7)
+MAX_STAGE_ROWS = 8
+
+#: progress ticks are namespaced per epoch so a straggler from an
+#: abandoned round can never satisfy (or break) a later round's barrier
+_TICK_STRIDE = 1 << 20
+
+
+class _StageAbort(RuntimeError):
+    """Internal marker: this K-stage round was aborted pool-wide."""
+
 
 class _NonFiniteOutput(RuntimeError):
     """Internal marker: a task completed but produced NaN/Inf outputs."""
@@ -135,6 +147,13 @@ def _worker_main(
                        buffer=segments["times"].buf)
     heartbeats = np.ndarray((num_workers,), dtype=np.int64,
                             buffer=segments["hb"].buf)
+    kst = np.ndarray((MAX_STAGE_ROWS, max(1, spec.num_states)),
+                     dtype=np.float64, buffer=segments["kst"].buf)
+    sres = np.ndarray((MAX_STAGE_ROWS, max(1, n_res)),
+                      dtype=np.float64, buffer=segments["sres"].buf)
+    prog = np.ndarray((num_workers,), dtype=np.int64,
+                      buffer=segments["prog"].buf)
+    ctl = np.ndarray((2,), dtype=np.int64, buffer=segments["ctl"].buf)
 
     # Orphan watchdog: under fork, a worker inherits the supervisor-side
     # pipe ends of workers spawned before it, so supervisor death does
@@ -157,6 +176,112 @@ def _worker_main(
     arbiter = _WorkerFaultArbiter(fault_plan, worker_id)
     task_slots = spec.task_slots
 
+    def run_one(tid: int, round_index: int, ti: float, y_vec, out) -> None:
+        """One task with fault injection, against an arbitrary result row."""
+        fault = arbiter.claim(tid, round_index)
+        started = time.perf_counter()
+        if fault is None:
+            tasks[tid](ti, y_vec, p, out)
+        else:
+            if fault.mode == "raise":
+                raise RuntimeError(
+                    f"injected failure in task {tid} (round {round_index})"
+                )
+            if fault.mode == "kill":
+                if hasattr(signal, "SIGKILL"):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                os._exit(1)
+            if fault.mode == "hang":
+                time.sleep(fault.hang_seconds)
+            tasks[tid](ti, y_vec, p, out)
+            if fault.mode == "nan":
+                for s in task_slots[tid]:
+                    out[s] = np.nan
+            elif fault.mode == "inf":
+                for s in task_slots[tid]:
+                    out[s] = np.inf
+            elif fault.mode == "corrupt":
+                slots = task_slots[tid]
+                target = (fault.corrupt_slot
+                          if fault.corrupt_slot is not None
+                          else (slots[0] if slots else None))
+                if target is not None:
+                    out[target] = fault.corrupt_value
+        times[tid] += time.perf_counter() - started
+
+    def serve_stages(job) -> None:
+        """One optimistic K-stage round (see ProcessExecutor.evaluate_stages).
+
+        Synchronisation is a progress-vector barrier in shared memory:
+        after each dependency level the worker bumps its own (single
+        writer) ``prog`` slot and spin-waits until every participant has
+        reached the same tick.  Ticks are namespaced by epoch so a
+        straggler from an abandoned round can neither satisfy nor break a
+        later round's barrier.  Any fault publishes the epoch in the
+        shared abort flag, so the whole pool bails out in one phase and
+        the supervisor re-runs the chunk through the hardened path.
+        """
+        (_, epoch, round_index, t, h_dir, start, stop, a_rows_t, c_t,
+         my_levels, participants, phase_timeout) = job
+        c = np.asarray(c_t, dtype=np.float64)
+        a_rows = [np.asarray(row, dtype=np.float64) for row in a_rows_t]
+        n = spec.num_states
+        # Private contiguous stage rows: matmul must see the exact serial
+        # operand layout for bit-identical results.
+        kk = np.empty((len(c), n), dtype=np.float64)
+        kk[:start] = kst[:start, :n]
+        y_stage = np.empty(n, dtype=np.float64)
+        base = epoch * _TICK_STRIDE
+        tick = 0
+        error_name: str | None = None
+        failed_tid: int | None = None
+        tid: int | None = None
+
+        def phase_barrier() -> None:
+            nonlocal tick
+            tick += 1
+            prog[worker_id] = base + tick
+            deadline = time.monotonic() + phase_timeout
+            spins = 0
+            while True:
+                if ctl[0] == epoch:
+                    raise _StageAbort
+                if all(prog[w] >= base + tick for w in participants):
+                    return
+                if time.monotonic() > deadline:
+                    ctl[0] = epoch
+                    raise _StageAbort
+                spins += 1
+                time.sleep(0 if spins < 200 else 0.0001)
+
+        try:
+            for i in range(start, stop):
+                np.matmul(kk[:i].T, a_rows[i], out=y_stage)
+                y_stage *= h_dir
+                y_stage += y
+                ti = t + c[i] * h_dir
+                row = sres[i - start]
+                for level_tasks in my_levels:
+                    for tid in level_tasks:
+                        run_one(tid, round_index, ti, y_stage, row)
+                    tid = None
+                    phase_barrier()
+                kk[i] = row[:n]
+        except _StageAbort:
+            error_name = "StageAborted"
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            ctl[0] = epoch
+            error_name = type(exc).__name__
+            failed_tid = tid
+        try:
+            # 6-tuple like the legacy reply so a stale drain can't crash
+            # the level loop's unpack; the "stages" tag lands in the
+            # epoch slot and is dropped there as a mismatch.
+            conn.send(("stages", worker_id, epoch, error_name,
+                       failed_tid, ()))
+        except (BrokenPipeError, OSError):
+            os._exit(0)
+
     while True:
         try:
             job = conn.recv()
@@ -164,6 +289,9 @@ def _worker_main(
             return
         if job is None:
             return
+        if job[0] == "stages":
+            serve_stages(job)
+            continue
         epoch, round_index, t, task_ids = job
         completed: list[int] = []
         fired: list[tuple[int, str]] = []
@@ -285,12 +413,19 @@ class ProcessExecutor:
         n_res = program.num_states + program.num_partials
         tag = f"{SHM_PREFIX}_{os.getpid()}_{id(self) & 0xFFFFFF:06x}"
         float_bytes = np.dtype(np.float64).itemsize
+        int_bytes = np.dtype(np.int64).itemsize
         sizes = {
             "y": max(1, program.num_states) * float_bytes,
             "p": max(1, self._num_params) * float_bytes,
             "res": max(1, n_res) * float_bytes,
             "times": max(1, program.num_tasks) * float_bytes,
-            "hb": num_workers * np.dtype(np.int64).itemsize,
+            "hb": num_workers * int_bytes,
+            # K-stage round protocol: known k rows in, per-stage results
+            # out, plus the progress-vector barrier and the abort flag
+            "kst": MAX_STAGE_ROWS * max(1, program.num_states) * float_bytes,
+            "sres": MAX_STAGE_ROWS * max(1, n_res) * float_bytes,
+            "prog": num_workers * int_bytes,
+            "ctl": 2 * int_bytes,
         }
         self._shms: dict[str, shared_memory.SharedMemory] = {}
         try:
@@ -312,6 +447,22 @@ class ProcessExecutor:
         self._heartbeats = np.ndarray((num_workers,), dtype=np.int64,
                                       buffer=self._shms["hb"].buf)
         self._heartbeats[:] = 0
+        self._kst = np.ndarray(
+            (MAX_STAGE_ROWS, max(1, program.num_states)),
+            dtype=np.float64, buffer=self._shms["kst"].buf)
+        self._sres = np.ndarray(
+            (MAX_STAGE_ROWS, max(1, n_res)),
+            dtype=np.float64, buffer=self._shms["sres"].buf)
+        self._prog = np.ndarray((num_workers,), dtype=np.int64,
+                                buffer=self._shms["prog"].buf)
+        self._ctl = np.ndarray((2,), dtype=np.int64,
+                               buffer=self._shms["ctl"].buf)
+        self._prog[:] = 0
+        self._ctl[:] = 0
+        #: rounds accumulated into last_task_times by the previous call
+        #: (K for a stage chunk, 1 for a plain round); scheduler feeds
+        #: divide by this to recover per-round task times
+        self.last_times_rounds = 1
 
         fault_plan = tuple(injector.plan) if injector is not None else ()
         shm_names = {k: s.name for k, s in self._shms.items()}
@@ -666,6 +817,250 @@ class ProcessExecutor:
             # Gather: results and measured times come back by memcpy too.
             res[:] = self._res
             self.last_task_times[:] = self._times
+            self.last_times_rounds = 1
+
+    # -- K-stage rounds ---------------------------------------------------------
+
+    def _fallback_stages(
+        self, t, y, p, k, a_rows, c, h_dir, start, stop, res, schedule,
+    ) -> None:
+        """Pessimistic path: one hardened ``evaluate`` round per stage,
+        recomputing stage state with the exact serial operand layout so
+        recovered chunks stay bit-identical."""
+        n = self.program.num_states
+        y_stage = np.empty(n, dtype=float)
+        for i in range(start, stop):
+            np.matmul(k[:i].T, a_rows[i], out=y_stage)
+            y_stage *= h_dir
+            y_stage += y
+            res.fill(0.0)
+            self.evaluate(t + c[i] * h_dir, y_stage, p, res, schedule)
+            k[i] = res[:n]
+        self.last_times_rounds = 1
+
+    def evaluate_stages(
+        self, t: float, y: np.ndarray, p: np.ndarray, k: np.ndarray,
+        a_rows, c, h_dir: float, start: int, stop: int, res: np.ndarray,
+        schedule: Schedule | None = None,
+    ) -> None:
+        """Evaluate RK stages ``start .. stop-1`` with one pipe message per
+        worker instead of one per stage.
+
+        The optimistic fast path ships the whole chunk up front: workers
+        advance stage-local state themselves and synchronise per
+        dependency level through the shared progress vector — no
+        supervisor round-trip, no array ever crossing a pipe.  On ANY
+        fault (worker death, stale heartbeat, exception, barrier timeout,
+        non-finite output) the round aborts via the shared flag and the
+        chunk re-runs through :meth:`_fallback_stages`, which preserves
+        the full retry → reassign → inline → degrade ladder.  Safe
+        because tasks are pure functions of ``(t, y, p)`` writing
+        disjoint slots: re-execution writes the same bytes.
+        """
+        if self._closing:
+            raise RuntimeError("executor is closed")
+        if stop <= start:
+            return
+        if schedule is None:
+            schedule = lpt_schedule(self.program.task_graph, self.num_workers)
+        if schedule.num_workers != self.num_workers:
+            raise ValueError(
+                f"schedule is for {schedule.num_workers} workers, pool has "
+                f"{self.num_workers}"
+            )
+        p = np.asarray(p, dtype=float)
+        if p.size != self._num_params:
+            raise ValueError(
+                f"parameter vector has {p.size} entries, program expects "
+                f"{self._num_params}"
+            )
+        self._round += 1
+        round_index = (
+            self.injector.begin_round() if self.injector is not None
+            else self._round
+        )
+        # Sweep before dispatch so a worker that died between rounds is
+        # recorded as dead, not just silently remapped around.
+        for w in range(self.num_workers):
+            if w not in self._dead and not self._worker_alive(w):
+                self._mark_dead(
+                    w,
+                    "heartbeat lost" if self._procs[w].is_alive()
+                    else "process exited",
+                )
+        healthy = self._healthy_workers()
+        if (self.degraded or not healthy or len(c) > MAX_STAGE_ROWS):
+            self._fallback_stages(t, y, p, k, a_rows, c, h_dir, start, stop,
+                                  res, schedule)
+            return
+
+        # Per-worker task lists per level (dead workers' tasks remapped).
+        alive = set(healthy)
+        num_levels = len(self._levels)
+        worker_levels: dict[int, list[list[int]]] = {}
+        for li, level in enumerate(self._levels):
+            for tid in level:
+                w = schedule.assignment[tid]
+                if w not in alive:
+                    w = min(alive, key=lambda h: sum(
+                        len(lv) for lv in worker_levels.get(h, ())
+                    ))
+                rows = worker_levels.setdefault(
+                    w, [[] for _ in range(num_levels)]
+                )
+                rows[li].append(tid)
+        participants = sorted(worker_levels)
+        if not participants:
+            self._fallback_stages(t, y, p, k, a_rows, c, h_dir, start, stop,
+                                  res, schedule)
+            return
+
+        nstages = stop - start
+        n = self.program.num_states
+        # Broadcast: state, parameters and known stage rows by memcpy.
+        self._y[:] = y
+        self._p[:] = p
+        self._kst[:start, :n] = k[:start]
+        self._sres[:nstages] = 0.0
+        self._times[:] = 0.0
+        self._epoch += 1
+        epoch = self._epoch
+        a_rows_t = tuple(tuple(float(v) for v in row) for row in a_rows)
+        c_t = tuple(float(v) for v in c)
+        ok = True
+        waiting: set[int] = set()
+        for w in participants:
+            try:
+                self._conns[w].send((
+                    "stages", epoch, round_index, float(t), float(h_dir),
+                    start, stop, a_rows_t, c_t,
+                    tuple(tuple(lv) for lv in worker_levels[w]),
+                    tuple(participants), self.level_timeout,
+                ))
+                waiting.add(w)
+            except (BrokenPipeError, OSError):
+                self._mark_dead(w, "pipe closed")
+                ok = False
+        if not ok:
+            self._ctl[0] = epoch  # missing participant: break the barrier
+
+        deadline = (time.monotonic()
+                    + self.level_timeout * nstages * num_levels + 1.0)
+        while ok and waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                ok = False
+                break
+            ready = connection.wait(
+                [self._conns[w] for w in waiting],
+                timeout=min(remaining, 0.05),
+            )
+            if not ready:
+                for w in list(waiting):
+                    if not self._worker_alive(w):
+                        # A crashed participant never replies and never
+                        # reaches the barrier; break it for the others.
+                        # Its tasks move to the survivors when the chunk
+                        # re-runs through the hardened path.
+                        waiting.discard(w)
+                        self._mark_dead(w, "heartbeat lost")
+                        self.events.record(
+                            "task_reassigned",
+                            tasks=tuple(tid for lv in worker_levels[w]
+                                        for tid in lv),
+                            from_worker=w, to_worker=-1,
+                        )
+                        ok = False
+                continue
+            conn_to_worker = {id(self._conns[w]): w for w in waiting}
+            for conn in ready:
+                w = conn_to_worker.get(id(conn))
+                if w is None or w not in waiting:
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    waiting.discard(w)
+                    self._mark_dead(w, "process exited")
+                    ok = False
+                    continue
+                if msg[0] != "stages":
+                    continue  # stale legacy reply from an abandoned level
+                _, mw, msg_epoch, error_name, failed_tid, _ = msg
+                if msg_epoch != epoch or mw != w:
+                    continue  # straggler from an abandoned stage round
+                waiting.discard(w)
+                if error_name is not None:
+                    ok = False
+                    if error_name != "StageAborted":
+                        self.events.record(
+                            "stage_task_error", task=failed_tid, worker=w,
+                            error=error_name,
+                        )
+        if ok and self.validate_outputs and not np.all(
+            np.isfinite(self._sres[:nstages])
+        ):
+            ok = False
+            self.events.record("stage_nonfinite", start=start, stop=stop)
+        if not ok:
+            self._ctl[0] = epoch  # release any participant still spinning
+            self.events.record("stage_round_aborted", start=start, stop=stop)
+            # Bump the epoch so straggler replies are recognisably stale.
+            self._epoch += 1
+            self._fallback_stages(t, y, p, k, a_rows, c, h_dir, start, stop,
+                                  res, schedule)
+            return
+        k[start:stop] = self._sres[:nstages, :n]
+        res[:] = self._sres[nstages - 1]
+        self.last_task_times[:] = self._times
+        self.last_times_rounds = nstages
+
+    def measure_dispatch_overhead(self, trials: int = 5) -> float:
+        """One-shot microcalibration: seconds per empty dispatch round.
+
+        Times a full supervisor→workers→supervisor pipe round-trip
+        carrying no tasks — the fixed cost every per-stage round pays,
+        and what the K-stage auto-tuner amortises."""
+        healthy = self._healthy_workers()
+        if self.degraded or not healthy:
+            return 0.0
+        samples = []
+        for _ in range(max(1, trials)):
+            self._epoch += 1
+            epoch = self._epoch
+            t0 = time.perf_counter()
+            waiting = set()
+            for w in healthy:
+                try:
+                    self._conns[w].send((epoch, self._round, 0.0, ()))
+                    waiting.add(w)
+                except (BrokenPipeError, OSError):
+                    self._mark_dead(w, "pipe closed")
+            deadline = time.monotonic() + self.level_timeout
+            while waiting and time.monotonic() < deadline:
+                ready = connection.wait(
+                    [self._conns[w] for w in waiting], timeout=0.05,
+                )
+                if not ready:
+                    waiting = {w for w in waiting if self._worker_alive(w)}
+                    continue
+                conn_to_worker = {id(self._conns[w]): w for w in waiting}
+                for conn in ready:
+                    w = conn_to_worker.get(id(conn))
+                    if w is None:
+                        continue
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        waiting.discard(w)
+                        continue
+                    if msg[0] == epoch and msg[1] == w:
+                        waiting.discard(w)
+            samples.append(time.perf_counter() - t0)
+            healthy = [w for w in healthy if self._worker_alive(w)]
+            if not healthy:
+                break
+        return float(np.median(samples))
 
     def close(self) -> None:
         """Shut the pool down; idempotent and safe under a half-dead pool.
@@ -701,6 +1096,7 @@ class ProcessExecutor:
         # BufferError ("cannot close exported pointers exist").
         self._y = self._p = self._res = None
         self._times = self._heartbeats = None
+        self._kst = self._sres = self._prog = self._ctl = None
         for shm in self._shms.values():
             try:
                 shm.close()

@@ -151,6 +151,9 @@ class SerialExecutor:
         self.program = program
         self._levels = dependency_levels(program.task_graph)
         self.last_task_times = np.zeros(program.num_tasks)
+        #: rounds accumulated in last_task_times (stage chunks accumulate
+        #: one round per stage; scheduler feeds divide by this)
+        self.last_times_rounds = 1
         self.events = events
         self.injector = injector
         self._tasks = (
@@ -178,6 +181,36 @@ class SerialExecutor:
                 tasks[tid](t, y, p, res)
                 times[tid] = time.perf_counter() - start
 
+    def evaluate_stages(
+        self, t: float, y: np.ndarray, p: np.ndarray, k: np.ndarray,
+        a_rows, c, h_dir: float, start: int, stop: int, res: np.ndarray,
+        schedule=None,
+    ) -> None:
+        """Evaluate Runge–Kutta stages ``start .. stop-1`` of the tableau
+        ``(a_rows, c)``, filling rows of ``k`` in place.
+
+        This is the reference shape of the K-stage round protocol every
+        executor implements: stage ``i`` evaluates the RHS at
+        ``y + h_dir * (k[:i].T @ a_rows[i])`` — bit-identical to the
+        serial solver loop, since the same contiguous ``k`` layout feeds
+        the same ``matmul``.  On one processor there is no round-trip to
+        amortise, so this is simply the per-stage loop.
+        """
+        n = self.program.num_states
+        y_stage = np.empty(n, dtype=float)
+        for i in range(start, stop):
+            np.matmul(k[:i].T, a_rows[i], out=y_stage)
+            y_stage *= h_dir
+            y_stage += y
+            res.fill(0.0)
+            self.evaluate(t + c[i] * h_dir, y_stage, p, res, schedule)
+            k[i] = res[:n]
+        self.last_times_rounds = 1
+
+    def measure_dispatch_overhead(self, trials: int = 5) -> float:
+        """Per-round dispatch cost: zero for in-thread evaluation."""
+        return 0.0
+
     def close(self) -> None:  # symmetry with ThreadedExecutor
         pass
 
@@ -186,6 +219,29 @@ class SerialExecutor:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+@dataclass
+class _StageRound:
+    """Everything one worker needs for an optimistic K-stage round."""
+
+    t: float
+    h_dir: float
+    start: int
+    stop: int
+    a_rows: list
+    c: np.ndarray
+    y: np.ndarray
+    p: np.ndarray
+    #: caller's stage array; rows ``[:start]`` are the already-known stages
+    k_base: np.ndarray
+    #: shared per-stage results buffers, shape (stop-start, n + partials)
+    res_stages: np.ndarray
+    barrier: threading.Barrier
+    #: this worker's task ids per dependency level (empty lists included,
+    #: so every participant performs the same number of barrier waits)
+    my_levels: list
+    n: int
 
 
 class ThreadedExecutor:
@@ -223,6 +279,7 @@ class ThreadedExecutor:
         self.num_workers = num_workers
         self._levels = dependency_levels(program.task_graph)
         self.last_task_times = np.zeros(program.num_tasks)
+        self.last_times_rounds = 1
 
         self.events = events if events is not None else RuntimeEvents()
         self.injector = injector
@@ -266,6 +323,10 @@ class ThreadedExecutor:
             job = inbox.get()
             if job is None:
                 return
+            if job[0] == "stages":
+                if not self._worker_stages(worker_id, job[1], job[2]):
+                    return  # simulated crash (WorkerKill): die silently
+                continue
             epoch, task_ids, t, y, p, res = job
             completed: list[int] = []
             error: BaseException | None = None
@@ -289,6 +350,53 @@ class ThreadedExecutor:
             # stall the supervisor until the barrier timeout.
             self._done.put((epoch, worker_id, tuple(completed), error,
                             failed_tid))
+
+    def _worker_stages(self, worker_id: int, epoch: int, rd) -> bool:
+        """Run this worker's share of one optimistic K-stage round.
+
+        Each worker keeps a *private contiguous* copy ``kk`` of the stage
+        rows so its ``matmul`` sees exactly the serial solver's operand
+        layout (bit-identity); per dependency level all workers meet at
+        ``rd.barrier``.  Any fault aborts the barrier so the whole pool
+        bails out fast and the supervisor re-runs the chunk through the
+        hardened per-stage path.  Returns False only for a simulated
+        crash (the worker thread must die without a farewell message).
+        """
+        tasks = self._tasks
+        n = rd.n
+        kk = np.empty((len(rd.c), n), dtype=float)
+        kk[:rd.start] = rd.k_base[:rd.start]
+        y_stage = np.empty(n, dtype=float)
+        error: BaseException | None = None
+        failed_tid: int | None = None
+        tid = None
+        try:
+            for i in range(rd.start, rd.stop):
+                np.matmul(kk[:i].T, rd.a_rows[i], out=y_stage)
+                y_stage *= rd.h_dir
+                y_stage += rd.y
+                ti = rd.t + rd.c[i] * rd.h_dir
+                res = rd.res_stages[i - rd.start]
+                for level_tasks in rd.my_levels:
+                    for tid in level_tasks:
+                        started = time.perf_counter()
+                        tasks[tid](ti, y_stage, rd.p, res)
+                        self.last_task_times[tid] += (
+                            time.perf_counter() - started
+                        )
+                    tid = None
+                    rd.barrier.wait(self.level_timeout)
+                kk[i] = res[:n]
+        except WorkerKill:
+            return False
+        except threading.BrokenBarrierError as exc:
+            error = exc
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            rd.barrier.abort()
+            error = exc
+            failed_tid = tid
+        self._done.put(("stages", epoch, worker_id, error, failed_tid))
+        return True
 
     # -- supervisor-side helpers -----------------------------------------------
 
@@ -524,6 +632,7 @@ class ThreadedExecutor:
         # Clear stale measurements so an aborted evaluation can never leave
         # the semi-dynamic LPT scheduling from a mix of rounds.
         self.last_task_times[:] = 0.0
+        self.last_times_rounds = 1
         if self.injector is not None:
             self.injector.begin_round()
         if self.degraded or not self._healthy_workers():
@@ -539,6 +648,204 @@ class ThreadedExecutor:
                 self._run_level_serial(level, t, y, p, res)
             else:
                 self._run_level(level, schedule.assignment, t, y, p, res)
+
+    # -- K-stage rounds ---------------------------------------------------------
+
+    def _fallback_stages(
+        self, t, y, p, k, a_rows, c, h_dir, start, stop, res, schedule,
+    ) -> None:
+        """Pessimistic path: one hardened ``evaluate`` round per stage.
+
+        Runs every stage of the chunk through the full supervision ladder
+        (retry → reassign → inline → degrade), so an aborted optimistic
+        round loses only its head start, never any fault tolerance.  The
+        stage state is recomputed from the caller's ``k`` with the exact
+        serial operand layout, so recovered chunks stay bit-identical.
+        """
+        n = self.program.num_states
+        y_stage = np.empty(n, dtype=float)
+        for i in range(start, stop):
+            np.matmul(k[:i].T, a_rows[i], out=y_stage)
+            y_stage *= h_dir
+            y_stage += y
+            res.fill(0.0)
+            self.evaluate(t + c[i] * h_dir, y_stage, p, res, schedule)
+            k[i] = res[:n]
+        self.last_times_rounds = 1
+
+    def evaluate_stages(
+        self, t: float, y: np.ndarray, p: np.ndarray, k: np.ndarray,
+        a_rows, c, h_dir: float, start: int, stop: int, res: np.ndarray,
+        schedule: Schedule | None = None,
+    ) -> None:
+        """Evaluate RK stages ``start .. stop-1`` with one dispatch per
+        worker instead of one per stage.
+
+        Optimistic fast path: every participating worker receives the
+        whole chunk up front and advances stage-local state itself,
+        meeting the others at a :class:`threading.Barrier` per dependency
+        level — no supervisor round-trip between stages.  On ANY fault
+        (exception, simulated crash, hang past the barrier timeout,
+        non-finite output) the round aborts and the chunk re-runs through
+        :meth:`_fallback_stages`, which preserves the full recovery
+        ladder.  Safe because tasks are pure functions of ``(t, y, p)``
+        writing disjoint slots: re-execution writes the same bytes.
+        """
+        if self._closing:
+            raise RuntimeError("executor is closed")
+        if stop <= start:
+            return
+        if schedule is None:
+            schedule = lpt_schedule(self.program.task_graph, self.num_workers)
+        if schedule.num_workers != self.num_workers:
+            raise ValueError(
+                f"schedule is for {schedule.num_workers} workers, pool has "
+                f"{self.num_workers}"
+            )
+        self.last_task_times[:] = 0.0
+        if self.injector is not None:
+            self.injector.begin_round()
+        healthy = self._healthy_workers()
+        if self.degraded or not healthy:
+            self._fallback_stages(t, y, p, k, a_rows, c, h_dir, start, stop,
+                                  res, schedule)
+            return
+
+        # Per-worker task lists per level (dead workers' tasks remapped).
+        alive = set(healthy)
+        worker_levels: dict[int, list[list[int]]] = {}
+        num_levels = len(self._levels)
+        for li, level in enumerate(self._levels):
+            for tid in level:
+                w = schedule.assignment[tid]
+                if w not in alive:
+                    w = min(alive, key=lambda h: sum(
+                        len(lv) for lv in worker_levels.get(h, ())
+                    ))
+                rows = worker_levels.setdefault(
+                    w, [[] for _ in range(num_levels)]
+                )
+                rows[li].append(tid)
+        participants = sorted(worker_levels)
+        if not participants:
+            self._fallback_stages(t, y, p, k, a_rows, c, h_dir, start, stop,
+                                  res, schedule)
+            return
+
+        nstages = stop - start
+        res_stages = np.zeros(
+            (nstages, self.program.num_states + self.program.num_partials),
+            dtype=float,
+        )
+        barrier = threading.Barrier(len(participants))
+        self._epoch += 1
+        epoch = self._epoch
+        for w in participants:
+            rd = _StageRound(
+                t=t, h_dir=h_dir, start=start, stop=stop,
+                a_rows=a_rows, c=c, y=y, p=p, k_base=k,
+                res_stages=res_stages, barrier=barrier,
+                my_levels=worker_levels[w], n=self.program.num_states,
+            )
+            self._inboxes[w].put(("stages", epoch, rd))
+
+        ok = True
+        waiting = set(participants)
+        deadline = (time.monotonic()
+                    + self.level_timeout * nstages * num_levels + 1.0)
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Whole-chunk timeout: abandon the round; late workers
+                # exit through the (aborted) barrier and their stale
+                # replies are dropped by epoch.
+                barrier.abort()
+                ok = False
+                break
+            try:
+                msg = self._done.get(timeout=min(remaining, 0.05))
+            except queue.Empty:
+                for w in list(waiting):
+                    if not self._threads[w].is_alive():
+                        # A crashed worker never replies; break the
+                        # barrier so the survivors bail out now.  Its
+                        # tasks move to the survivors when the chunk
+                        # re-runs through the hardened path.
+                        barrier.abort()
+                        waiting.discard(w)
+                        self._mark_dead(w, "thread died mid stage round")
+                        self.events.record(
+                            "task_reassigned",
+                            tasks=tuple(tid for lv in worker_levels[w]
+                                        for tid in lv),
+                            from_worker=w, to_worker=-1,
+                        )
+                        ok = False
+                continue
+            if msg[0] != "stages":
+                continue  # stale reply from an abandoned legacy level
+            _, msg_epoch, w, error, failed_tid = msg
+            if msg_epoch != epoch or w not in waiting:
+                continue
+            waiting.discard(w)
+            if error is not None:
+                ok = False
+                if not isinstance(error, threading.BrokenBarrierError):
+                    self.events.record(
+                        "stage_task_error", task=failed_tid, worker=w,
+                        error=type(error).__name__,
+                    )
+        if ok and self.validate_outputs and not np.all(
+            np.isfinite(res_stages)
+        ):
+            ok = False
+            self.events.record("stage_nonfinite", start=start, stop=stop)
+        if not ok:
+            self.events.record(
+                "stage_round_aborted", start=start, stop=stop,
+            )
+            # Invalidate the optimistic round before re-running: bump the
+            # epoch so any straggler reply is recognisably stale.
+            self._epoch += 1
+            self._fallback_stages(t, y, p, k, a_rows, c, h_dir, start, stop,
+                                  res, schedule)
+            return
+        k[start:stop] = res_stages[:, : self.program.num_states]
+        res[:] = res_stages[nstages - 1]
+        self.last_times_rounds = nstages
+
+    def measure_dispatch_overhead(self, trials: int = 5) -> float:
+        """One-shot microcalibration: seconds per empty dispatch round.
+
+        Times a full supervisor→workers→supervisor round-trip carrying no
+        tasks — the fixed cost every per-stage round pays, and what the
+        granularity auto-tuner amortises by batching K stages per trip.
+        """
+        healthy = self._healthy_workers()
+        if not healthy:
+            return 0.0
+        samples = []
+        for _ in range(max(1, trials)):
+            self._epoch += 1
+            epoch = self._epoch
+            t0 = time.perf_counter()
+            for w in healthy:
+                self._inboxes[w].put((epoch, (), 0.0, None, None, None))
+            waiting = set(healthy)
+            deadline = time.monotonic() + self.level_timeout
+            while waiting and time.monotonic() < deadline:
+                try:
+                    msg = self._done.get(timeout=0.05)
+                except queue.Empty:
+                    waiting = {w for w in waiting
+                               if self._threads[w].is_alive()}
+                    continue
+                if msg[0] == "stages":
+                    continue
+                if msg[0] == epoch and msg[1] in waiting:
+                    waiting.discard(msg[1])
+            samples.append(time.perf_counter() - t0)
+        return float(np.median(samples))
 
     def close(self) -> None:
         """Shut the pool down; idempotent and safe under a half-dead pool.

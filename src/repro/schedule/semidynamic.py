@@ -54,6 +54,8 @@ class SemiDynamicScheduler:
         self.num_reschedules = 0
         #: cumulative wall-clock time spent inside the scheduler itself
         self.overhead_seconds = 0.0
+        #: measured per-round dispatch cost (seconds), 0.0 until calibrated
+        self.dispatch_overhead = 0.0
         self._schedule = lpt_schedule(graph, num_workers)
 
     @property
@@ -89,3 +91,44 @@ class SemiDynamicScheduler:
         if total_compute_seconds <= 0:
             return 0.0
         return self.overhead_seconds / total_compute_seconds
+
+    # -- granularity auto-tuning -------------------------------------------
+
+    def calibrate_dispatch(self, seconds: float) -> None:
+        """Record the measured per-round dispatch cost (one-shot, from
+        ``executor.measure_dispatch_overhead()`` at startup)."""
+        if seconds < 0:
+            raise ValueError("dispatch overhead must be non-negative")
+        self.dispatch_overhead = float(seconds)
+
+    def recommend_stage_chunk(self, max_stages: int = 6) -> int:
+        """Solver stages to batch per worker round-trip.
+
+        Batching K stages pays the per-round dispatch cost ``d`` once per
+        K stages, so the overhead per stage is ``d / K``.  Pick the
+        smallest K that keeps it under ~25% of one stage's per-worker
+        compute (current smoothed estimates); with no measured dispatch
+        cost (serial, or uncalibrated) batching buys nothing and K = 1.
+        """
+        if max_stages < 1:
+            raise ValueError("max_stages must be >= 1")
+        d = self.dispatch_overhead
+        if d <= 0.0:
+            return 1
+        stage_compute = float(self.estimates.sum()) / max(self.num_workers, 1)
+        k = int(np.ceil(d / max(0.25 * stage_compute, 1e-9)))
+        return int(np.clip(k, 1, max_stages))
+
+    def recommend_fusion_threshold(self) -> float:
+        """Fused-task body-cost threshold (seconds) from measured times.
+
+        Two pressures: a fused task must dwarf its share of the dispatch
+        cost (else the round is overhead-bound), but each worker still
+        needs a handful of tasks per round for the LPT to balance with.
+        The recommendation is the larger of the dispatch share and a
+        quarter of one worker's per-round compute.
+        """
+        total = float(self.estimates.sum())
+        per_worker = total / max(self.num_workers, 1)
+        dispatch_share = self.dispatch_overhead / max(self.num_workers, 1)
+        return max(dispatch_share, per_worker / 4.0)

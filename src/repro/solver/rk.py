@@ -120,6 +120,12 @@ def rk45_adaptive(
     y = np.asarray(y0, dtype=float).copy()
     n = y.size
     stats = Stats()
+    # K-stage fast path: a ParallelRHS exposes eval_stages, which fills
+    # all six trial stages with (at best) one executor dispatch per K
+    # stages instead of one per stage.  Captured before the GuardedRhs
+    # wrap — the guard is per-call; stage-path failures are converted to
+    # RhsError below so shrink-and-retry recovery behaves identically.
+    stage_eval = getattr(f, "eval_stages", None)
     if recovery is not None:
         f = GuardedRhs(f)
 
@@ -179,11 +185,25 @@ def rk45_adaptive(
         stats.nsteps += 1
 
         try:
-            for i in range(1, 7):
-                np.matmul(k[:i].T, DOPRI_A[i], out=y_stage)
-                y_stage *= h * direction
-                y_stage += y
-                k[i] = f(t + DOPRI_C[i] * h * direction, y_stage)
+            if stage_eval is not None:
+                try:
+                    stage_eval(t, y, h * direction, k, DOPRI_A, DOPRI_C)
+                except RhsError:
+                    raise
+                except Exception as exc:
+                    if recovery is None:
+                        raise
+                    raise RhsError(t, cause=exc) from exc
+                if recovery is not None and not np.all(
+                    np.isfinite(k[1:7])
+                ):
+                    raise RhsError(t, non_finite=True)
+            else:
+                for i in range(1, 7):
+                    np.matmul(k[:i].T, DOPRI_A[i], out=y_stage)
+                    y_stage *= h * direction
+                    y_stage += y
+                    k[i] = f(t + DOPRI_C[i] * h * direction, y_stage)
         except RhsError as exc:
             retries += 1
             if recovery is None or retries > recovery.max_retries:

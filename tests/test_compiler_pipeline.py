@@ -54,12 +54,14 @@ _BUILDERS = {
 
 
 def _monolith_compile(model, backend):
-    """The pre-refactor frontend.compile_model, inlined verbatim."""
+    """The pre-refactor frontend.compile_model, inlined verbatim (plus the
+    fuse_tasks coarsening both paths now run, fed the same SCC blocks)."""
     flat = model.flatten()
     check_types(flat)
-    partition(flat)
+    part = partition(flat)
     system = make_ode_system(flat)
-    return generate_program(system, backend=backend)
+    return generate_program(system, backend=backend,
+                            blocks=part.membership)
 
 
 class TestMonolithEquivalence:

@@ -303,7 +303,8 @@ class TestResourceHygiene:
     def test_close_unlinks_all_shared_memory(self, program):
         executor = ProcessExecutor(program, num_workers=2)
         names = [shm.name for shm in executor._shms.values()]
-        assert len(names) == 5
+        # y, p, res, times, hb + the K-stage blocks kst, sres, prog, ctl
+        assert len(names) == 9
         executor.close()
         shm_dir = "/dev/shm"
         if os.path.isdir(shm_dir):
@@ -350,7 +351,7 @@ class TestResourceHygiene:
             worker_pids = [int(x) for x in
                            proc.stdout.readline().split("|")]
             segment_names = proc.stdout.readline().split("|")
-            assert len(worker_pids) == 2 and len(segment_names) == 5
+            assert len(worker_pids) == 2 and len(segment_names) == 9
             os.kill(proc.pid, signal.SIGKILL)
             proc.wait(timeout=10)
 
