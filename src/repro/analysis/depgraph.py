@@ -24,11 +24,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
 
-from ..model.flatten import FlatModel
+from ..model.flatten import ArrayFlatModel, FlatModel
 from ..symbolic.expr import Expr, free_symbols
-from .matching import MatchingError, maximum_matching
+from .matching import match_implicit
 
-__all__ = ["DiGraph", "VariableAssignment", "build_dependency_graph"]
+__all__ = [
+    "DiGraph",
+    "VariableAssignment",
+    "ArrayGraphInfo",
+    "build_dependency_graph",
+    "build_array_dependency_graph",
+]
 
 
 class DiGraph:
@@ -160,29 +166,28 @@ def build_dependency_graph(
     # unknowns it mentions (Hopcroft–Karp maximum matching).
     implicit = list(flat.implicit)
     if implicit:
-        open_unknowns = [u for u in sorted(unknowns) if u not in defining]
-        labels = [
-            eq_label(eq.label, f"implicit[{i}]") for i, eq in enumerate(implicit)
-        ]
-        incidence: dict[str, list[str]] = {}
         refs: dict[str, frozenset[str]] = {}
-        for eq, label in zip(implicit, labels):
-            mentioned = _unknown_refs(eq.lhs, unknowns) | _unknown_refs(
+        for i, eq in enumerate(implicit):
+            label = eq_label(eq.label, f"implicit[{i}]")
+            refs[label] = _unknown_refs(eq.lhs, unknowns) | _unknown_refs(
                 eq.rhs, unknowns
             )
-            refs[label] = mentioned
-            incidence[label] = [u for u in sorted(mentioned) if u in open_unknowns]
-        match = maximum_matching(incidence, open_unknowns)
-        if len(match) < len(implicit):
-            unmatched = [l for l in labels if l not in match]
-            raise MatchingError(
-                "structurally singular system; unmatched equations: "
-                + ", ".join(unmatched[:5])
-            )
-        for label, var in match.items():
+        open_unknowns = [u for u in sorted(unknowns) if u not in defining]
+        for label, var in match_implicit(refs, open_unknowns).items():
             defining[var] = label
             uses[label] = refs[label] - {var}
 
+    var_graph, eq_graph = _build_graphs(unknowns, defining, uses)
+    assignment = VariableAssignment(defining=defining, uses=uses)
+    return var_graph, eq_graph, assignment
+
+
+def _build_graphs(
+    unknowns: Iterable[str],
+    defining: Mapping[str, str],
+    uses: Mapping[str, frozenset[str]],
+) -> tuple[DiGraph, DiGraph]:
+    """Variable and equation dependency graphs from a full assignment."""
     # Variable dependency graph: prerequisite -> dependent.
     var_graph = DiGraph()
     for name in sorted(unknowns):
@@ -200,6 +205,133 @@ def build_dependency_graph(
             dep_label = defining.get(dep)
             if dep_label is not None and dep_label != label:
                 eq_graph.add_edge(dep_label, label)
+    return var_graph, eq_graph
 
+
+@dataclass(frozen=True)
+class ArrayGraphInfo:
+    """Bookkeeping for set-based dependency graphs.
+
+    ``name_map`` sends every scalar unknown of the flat model to its graph
+    vertex — the identity for singleton variables, ``"{base}[*].{suffix}"``
+    for family members.  ``cardinality`` gives each vertex's member count
+    (1 for singletons), so SCC sizes can be reported in scalar-equivalent
+    units without enumerating members.
+    """
+
+    name_map: Mapping[str, str]
+    cardinality: Mapping[str, int]
+
+    def expand(self, vertex: str) -> tuple[str, ...]:
+        """Scalar unknowns a vertex stands for (itself when singleton)."""
+        members = tuple(
+            name for name, v in self.name_map.items() if v == vertex
+        )
+        return members if members else (vertex,)
+
+
+def build_array_dependency_graph(
+    aflat: ArrayFlatModel,
+) -> tuple[DiGraph, DiGraph, VariableAssignment, ArrayGraphInfo]:
+    """Set-based dependency graph of an array flat model.
+
+    Every family slice contributes one *set vertex* per template variable
+    (``"W[*].v.x"`` stands for ``W1.v.x … Wn.v.x``), so the graph — and the
+    SCC/matching work over it — is sized by class structure, not instance
+    count.  This is the set-based variant of the paper's SCC analysis
+    (cf. Kofman-style set-based graph algorithms, arXiv:2008.04183):
+    an edge touching a set vertex conservatively relates *all* members of
+    the slice, which can only merge SCCs, never split them — sound for
+    scheduling, and exact whenever members are mutually coupled anyway
+    (the bearing's contact ring) or fully independent per index.
+
+    Returns ``(var_graph, eq_graph, assignment, info)``; the extra
+    :class:`ArrayGraphInfo` maps scalar names to set vertices and records
+    per-vertex cardinalities for scalar-equivalent accounting.
+    """
+    member_fam = {}
+    for g in aflat.groups:
+        for m in g.family.member_names:
+            member_fam[m] = g.family
+
+    def set_name(name: str) -> str:
+        base, dot, rest = name.partition(".")
+        fam = member_fam.get(base)
+        if fam is None:
+            return name
+        return f"{fam.base}[*].{rest}" if dot else f"{fam.base}[*]"
+
+    name_map: dict[str, str] = {}
+    cardinality: dict[str, int] = {}
+    unknown_order: list[str] = []
+    for name in list(aflat.states) + list(aflat.algebraics):
+        vertex = set_name(name)
+        name_map[name] = vertex
+        if vertex not in cardinality:
+            unknown_order.append(vertex)
+            fam = member_fam.get(name.partition(".")[0])
+            cardinality[vertex] = fam.count if fam is not None else 1
+    unknowns = frozenset(unknown_order)
+
+    def mapped_refs(expr: Expr) -> frozenset[str]:
+        return frozenset(
+            name_map[s.name] for s in free_symbols(expr) if s.name in name_map
+        )
+
+    defining: dict[str, str] = {}
+    uses: dict[str, frozenset[str]] = {}
+    implicit_refs: dict[str, frozenset[str]] = {}
+
+    # Singleton equations; their bodies may reference family members — e.g.
+    # the ring force balance sums over every roller, as a symbolic Reduce
+    # whose body is written over the representative — which maps to a
+    # dependence on the set vertex, exactly as the expanded sum would.
+    for eq in aflat.odes:
+        label = eq.label if eq.label else f"ode({eq.state})"
+        defining[eq.state] = label
+        uses[label] = mapped_refs(eq.rhs)
+    for eq in aflat.explicit_algs:
+        label = eq.label if eq.label else f"alg({eq.var})"
+        defining[eq.var] = label
+        uses[label] = mapped_refs(eq.rhs)
+    for i, eq in enumerate(aflat.implicit):
+        label = eq.label if eq.label else f"implicit[{i}]"
+        implicit_refs[label] = mapped_refs(eq.lhs) | mapped_refs(eq.rhs)
+
+    # Template equations: written over the representative, lifted to set
+    # vertices.  One equation here covers the whole slice.
+    for g in aflat.groups:
+        rep = g.family.representative.name
+        slice_tag = f"{g.family.base}[*]"
+
+        def set_label(label: str, fallback: str) -> str:
+            if not label:
+                return fallback
+            return label.replace(rep, slice_tag) if rep in label else label
+
+        for eq in g.odes:
+            vertex = set_name(eq.state)
+            label = set_label(eq.label, f"ode({vertex})")
+            defining[vertex] = label
+            uses[label] = mapped_refs(eq.rhs)
+        for eq in g.explicit_algs:
+            vertex = set_name(eq.var)
+            label = set_label(eq.label, f"alg({vertex})")
+            defining[vertex] = label
+            uses[label] = mapped_refs(eq.rhs)
+        for i, eq in enumerate(g.implicit):
+            label = set_label(eq.label, f"implicit[{slice_tag}][{i}]")
+            implicit_refs[label] = mapped_refs(eq.lhs) | mapped_refs(eq.rhs)
+
+    # Singleton and template implicit equations are matched together: a
+    # template matched to a set vertex determines the whole slice at once.
+    if implicit_refs:
+        open_unknowns = [u for u in sorted(unknowns) if u not in defining]
+        for label, var in match_implicit(implicit_refs, open_unknowns).items():
+            defining[var] = label
+            uses[label] = implicit_refs[label] - {var}
+
+    var_graph, eq_graph = _build_graphs(unknowns, defining, uses)
     assignment = VariableAssignment(defining=defining, uses=uses)
-    return var_graph, eq_graph, assignment
+    info = ArrayGraphInfo(name_map=name_map, cardinality=cardinality)
+    return var_graph, eq_graph, assignment, info

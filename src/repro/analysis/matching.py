@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable, Mapping, Sequence
 
-__all__ = ["MatchingError", "maximum_matching"]
+__all__ = ["MatchingError", "maximum_matching", "match_implicit"]
 
 _INF = float("inf")
 
@@ -91,3 +91,37 @@ def maximum_matching(
     return {
         left[i]: right[match_l[i]] for i in range(len(left)) if match_l[i] != -1
     }
+
+
+def match_implicit(
+    refs: Mapping[Hashable, frozenset],
+    open_unknowns: Sequence[Hashable],
+) -> dict[Hashable, Hashable]:
+    """Assign each implicit equation to one of the open unknowns it mentions.
+
+    ``refs`` maps an equation label to the unknown vertices its body
+    references; ``open_unknowns`` are the unknowns without a defining
+    equation yet.  The vertices may be scalar variable names *or* set-based
+    vertices standing for a whole family slice (``"W[*].F.x"``): matching a
+    template equation against a set vertex performs the array-aware
+    matching of Fioravanti et al. (arXiv:2212.11135) — one assignment per
+    class × slice, with cost independent of the slice's cardinality,
+    because a uniform template matches every member iff it matches the
+    representative.
+
+    Raises :class:`MatchingError` when no perfect matching of the
+    equations exists (structurally singular system).
+    """
+    open_set = set(open_unknowns)
+    incidence = {
+        label: [u for u in sorted(mentioned) if u in open_set]
+        for label, mentioned in refs.items()
+    }
+    match = maximum_matching(incidence, list(open_unknowns))
+    if len(match) < len(refs):
+        unmatched = [label for label in refs if label not in match]
+        raise MatchingError(
+            "structurally singular system; unmatched equations: "
+            + ", ".join(str(u) for u in unmatched[:5])
+        )
+    return match

@@ -13,14 +13,24 @@ mutual dependencies and can be solved in parallel).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..model.flatten import FlatModel
-from .depgraph import DiGraph, VariableAssignment, build_dependency_graph
-from .scc import condensation, strongly_connected_components
+from ..model.flatten import ArrayFlatModel, FlatModel
+from .depgraph import (
+    ArrayGraphInfo,
+    DiGraph,
+    VariableAssignment,
+    build_array_dependency_graph,
+    build_dependency_graph,
+)
+from .scc import (
+    component_cardinality,
+    condensation,
+    strongly_connected_components,
+)
 
-__all__ = ["Subsystem", "Partition", "partition"]
+__all__ = ["Subsystem", "Partition", "ArrayPartition", "partition"]
 
 
 @dataclass(frozen=True)
@@ -90,9 +100,103 @@ class Partition:
         return "\n".join(lines)
 
 
+@dataclass
+class ArrayPartition(Partition):
+    """Partition over set-based vertices (array flatten mode).
+
+    Subsystem ``variables`` are graph vertices — plain scalar names plus
+    ``"{base}[*].{suffix}"`` set vertices each standing for a whole family
+    slice.  ``info`` carries the scalar-name ↔ set-vertex maps so consumers
+    that genuinely need scalar granularity (codegen scalarization, cost
+    models) can expand on demand; everything else stays O(class structure).
+    """
+
+    info: ArrayGraphInfo = field(
+        default_factory=lambda: ArrayGraphInfo(name_map={}, cardinality={})
+    )
+
+    @property
+    def name_map(self) -> dict[str, str]:
+        return dict(self.info.name_map)
+
+    @property
+    def cardinality(self) -> dict[str, int]:
+        return dict(self.info.cardinality)
+
+    def expand(self, vertex: str) -> tuple[str, ...]:
+        """Scalar unknowns behind one vertex (itself when singleton)."""
+        return self.info.expand(vertex)
+
+    def subsystem_cardinality(self, sub: Subsystem) -> int:
+        """Scalar unknowns covered by a subsystem's vertices."""
+        return component_cardinality(sub.variables, dict(self.info.cardinality))
+
+    @property
+    def num_scalar_variables(self) -> int:
+        return sum(
+            self.info.cardinality.get(v, 1) for v in self.membership
+        )
+
+    def expanded_membership(self) -> dict[str, int]:
+        """Scalar variable name → subsystem index (for scalar consumers)."""
+        return {
+            name: self.membership[vertex]
+            for name, vertex in self.info.name_map.items()
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.num_subsystems} strongly connected component(s) over "
+            f"set vertices ({self.num_scalar_variables} scalar unknowns), "
+            f"{self.num_levels} level(s)"
+        ]
+        for level, subs in enumerate(self.levels()):
+            for sub in subs:
+                card = self.subsystem_cardinality(sub)
+                lines.append(f"  level {level}: {sub} [{card} scalar]")
+        return "\n".join(lines)
+
+
 def partition(flat: FlatModel) -> Partition:
-    """Partition ``flat`` into topologically ordered subsystems."""
+    """Partition ``flat`` into topologically ordered subsystems.
+
+    An :class:`~repro.model.flatten.ArrayFlatModel` with intact groups is
+    partitioned over set-based vertices — one vertex per family variable
+    slice — returning an :class:`ArrayPartition` whose graph size is
+    independent of instance counts.  Scalar flat models (and array models
+    that fell back) take the classic per-variable path.
+    """
+    if (
+        isinstance(flat, ArrayFlatModel)
+        and flat.groups
+        and not flat.fallback_reason
+    ):
+        var_graph, _eq_graph, assignment, info = build_array_dependency_graph(
+            flat
+        )
+        subsystems, membership, condensed = _assemble(var_graph, assignment)
+        return ArrayPartition(
+            subsystems=subsystems,
+            membership=membership,
+            condensed=condensed,
+            assignment=assignment,
+            info=info,
+        )
+
     var_graph, _eq_graph, assignment = build_dependency_graph(flat)
+    subsystems, membership, condensed = _assemble(var_graph, assignment)
+    return Partition(
+        subsystems=subsystems,
+        membership=membership,
+        condensed=condensed,
+        assignment=assignment,
+    )
+
+
+def _assemble(
+    var_graph: DiGraph, assignment: VariableAssignment
+) -> tuple[list[Subsystem], dict[str, int], DiGraph]:
+    """SCCs → condensation → levels → :class:`Subsystem` list."""
     components = strongly_connected_components(var_graph)
     # Tarjan yields reverse topological order; reverse into solve order.
     components = list(reversed(components))
@@ -124,9 +228,4 @@ def partition(flat: FlatModel) -> Partition:
         )
 
     membership = {v: raw_membership[v] for v in var_graph.nodes}
-    return Partition(
-        subsystems=subsystems,
-        membership=membership,
-        condensed=condensed,
-        assignment=assignment,
-    )
+    return subsystems, membership, condensed

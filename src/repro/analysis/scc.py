@@ -15,7 +15,11 @@ from typing import Hashable, Sequence
 
 from .depgraph import DiGraph
 
-__all__ = ["strongly_connected_components", "condensation"]
+__all__ = [
+    "strongly_connected_components",
+    "condensation",
+    "component_cardinality",
+]
 
 
 def strongly_connected_components(graph: DiGraph) -> list[tuple[Hashable, ...]]:
@@ -98,3 +102,21 @@ def condensation(
         if ci != cj:
             condensed.add_edge(ci, cj)
     return condensed, membership
+
+
+def component_cardinality(
+    component: Sequence[Hashable],
+    cardinality: dict[Hashable, int] | None = None,
+) -> int:
+    """Number of scalar unknowns a (possibly set-based) SCC covers.
+
+    With set-based vertices (Kofman et al., arXiv:2008.04183: connected
+    components over vertex *sets* rather than enumerated vertices) a single
+    component tuple may stand for thousands of scalar unknowns.
+    ``cardinality`` maps each set vertex to its member count; vertices not
+    present (plain scalar unknowns) count as 1, so the helper is also
+    correct for ordinary scalar components.
+    """
+    if not cardinality:
+        return len(component)
+    return sum(cardinality.get(v, 1) for v in component)

@@ -1,14 +1,16 @@
 """The paper's example applications as library model factories."""
 
-from .bearing2d import BearingParams, build_bearing2d
-from .bearing3d import Bearing3dParams, build_bearing3d
+from .bearing2d import BearingParams, bearing2d, build_bearing2d
+from .bearing3d import Bearing3dParams, bearing3d, build_bearing3d
 from .powerplant import PlantParams, build_powerplant
 from .servo import ServoParams, build_servo
 
 __all__ = [
     "BearingParams",
+    "bearing2d",
     "build_bearing2d",
     "Bearing3dParams",
+    "bearing3d",
     "build_bearing3d",
     "PlantParams",
     "build_powerplant",

@@ -42,7 +42,14 @@ from ..symbolic import (
     vec2,
 )
 
-__all__ = ["BearingParams", "build_bearing2d", "SpinningBody", "Ring", "Roller"]
+__all__ = [
+    "BearingParams",
+    "bearing2d",
+    "build_bearing2d",
+    "SpinningBody",
+    "Ring",
+    "Roller",
+]
 
 
 @dataclass(frozen=True)
@@ -225,7 +232,11 @@ def build_bearing2d(params: BearingParams | None = None) -> Model:
     """Assemble the 2D bearing as an ObjectMath-style model.
 
     Instances: ``Ir`` (inner ring) and ``W1`` … ``WN`` (rollers), matching
-    the paper's ``INSTANCE BodyW[i] INHERITS Roller(W[i])`` arrays.
+    the paper's ``INSTANCE BodyW[i] INHERITS Roller(W[i])`` arrays.  The
+    rollers are registered as an instance *family*, so array-aware
+    flattening (``flatten(mode="array")``) keeps one symbolic equation
+    template for all N of them; scalar flattening enumerates the members
+    exactly as the earlier explicit loop did.
     """
     p = params or BearingParams()
     model = Model("bearing2d", doc=__doc__ or "")
@@ -247,33 +258,33 @@ def build_bearing2d(params: BearingParams | None = None) -> Model:
         },
     )
 
-    rollers = []
-    for i in range(1, p.num_rollers + 1):
+    rc = p.pitch_radius
+
+    def _start_position(i: int) -> dict:
         angle = 2.0 * math.pi * (i - 1) / p.num_rollers
-        rc = p.pitch_radius
-        rollers.append(
-            model.instance(
-                f"W{i}",
-                roller_cls,
-                overrides={
-                    "m": p.roller_mass,
-                    "J": p.roller_inertia,
-                    "R": p.roller_radius,
-                    "g": p.gravity,
-                    "r": [rc * math.cos(angle), rc * math.sin(angle)],
-                    "w": 0.0,
-                },
-            )
-        )
+        return {"r": [rc * math.cos(angle), rc * math.sin(angle)]}
+
+    rollers = model.instance_family(
+        "W",
+        p.num_rollers,
+        roller_cls,
+        overrides={
+            "m": p.roller_mass,
+            "J": p.roller_inertia,
+            "R": p.roller_radius,
+            "g": p.gravity,
+            "w": 0.0,
+        },
+        per_instance=_start_position,
+    )
 
     ir_r = ir.sym("r")
     ir_v = ir.sym("v")
     ir_w = ir.sym("w")
 
-    ring_force_terms: list[Vec] = []
-    ring_torque_terms: list[Expr] = []
-
-    for inst in rollers:
+    def _roller_contacts(inst) -> tuple[Vec, Expr, Vec, Expr]:
+        """Total contact force/torque on one roller, and its reaction on
+        the inner ring."""
         r = inst.sym("r")
         v = inst.sym("v")
         w = inst.sym("w")
@@ -294,23 +305,30 @@ def build_bearing2d(params: BearingParams | None = None) -> Model:
             ring_surface_radius=p.outer_raceway_radius,
             inner=False,
         )
+        return f_in + f_out, tq_in + tq_out, f_ring, tq_ring
 
-        model.equation(inst.sym("F"), f_in + f_out, label=f"F[{inst.name}]")
-        model.equation(inst.sym("tau"), tq_in + tq_out, label=f"M[{inst.name}]")
-        ring_force_terms.append(f_ring)
-        ring_torque_terms.append(tq_ring)
+    def _roller_equations(inst):
+        f_total, tq_total, _f_ring, _tq_ring = _roller_contacts(inst)
+        return [
+            (inst.sym("F"), f_total, f"F[{inst.name}]"),
+            (inst.sym("tau"), tq_total, f"M[{inst.name}]"),
+        ]
+
+    model.forall(rollers, _roller_equations)
 
     # Force and moment balance on the inner ring (Figure 1's equilibrium
-    # equations, here as the ring's net contact force/torque).
-    total_f = ring_force_terms[0]
-    for term in ring_force_terms[1:]:
-        total_f = total_f + term
+    # equations, here as the ring's net contact force/torque), as symbolic
+    # reductions over the roller family.
+    total_f = rollers.sum(lambda inst: _roller_contacts(inst)[2])
     total_f = total_f + vec2(ir.sym("Wx"), ir.sym("Wy"))
-    total_tq: Expr = ring_torque_terms[0]
-    for term in ring_torque_terms[1:]:
-        total_tq = total_tq + term
+    total_tq = rollers.sum(lambda inst: _roller_contacts(inst)[3])
 
     model.equation(ir.sym("F"), total_f, label="F[Ir]")
     model.equation(ir.sym("tau"), total_tq + ir.sym("Tdrive"), label="M[Ir]")
 
     return model
+
+
+def bearing2d(n_rollers: int = 10) -> Model:
+    """Parameterized constructor: the 2D bearing with ``n_rollers`` rollers."""
+    return build_bearing2d(BearingParams(num_rollers=n_rollers))

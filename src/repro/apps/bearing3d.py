@@ -30,7 +30,12 @@ from ..model import Model
 from ..symbolic import Expr, cos, sin, sqrt
 from .bearing2d import BearingParams, build_bearing2d
 
-__all__ = ["Bearing3dParams", "build_bearing3d", "inflate_contact_model"]
+__all__ = [
+    "Bearing3dParams",
+    "bearing3d",
+    "build_bearing3d",
+    "inflate_contact_model",
+]
 
 
 @dataclass(frozen=True)
@@ -77,35 +82,48 @@ def build_bearing3d(params: Bearing3dParams | None = None) -> Model:
     p = params or Bearing3dParams()
     base = replace(p.base, num_rollers=p.num_rollers)
     model = build_bearing2d(base)
+    model.name = "bearing3d"
     if p.contact_harmonics <= 0:
         return model
 
-    # Inflate every per-roller force/torque equation in place.
+    # Inflate every per-roller force/torque equation.  The 2D bearing keeps
+    # its per-roller equations in a family equation block, so the inflation
+    # wraps the block's builder: it applies per instance in scalar mode and
+    # once (for the representative) in array mode, keeping both paths
+    # structurally identical to the old explicit rewrite.
+    from ..model.arrays import FamilyEquationBlock
     from ..model.classes import Equation
+    from ..symbolic import Sym
     from ..symbolic.vector import Vec
 
-    new_equations = []
-    for eq in model.global_equations:
-        if not eq.label.startswith(("F[W", "M[W")):
-            new_equations.append(eq)
-            continue
-        if isinstance(eq.lhs, Vec):
-            # One representative state-like scalar per equation: the first
-            # component of the target variable's roller position.
-            roller = eq.label.split("[", 1)[1].rstrip("]")
-            from ..symbolic import Sym
-
-            x = Sym(f"{roller}.r.x") + Sym(f"{roller}.r.y")
+    def _inflated(eq: Equation, inst) -> Equation:
+        # One representative state-like scalar per equation: the sum of the
+        # roller position components.
+        x = Sym(f"{inst.name}.r.x") + Sym(f"{inst.name}.r.y")
+        if isinstance(eq.rhs, Vec):
             rhs = Vec(
                 inflate_contact_model(c, x, p.contact_harmonics)
                 for c in eq.rhs
             )
         else:
-            roller = eq.label.split("[", 1)[1].rstrip("]")
-            from ..symbolic import Sym
-
-            x = Sym(f"{roller}.r.x") + Sym(f"{roller}.r.y")
             rhs = inflate_contact_model(eq.rhs, x, p.contact_harmonics)
-        new_equations.append(Equation(eq.lhs, rhs, eq.label))
-    model.global_equations[:] = new_equations
+        return Equation(eq.lhs, rhs, eq.label)
+
+    def _wrap(block: FamilyEquationBlock) -> FamilyEquationBlock:
+        def build(inst):
+            return [_inflated(eq, inst) for eq in block.equations_for(inst)]
+
+        return FamilyEquationBlock(block.family, build)
+
+    model.global_equations[:] = [
+        _wrap(geq) if isinstance(geq, FamilyEquationBlock) else geq
+        for geq in model.global_equations
+    ]
     return model
+
+
+def bearing3d(n_rollers: int = 24, contact_harmonics: int = 12) -> Model:
+    """Parameterized constructor: the synthetic 3D-class bearing."""
+    return build_bearing3d(
+        Bearing3dParams(num_rollers=n_rollers, contact_harmonics=contact_harmonics)
+    )

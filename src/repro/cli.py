@@ -72,6 +72,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     options = CompileOptions(
         backend=args.backend,
+        flatten_mode=args.flatten_mode,
         jacobian=args.jacobian,
         shared_cse=args.shared_cse,
         fuse=not args.no_fuse,
@@ -407,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="python",
                    choices=("python", "numpy"),
                    help="executable backend to generate")
+    p.add_argument("--flatten-mode", default="scalar",
+                   choices=("scalar", "array"),
+                   help="'array' keeps instance families symbolic (one "
+                        "template slice per class) through analysis and "
+                        "codegen; 'scalar' enumerates every instance")
     p.add_argument("--jacobian", action="store_true",
                    help="additionally generate the analytic Jacobian")
     p.add_argument("--shared-cse", action="store_true",

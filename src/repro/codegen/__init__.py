@@ -11,8 +11,22 @@ from .gen_numpy import NumpyModule, generate_numpy
 from .gen_python import NameTable, PythonModule, generate_python
 from .program import BACKENDS, GeneratedProgram, generate_program
 from .startvalues import apply_start_file, read_start_file, write_start_file
-from .tasks import Assignment, TaskBody, TaskPlan, partition_tasks
-from .transform import OdeSystem, TransformError, make_ode_system, solve_linear
+from .tasks import (
+    Assignment,
+    TaskBody,
+    TaskPlan,
+    partition_tasks,
+    partition_tasks_array,
+)
+from .transform import (
+    ArraySystem,
+    FamilyLayout,
+    OdeSystem,
+    TransformError,
+    make_array_system,
+    make_ode_system,
+    solve_linear,
+)
 from .verify import VerifyError, VerifyReport, verify_compilable
 
 __all__ = [
@@ -37,8 +51,12 @@ __all__ = [
     "TaskBody",
     "TaskPlan",
     "partition_tasks",
+    "partition_tasks_array",
+    "ArraySystem",
+    "FamilyLayout",
     "OdeSystem",
     "TransformError",
+    "make_array_system",
     "make_ode_system",
     "solve_linear",
     "VerifyError",

@@ -25,6 +25,7 @@ from ..symbolic.expr import (
     ITE,
     Mul,
     Pow,
+    Reduce,
     Rel,
 )
 
@@ -84,6 +85,11 @@ class CostModel:
                 cost = walk(node.cond) + self.branch + 0.5 * (
                     then_cost + else_cost
                 )
+            elif isinstance(node, Reduce):
+                # the body evaluates once per member, plus the accumulation
+                cost = node.count * walk(node.body) + (
+                    node.count - 1
+                ) * self.add
             cache[node] = cost
             return cost
 

@@ -113,7 +113,7 @@ def auto_fuse_threshold(
     tasks' worth of divisible work.
     """
     total = sum(
-        cost_model.expr_cost(a.expr)
+        cost_model.expr_cost(a.expr) * a.count
         for body in plan.bodies
         for a in body.assignments
     )
@@ -179,8 +179,11 @@ def fuse_plan(
     if threshold <= 0:
         raise ValueError("fusion threshold must be positive")
 
+    # Weight by assignment cardinality: an array assignment stands for
+    # ``count`` member instances, so its real per-round cost is the
+    # template's times the index-set size (not one equation's worth).
     body_cost = [
-        sum(cost_model.expr_cost(a.expr) for a in body.assignments)
+        sum(cost_model.expr_cost(a.expr) * a.count for a in body.assignments)
         for body in plan.bodies
     ]
     levels = _dependency_levels(plan.graph)

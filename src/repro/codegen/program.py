@@ -29,8 +29,8 @@ from ..schedule.task import TaskGraph
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .gen_numpy import NumpyModule, generate_numpy
 from .gen_python import PythonModule, generate_python
-from .tasks import TaskPlan, partition_tasks
-from .transform import OdeSystem
+from .tasks import TaskPlan, partition_tasks, partition_tasks_array
+from .transform import ArraySystem, OdeSystem
 from .verify import VerifyReport, verify_compilable
 
 __all__ = ["GeneratedProgram", "ProgramSpec", "generate_program", "BACKENDS"]
@@ -77,7 +77,7 @@ class ProgramSpec:
 class GeneratedProgram:
     """A compiled, schedulable right-hand-side program."""
 
-    system: OdeSystem
+    system: OdeSystem | ArraySystem
     plan: TaskPlan
     module: PythonModule
     verify_report: VerifyReport
@@ -268,7 +268,10 @@ class GeneratedProgram:
         ``der:<state>`` targets map to the state-derivative slots
         ``[0, num_states)``; partial-sum and shared-CSE targets map to the
         auxiliary slots after them — the same layout the generated task
-        bodies write.  The runtime's fault injector and NaN/Inf output
+        bodies write.  Array targets (``der:<base>[*]<suffix>``) expand to
+        every member's slot, so the worker-side consumers (fault injection,
+        supervisor output validation, shared-memory slot copies) see the
+        true write set.  The runtime's fault injector and NaN/Inf output
         validation are both driven by this mapping.
         """
         if self._slot_index is None:
@@ -279,11 +282,20 @@ class GeneratedProgram:
                 slot: self.num_states + i
                 for i, slot in enumerate(self.plan.partial_slots)
             }
-            self._slot_index = (state_index, partial_index)
-        state_index, partial_index = self._slot_index
-        slots = []
+            array_slots: dict[str, tuple[int, ...]] = {}
+            if isinstance(self.system, ArraySystem):
+                for fam in self.system.families:
+                    for j, suffix in enumerate(fam.state_suffixes):
+                        array_slots[f"der:{fam.base}[*]{suffix}"] = (
+                            fam.state_slots(j)
+                        )
+            self._slot_index = (state_index, partial_index, array_slots)
+        state_index, partial_index, array_slots = self._slot_index
+        slots: list[int] = []
         for target in self.plan.bodies[task_id].outputs():
-            if target.startswith("der:"):
+            if target in array_slots:
+                slots.extend(array_slots[target])
+            elif target.startswith("der:"):
                 slots.append(state_index[target.split(":", 2)[1]])
             else:
                 slots.append(partial_index[target])
@@ -332,14 +344,23 @@ def generate_program(
         from ..compiler.context import unknown_backend_message
 
         raise ValueError(unknown_backend_message(backend))
+    if isinstance(system, ArraySystem) and (jacobian or shared_cse):
+        # These modes need scalar equations (per-entry differentiation,
+        # cross-equation CSE); expand gracefully rather than reject.
+        system = system.expand()
     report = verify_compilable(system)
-    plan = partition_tasks(
-        system,
-        cost_model=cost_model,
-        group_threshold=group_threshold,
-        split_threshold=split_threshold,
-        shared_cse=shared_cse,
-    )
+    if isinstance(system, ArraySystem):
+        plan = partition_tasks_array(
+            system, cost_model=cost_model, group_threshold=group_threshold
+        )
+    else:
+        plan = partition_tasks(
+            system,
+            cost_model=cost_model,
+            group_threshold=group_threshold,
+            split_threshold=split_threshold,
+            shared_cse=shared_cse,
+        )
     if fuse:
         from .fuse import fuse_plan
 

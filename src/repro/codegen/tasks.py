@@ -27,23 +27,37 @@ from ..schedule.task import Task, TaskGraph
 from ..symbolic.expr import Add, Expr, Mul, Sym, add, free_symbols, mul
 from ..symbolic.nodecount import op_count
 from .costmodel import CostModel, DEFAULT_COST_MODEL
-from .transform import OdeSystem
+from .transform import ArraySystem, OdeSystem
 
-__all__ = ["Assignment", "TaskBody", "TaskPlan", "partition_tasks"]
+__all__ = [
+    "Assignment",
+    "TaskBody",
+    "TaskPlan",
+    "partition_tasks",
+    "partition_tasks_array",
+]
 
 
 @dataclass(frozen=True)
 class Assignment:
-    """One scalar assignment ``target := expr`` inside a task body.
+    """One assignment ``target := expr`` inside a task body.
 
     ``target`` is ``"der:<state>"`` (a final derivative slot),
     ``"part:<state>:<k>"`` (a partial sum later combined), or
     ``"cse:<name>"`` (a shared subexpression computed in its own task —
     the parallel-CSE mode of section 3.3's outlook).
+
+    ``count`` is the number of scalar instances this assignment stands
+    for: 1 for ordinary scalar assignments, the family size for an array
+    assignment ``"der:<base>[*]<suffix>"`` whose ``expr`` is the
+    representative's template applied to every member.  Cost models and
+    the fusion pass weight by ``count`` so an array task is never
+    mistaken for one scalar equation's worth of work.
     """
 
     target: str
     expr: Expr
+    count: int = 1
 
     @property
     def is_partial(self) -> bool:
@@ -53,6 +67,10 @@ class Assignment:
     @property
     def state(self) -> str:
         return self.target.split(":", 2)[1]
+
+    @property
+    def is_array(self) -> bool:
+        return self.count > 1
 
 
 @dataclass(frozen=True)
@@ -418,5 +436,130 @@ def partition_tasks(
         bodies=tuple(bodies),
         graph=graph,
         partial_slots=tuple(partial_slots),
+        cost_model=cost_model,
+    )
+
+
+def partition_tasks_array(
+    system: ArraySystem,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    group_threshold: float | None = None,
+) -> TaskPlan:
+    """Partition an :class:`~repro.codegen.transform.ArraySystem`.
+
+    One unit per singleton state plus one unit per *(family, state suffix)*
+    — the whole member slice as a single array assignment whose cost and op
+    count are the template's weighted by the family size (the index-set
+    cardinality), so bin-packing and the scheduler's LPT see the true load
+    even though task count tracks class structure, not instance count.
+
+    Sum-splitting and shared-CSE are scalar-plan features; callers wanting
+    them compile with ``flatten_mode="scalar"`` (the driver scalarizes
+    automatically when they are requested).
+    """
+    if group_threshold is None:
+        group_threshold = 4.0 * cost_model.task_overhead
+    if group_threshold < 0:
+        raise ValueError("thresholds must be positive")
+
+    units: list[_Unit] = []
+    for i, expr in system.singleton_rhs:
+        state = system.state_names[i]
+        units.append(
+            _Unit(
+                Assignment(f"der:{state}", expr),
+                cost=cost_model.expr_cost(expr),
+                ops=op_count(expr),
+            )
+        )
+    for fam in system.families:
+        for suffix, expr in zip(fam.state_suffixes, fam.template_rhs):
+            units.append(
+                _Unit(
+                    Assignment(
+                        f"der:{fam.base}[*]{suffix}", expr, count=fam.count
+                    ),
+                    cost=cost_model.expr_cost(expr) * fam.count,
+                    ops=op_count(expr) * fam.count,
+                )
+            )
+
+    small = [i for i, u in enumerate(units) if u.cost < group_threshold]
+    large = [i for i, u in enumerate(units) if u.cost >= group_threshold]
+
+    bins: list[list[int]] = []
+    bin_loads: list[float] = []
+    for i in sorted(small, key=lambda i: -units[i].cost):
+        placed = False
+        for b, load in enumerate(bin_loads):
+            if load + units[i].cost <= group_threshold:
+                bins[b].append(i)
+                bin_loads[b] += units[i].cost
+                placed = True
+                break
+        if not placed:
+            bins.append([i])
+            bin_loads.append(units[i].cost)
+
+    state_set = frozenset(system.state_names)
+    fam_by_rep = {f.representative: f for f in system.families}
+
+    def assignment_inputs(a: Assignment) -> set[str]:
+        # Representative references stand for every member: in array
+        # assignments the task reads each member's slice, and singleton
+        # assignments may carry symbolic family sums (Reduce) whose bodies
+        # are written over the representative.  The runtime ships states by
+        # name (messages layer), so expand representative references to all
+        # members unconditionally — a safe over-approximation for a literal
+        # first-member reference outside any sum.
+        names = {
+            s.name for s in free_symbols(a.expr) if s.name in state_set
+        }
+        expanded: set[str] = set()
+        for n in names:
+            base = n.partition(".")[0]
+            fam = fam_by_rep.get(base)
+            if fam is None:
+                expanded.add(n)
+            else:
+                suffix = n[len(base):]
+                expanded.update(m + suffix for m in fam.member_names)
+        return expanded
+
+    bodies: list[TaskBody] = []
+    tasks: list[Task] = []
+
+    def emit(name: str, unit_indices: Sequence[int]) -> None:
+        task_id = len(bodies)
+        assigns = tuple(units[i].assignment for i in unit_indices)
+        inputs: set[str] = set()
+        for a in assigns:
+            inputs.update(assignment_inputs(a))
+        bodies.append(TaskBody(task_id, name, assigns))
+        tasks.append(
+            Task(
+                task_id=task_id,
+                name=name,
+                outputs=tuple(a.target for a in assigns),
+                inputs=tuple(sorted(inputs)),
+                weight=cost_model.task_overhead
+                + sum(units[i].cost for i in unit_indices),
+                num_ops=sum(units[i].ops for i in unit_indices),
+                depends_on=(),
+            )
+        )
+
+    for i in large:
+        emit(units[i].assignment.target, [i])
+    for b, group in enumerate(bins):
+        if len(group) == 1:
+            emit(units[group[0]].assignment.target, group)
+        else:
+            emit(f"group[{b}]", group)
+
+    return TaskPlan(
+        bodies=tuple(bodies),
+        graph=TaskGraph(tasks),
+        partial_slots=(),
         cost_model=cost_model,
     )

@@ -5,6 +5,11 @@ code generators can actually compile: every referenced symbol is a state,
 parameter or the free variable; every function is registered with all back
 ends; no ``der`` operators survive; and every right-hand side is a real
 scalar expression.
+
+Array systems are verified over their *symbolic* right-hand sides — one
+template per family state suffix — so the check is O(class structure):
+instantiating a template for another member is a pure renaming within the
+known symbol set, which cannot introduce violations.
 """
 
 from __future__ import annotations
@@ -12,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..symbolic.builders import FUNCTIONS
-from ..symbolic.expr import Call, Der, Sym, preorder
-from .transform import OdeSystem
+from ..symbolic.expr import Call, Der, Expr, Sym, preorder
+from .transform import ArraySystem, OdeSystem
 
 __all__ = ["VerifyError", "VerifyReport", "verify_compilable"]
 
@@ -32,7 +37,24 @@ class VerifyReport:
     symbols_used: tuple[str, ...]
 
 
-def verify_compilable(system: OdeSystem) -> VerifyReport:
+def _rhs_entries(
+    system: OdeSystem | ArraySystem,
+) -> list[tuple[str, Expr]]:
+    """(label, expr) pairs to check — each carried expression once."""
+    if isinstance(system, ArraySystem):
+        entries = [
+            (system.state_names[i], expr) for i, expr in system.singleton_rhs
+        ]
+        for fam in system.families:
+            entries.extend(
+                (f"{fam.base}[*]{suffix}", expr)
+                for suffix, expr in zip(fam.state_suffixes, fam.template_rhs)
+            )
+        return entries
+    return list(zip(system.state_names, system.rhs))
+
+
+def verify_compilable(system: OdeSystem | ArraySystem) -> VerifyReport:
     """Verify ``system``; raise :class:`VerifyError` on the first violation."""
     known = set(system.state_names) | set(system.param_names)
     known.add(system.free_var)
@@ -41,7 +63,8 @@ def verify_compilable(system: OdeSystem) -> VerifyReport:
     symbols: set[str] = set()
     num_nodes = 0
 
-    for state, rhs in zip(system.state_names, system.rhs):
+    entries = _rhs_entries(system)
+    for state, rhs in entries:
         for node in preorder(rhs):
             num_nodes += 1
             if isinstance(node, Der):
@@ -68,7 +91,7 @@ def verify_compilable(system: OdeSystem) -> VerifyReport:
                 functions.add(node.fn)
 
     return VerifyReport(
-        num_rhs=len(system.rhs),
+        num_rhs=len(entries),
         num_nodes=num_nodes,
         functions_used=tuple(sorted(functions)),
         symbols_used=tuple(sorted(symbols)),

@@ -58,7 +58,7 @@ from ..codegen.gen_python import PythonModule, load_python_module
 from ..codegen.tasks import Assignment, TaskBody, TaskPlan
 from ..codegen.transform import OdeSystem
 from ..codegen.verify import VerifyReport
-from ..model.flatten import FlatModel
+from ..model.flatten import ArrayFlatModel, FlatModel
 from ..schedule.task import Task, TaskGraph
 from ..symbolic.serialize import (
     expr_from_obj,
@@ -102,7 +102,7 @@ def flat_model_to_obj(flat: FlatModel) -> dict[str, Any]:
     def var_obj(v) -> list:
         return [v.name, v.kind.name, v.start, v.value]
 
-    return {
+    obj: dict[str, Any] = {
         "name": flat.name,
         "free_var": flat.free_var.name,
         "states": [var_obj(v) for v in flat.states.values()],
@@ -120,6 +120,35 @@ def flat_model_to_obj(flat: FlatModel) -> dict[str, Any]:
             for eq in flat.implicit
         ],
     }
+    if isinstance(flat, ArrayFlatModel):
+        # An array flat model carries family-member equations only as
+        # templates; without them in the canonical form two array models
+        # differing only in template equations would collide.  The mode
+        # marker keeps an array flat model from ever aliasing the scalar
+        # enumeration of the same model.
+        obj["flatten_mode"] = "array"
+        obj["fallback_reason"] = flat.fallback_reason
+        obj["groups"] = [
+            {
+                "base": g.family.base,
+                "count": g.count,
+                "representative": g.family.representative.name,
+                "odes": [
+                    [eq.state, expr_to_obj(eq.rhs), eq.label]
+                    for eq in g.odes
+                ],
+                "explicit_algs": [
+                    [eq.var, expr_to_obj(eq.rhs), eq.label]
+                    for eq in g.explicit_algs
+                ],
+                "implicit": [
+                    [expr_to_obj(eq.lhs), expr_to_obj(eq.rhs), eq.label]
+                    for eq in g.implicit
+                ],
+            }
+            for g in flat.groups
+        ]
+    return obj
 
 
 def _digest(obj: Any) -> str:

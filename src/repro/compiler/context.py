@@ -80,6 +80,11 @@ class CompileOptions:
     shared_cse: bool = False
     backend: str = "python"
     cse_min_ops: int = 1
+    #: "scalar" enumerates every instance at flatten time (the classic
+    #: path); "array" keeps instance families symbolic — one template per
+    #: class × slice — through analysis and codegen, scalarizing only when
+    #: a requested feature (jacobian, shared CSE) needs scalar equations
+    flatten_mode: str = "scalar"
     #: run the fuse_tasks pass (merge small tasks up to fuse_threshold)
     fuse: bool = True
     #: fused-task body-cost threshold in cost-model seconds (None = auto)
@@ -98,11 +103,17 @@ class CompileOptions:
     def __post_init__(self) -> None:
         if self.backend not in EXECUTABLE_BACKENDS:
             raise ValueError(unknown_backend_message(self.backend))
+        if self.flatten_mode not in ("scalar", "array"):
+            raise ValueError(
+                f"unknown flatten_mode {self.flatten_mode!r}; "
+                f"valid modes: 'scalar', 'array'"
+            )
 
     def codegen_fingerprint(self) -> dict[str, Any]:
         """The option values that affect generated code (cache-key part)."""
         return {
             "backend": self.backend,
+            "flatten_mode": self.flatten_mode,
             "jacobian": self.jacobian,
             "group_threshold": self.group_threshold,
             "split_threshold": self.split_threshold,
@@ -222,7 +233,12 @@ class CompilationContext:
         from ..symbolic.expr import count_nodes
 
         if self.system is not None:
-            return sum(count_nodes(r) for r in self.system.rhs)
+            # ArraySystem carries templates once; count what is held in
+            # memory (symbolic size), not the scalar-equivalent expansion.
+            rhs = getattr(self.system, "rhs", None)
+            if rhs is None:
+                rhs = self.system.symbolic_rhs
+            return sum(count_nodes(r) for r in rhs)
         if self.flat is not None:
             total = 0
             for eq in self.flat.odes:

@@ -13,6 +13,7 @@ flatten        (model)                    flat
 typecheck      flat                       types
 fingerprint    flat                       model_hash, cache_key
 cache-lookup   flat                       (partition … vector_module)
+scalarize      flat                       flat (scalar)
 partition      flat                       partition
 transform      flat                       system
 verify         system                     verify_report
@@ -25,22 +26,25 @@ cache-store    program                    —
 
 ``partition`` through ``codegen`` are skipped on an artifact-cache hit;
 ``parse``/``flatten`` are skipped when the caller already supplies a
-model / flat model.  The driver functions at the bottom
-(:func:`compile_context`, :func:`build_default_manager`) are what the
-:mod:`repro.frontend` facade and the ``repro compile`` CLI verb call.
+model / flat model.  ``scalarize`` only acts on array flat models whose
+array path cannot serve the requested options (flatten fallback, analytic
+Jacobian, shared CSE) — it lowers back to the scalar enumeration and the
+rest of the pipeline proceeds classically.  The driver functions at the
+bottom (:func:`compile_context`, :func:`build_default_manager`) are what
+the :mod:`repro.frontend` facade and the ``repro compile`` CLI verb call.
 """
 
 from __future__ import annotations
 
-from ..analysis import partition as run_partition
+from ..analysis import ArrayPartition, partition as run_partition
 from ..codegen.gen_numpy import generate_numpy
 from ..codegen.gen_python import generate_python
 from ..codegen.program import GeneratedProgram
-from ..codegen.tasks import partition_tasks
-from ..codegen.transform import make_ode_system
+from ..codegen.tasks import partition_tasks, partition_tasks_array
+from ..codegen.transform import ArraySystem, make_array_system, make_ode_system
 from ..codegen.verify import verify_compilable
 from ..model import check_types
-from ..model.flatten import FlatModel
+from ..model.flatten import ArrayFlatModel, FlatModel
 from .cache import CompiledArtifacts, artifact_key, model_fingerprint
 from .context import CompilationContext, CompileOptions
 from .manager import Pass, PassManager
@@ -70,7 +74,7 @@ def _skip_parse(ctx: CompilationContext) -> str | None:
 
 
 def _run_flatten(ctx: CompilationContext) -> None:
-    ctx.flat = ctx.model.flatten()
+    ctx.flat = ctx.model.flatten(mode=ctx.options.flatten_mode)
 
 
 def _skip_flatten(ctx: CompilationContext) -> str | None:
@@ -82,6 +86,19 @@ def _skip_flatten(ctx: CompilationContext) -> str | None:
 def _run_typecheck(ctx: CompilationContext) -> None:
     ctx.types = check_types(ctx.flat)
     ctx.metrics["type_checked_nodes"] = ctx.types.num_checked_nodes
+    # Flatten-shape metrics live here (not in the flatten pass) so they
+    # are recorded even when the caller supplied the flat model directly.
+    flat = ctx.flat
+    if isinstance(flat, ArrayFlatModel):
+        ctx.metrics["flatten_mode"] = "array"
+        ctx.metrics["num_array_equations"] = flat.num_array_equations
+        ctx.metrics["num_symbolic_equations"] = flat.num_symbolic_equations
+        ctx.metrics["slice_cardinalities"] = flat.slice_cardinalities()
+        ctx.metrics["scalarize_expansion_factor"] = flat.expansion_factor
+        if flat.fallback_reason:
+            ctx.metrics["flatten_fallback"] = flat.fallback_reason
+    else:
+        ctx.metrics["flatten_mode"] = "scalar"
 
 
 def _run_fingerprint(ctx: CompilationContext) -> None:
@@ -117,6 +134,38 @@ def _skip_when_cached(ctx: CompilationContext) -> str | None:
     return None
 
 
+def _scalarize_trigger(
+    flat: ArrayFlatModel, options: CompileOptions
+) -> str | None:
+    """Why the array path cannot serve this compile (None = it can)."""
+    if flat.fallback_reason:
+        return f"flatten fallback: {flat.fallback_reason}"
+    if not flat.groups:
+        return "no instance families"
+    if options.jacobian:
+        return "analytic Jacobian requires scalar equations"
+    if options.shared_cse:
+        return "shared-CSE tasks require scalar equations"
+    return None
+
+
+def _run_scalarize(ctx: CompilationContext) -> None:
+    reason = _scalarize_trigger(ctx.flat, ctx.options)
+    ctx.metrics["scalarized"] = True
+    ctx.metrics["scalarize_reason"] = reason
+    ctx.flat = ctx.flat.scalarize()
+
+
+def _skip_scalarize(ctx: CompilationContext) -> str | None:
+    if ctx.cache_hit:
+        return "artifact cache hit"
+    if not isinstance(ctx.flat, ArrayFlatModel):
+        return "scalar flat model"
+    if _scalarize_trigger(ctx.flat, ctx.options) is None:
+        return "array path supported end-to-end"
+    return None
+
+
 def _run_analysis_partition(ctx: CompilationContext) -> None:
     ctx.partition = run_partition(ctx.flat)
     ctx.metrics["num_subsystems"] = ctx.partition.num_subsystems
@@ -124,7 +173,15 @@ def _run_analysis_partition(ctx: CompilationContext) -> None:
 
 
 def _run_transform(ctx: CompilationContext) -> None:
-    ctx.system = make_ode_system(ctx.flat)
+    flat = ctx.flat
+    if (
+        isinstance(flat, ArrayFlatModel)
+        and flat.groups
+        and not flat.fallback_reason
+    ):
+        ctx.system = make_array_system(flat)
+    else:
+        ctx.system = make_ode_system(flat)
 
 
 def _run_verify(ctx: CompilationContext) -> None:
@@ -133,13 +190,25 @@ def _run_verify(ctx: CompilationContext) -> None:
 
 def _run_tasks(ctx: CompilationContext) -> None:
     opts = ctx.options
-    ctx.plan = partition_tasks(
-        ctx.system,
-        cost_model=opts.cost_model,
-        group_threshold=opts.group_threshold,
-        split_threshold=opts.split_threshold,
-        shared_cse=opts.shared_cse,
-    )
+    if isinstance(ctx.system, ArraySystem):
+        ctx.plan = partition_tasks_array(
+            ctx.system,
+            cost_model=opts.cost_model,
+            group_threshold=opts.group_threshold,
+        )
+        ctx.metrics["num_array_tasks"] = sum(
+            1
+            for b in ctx.plan.bodies
+            if any(a.count > 1 for a in b.assignments)
+        )
+    else:
+        ctx.plan = partition_tasks(
+            ctx.system,
+            cost_model=opts.cost_model,
+            group_threshold=opts.group_threshold,
+            split_threshold=opts.split_threshold,
+            shared_cse=opts.shared_cse,
+        )
     ctx.metrics["num_tasks"] = ctx.plan.num_tasks
 
 
@@ -147,7 +216,18 @@ def _run_fuse_tasks(ctx: CompilationContext) -> None:
     from ..codegen.fuse import fuse_plan
 
     opts = ctx.options
-    blocks = ctx.partition.membership if ctx.partition is not None else None
+    blocks = None
+    if ctx.partition is not None:
+        part = ctx.partition
+        if isinstance(part, ArrayPartition) and not isinstance(
+            ctx.system, ArraySystem
+        ):
+            # Array analysis but scalar plan (scalarize ran after
+            # partition was cached, or the caller mixed artifacts):
+            # expand set vertices to scalar names so block keys match.
+            blocks = part.expanded_membership()
+        else:
+            blocks = part.membership
     ctx.plan, stats = fuse_plan(
         ctx.plan,
         cost_model=opts.cost_model,
@@ -219,6 +299,8 @@ def _skip_store(ctx: CompilationContext) -> str | None:
         return "caching disabled"
     if ctx.cache_hit:
         return "artifact cache hit (already stored)"
+    if isinstance(ctx.system, ArraySystem):
+        return "array-system artifacts not cacheable (flatten_mode=array)"
     return None
 
 
@@ -247,6 +329,11 @@ def build_default_manager() -> PassManager:
                        "module", "vector_module"),
              description="restore artifacts on a content-hash hit",
              skip_when=_skip_when_no_cache),
+        Pass("scalarize", _run_scalarize, requires=("flat",),
+             provides=("flat",),
+             description="lower array flat model to scalar enumeration "
+                         "when the array path can't serve the options",
+             skip_when=_skip_scalarize),
         Pass("partition", _run_analysis_partition, requires=("flat",),
              provides=("partition",),
              description="dependency graph → SCC partition + levels",
@@ -283,8 +370,10 @@ def build_default_manager() -> PassManager:
 
 DEFAULT_PASS_NAMES = build_default_manager().pass_names
 
-#: passes skipped when the artifact cache hits — the whole analysis and
-#: code-generation middle of the pipeline
+#: passes skipped when (and only when) the artifact cache hits — the whole
+#: analysis and code-generation middle of the pipeline.  ``scalarize`` also
+#: skips on a hit but is deliberately not listed: it additionally skips on
+#: every scalar-mode compile, so it is not a cache-hit indicator.
 CACHE_SKIPPED_PASSES = (
     "partition", "transform", "verify", "tasks", "fuse_tasks", "codegen",
 )

@@ -48,7 +48,7 @@ class PipelineReport:
             metrics={
                 k: v for k, v in ctx.metrics.items()
                 if isinstance(v, (int, float, str, bool))
-                or k == "fuse_cost_histogram"
+                or k in ("fuse_cost_histogram", "slice_cardinalities")
             },
             diagnostics=tuple(str(d) for d in ctx.diagnostics),
         )
@@ -112,9 +112,33 @@ class PipelineReport:
             )
         lines.append(f"  total: {self.total_wall_s * 1e3:.2f} ms")
         for key in ("num_cse_serial", "num_cse_parallel", "num_tasks",
-                    "num_subsystems", "generated_lines"):
+                    "num_array_tasks", "num_subsystems", "generated_lines"):
             if key in self.metrics:
                 lines.append(f"  {key.replace('_', ' ')}: {self.metrics[key]}")
+        if self.metrics.get("flatten_mode") == "array":
+            lines.append(
+                f"  array equations: "
+                f"{self.metrics.get('num_array_equations', 0)} templates "
+                f"of {self.metrics.get('num_symbolic_equations', 0)} "
+                f"symbolic equations"
+            )
+            cards = self.metrics.get("slice_cardinalities") or {}
+            if cards:
+                per_slice = ", ".join(
+                    f"{base}[{count}]" for base, count in sorted(cards.items())
+                )
+                lines.append(f"  slice cardinalities: {per_slice}")
+            factor = self.metrics.get("scalarize_expansion_factor")
+            if factor is not None:
+                lines.append(f"  scalarize expansion factor: {factor:.2f}x")
+            if "flatten_fallback" in self.metrics:
+                lines.append(
+                    f"  flatten fallback: {self.metrics['flatten_fallback']}"
+                )
+            if self.metrics.get("scalarized"):
+                lines.append(
+                    f"  scalarized: {self.metrics.get('scalarize_reason')}"
+                )
         if "fuse_tasks_before" in self.metrics:
             lines.append(
                 f"  fuse tasks: {self.metrics['fuse_tasks_before']} -> "

@@ -93,6 +93,7 @@ def compile_model(
     split_threshold: float | None = None,
     shared_cse: bool = False,
     backend: str = "python",
+    flatten_mode: str = "scalar",
     fuse: bool = True,
     fuse_threshold: float | None = None,
 ) -> CompiledModel:
@@ -100,6 +101,14 @@ def compile_model(
 
     ``backend="numpy"`` additionally compiles the vectorized NumPy module
     (see :mod:`repro.codegen.gen_numpy`), enabling batched evaluation.
+
+    ``flatten_mode="array"`` keeps instance families symbolic — one
+    template equation slice per class — from flattening through code
+    generation, making compile time scale with class structure rather
+    than instance count; the ``scalarize`` pass lowers back to the scalar
+    enumeration automatically when a requested feature (analytic
+    Jacobian, shared CSE) needs scalar equations.  When ``model`` is
+    already flat the requested mode has no effect on flattening itself.
 
     ``fuse=False`` disables the ``fuse_tasks`` coarsening pass (A/B
     debugging escape hatch, also reachable as ``repro compile --no-fuse``);
@@ -113,6 +122,7 @@ def compile_model(
         split_threshold=split_threshold,
         shared_cse=shared_cse,
         backend=backend,
+        flatten_mode=flatten_mode,
         fuse=fuse,
         fuse_threshold=fuse_threshold,
     )

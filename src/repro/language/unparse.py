@@ -269,8 +269,34 @@ def unparse_model(model: Model) -> str:
     if model.instances:
         lines.append("")
 
-    for eq in model.global_equations:
-        lines.append(_equation(eq, None).lstrip())
+    # Family equation blocks and symbolic reductions are expanded to their
+    # scalar form: the textual dialect has no family syntax, and scalar
+    # expansion is semantics-preserving by construction.
+    from ..model.arrays import FamilyEquationBlock, expand_reduces, has_reduce
+
+    def _scalarized(eq: Equation) -> Equation:
+        def clean(side):
+            if isinstance(side, Vec):
+                return Vec(expand_reduces(c) for c in side)
+            return expand_reduces(side)
+
+        if isinstance(eq.lhs, Vec):
+            dirty = any(has_reduce(c) for c in eq.lhs) or any(
+                has_reduce(c) for c in eq.rhs
+            )
+        else:
+            dirty = has_reduce(eq.lhs) or has_reduce(eq.rhs)
+        if not dirty:
+            return eq
+        return Equation(clean(eq.lhs), clean(eq.rhs), eq.label)
+
+    for geq in model.global_equations:
+        if isinstance(geq, FamilyEquationBlock):
+            for inst in geq.family.instances:
+                for eq in geq.equations_for(inst):
+                    lines.append(_equation(_scalarized(eq), None).lstrip())
+        else:
+            lines.append(_equation(_scalarized(geq), None).lstrip())
     if model.global_equations:
         lines.append("")
 

@@ -4,11 +4,20 @@ This is the programmatic equivalent of the ObjectMath language: the textual
 front end in :mod:`repro.language` parses into exactly these structures.
 """
 
+from .arrays import (
+    FamilyEquationBlock,
+    InstanceFamily,
+    expand_reduces,
+    has_reduce,
+    rename_instance,
+)
 from .classes import Equation, ModelClass
 from .declarations import VarDecl, VarKind
 from .flatten import (
     AlgEquation,
     AlgebraicLoopError,
+    ArrayEquationGroup,
+    ArrayFlatModel,
     FlatModel,
     FlatVar,
     ImplicitEquation,
@@ -27,6 +36,13 @@ __all__ = [
     "VarKind",
     "AlgEquation",
     "AlgebraicLoopError",
+    "ArrayEquationGroup",
+    "ArrayFlatModel",
+    "FamilyEquationBlock",
+    "InstanceFamily",
+    "expand_reduces",
+    "has_reduce",
+    "rename_instance",
     "FlatModel",
     "FlatVar",
     "ImplicitEquation",

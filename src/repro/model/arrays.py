@@ -1,0 +1,239 @@
+"""Instance families: symbolic arrays of instances.
+
+The paper's models contain instance arrays (``INSTANCE BodyW[i]`` — the ten
+rollers ``W1 … W10`` of the 2D bearing).  Historically the modeling layer
+expanded those eagerly via :meth:`Model.instance_array`, and every later
+stage paid O(instance count).  This module is the array-aware alternative:
+
+* :class:`InstanceFamily` — ``count`` real :class:`Instance` objects named
+  ``{base}{i}`` plus the metadata (index set, representative) that lets the
+  flattener keep ONE symbolic equation template per class × family instead
+  of one copy per instance.
+* :class:`FamilyEquationBlock` — a connection-equation template: a callback
+  that builds the per-instance equations from one :class:`Instance`.  Scalar
+  flattening calls it once per member (bit-identical to the old explicit
+  loop); array flattening calls it once, for the representative.
+* :func:`rename_instance` / :func:`expand_reduces` — the instantiation
+  machinery.  Because ``add``/``mul`` canonicalise commutatively and member
+  names share a common prefix, substituting the representative's symbols
+  with member ``i``'s yields *exactly* the node the scalar path would have
+  built — this is what makes array mode bit-identical to scalar mode.
+
+The representative is the family's **first member** (``{base}{start}``), not
+a synthetic placeholder: its equations are real model equations, so the
+scalar oracle and the array template are literally the same objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Union
+
+from ..symbolic.expr import Expr, Reduce, Sym, add, as_expr, free_symbols, preorder
+from ..symbolic.subs import substitute
+from ..symbolic.vector import Vec
+from .classes import Equation, ModelClass, _as_side
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .instance import Instance
+
+__all__ = [
+    "InstanceFamily",
+    "FamilyEquationBlock",
+    "rename_instance",
+    "expand_nested_reduces",
+    "expand_reduces",
+    "has_reduce",
+]
+
+#: What a family equation builder may return for one instance: a ready
+#: :class:`Equation`, or a ``(lhs, rhs, label)`` triple, or a list of either.
+EquationLike = Union[Equation, tuple]
+
+
+class InstanceFamily:
+    """``count`` instances ``{base}{start} … {base}{start+count-1}`` of one class.
+
+    The members are ordinary :class:`Instance` objects registered on the
+    model (so scalar flattening and every existing tool see nothing new);
+    the family object itself records the index set and designates the first
+    member as the symbolic *representative* used by equation templates.
+    """
+
+    def __init__(
+        self,
+        base: str,
+        cls: ModelClass,
+        instances: Sequence["Instance"],
+        start_index: int = 1,
+    ) -> None:
+        if not instances:
+            raise ValueError(f"instance family {base!r} must not be empty")
+        self.base = base
+        self.cls = cls
+        self.instances: tuple["Instance", ...] = tuple(instances)
+        self.start_index = start_index
+
+    @property
+    def count(self) -> int:
+        return len(self.instances)
+
+    @property
+    def representative(self) -> "Instance":
+        """The first member; equation templates are written over its names."""
+        return self.instances[0]
+
+    @property
+    def member_names(self) -> tuple[str, ...]:
+        return tuple(inst.name for inst in self.instances)
+
+    def member_name(self, i: int) -> str:
+        return f"{self.base}{i}"
+
+    def indices(self) -> range:
+        return range(self.start_index, self.start_index + self.count)
+
+    def sum(self, build_term: Callable[["Instance"], Union[Expr, Vec, float]]):
+        """Symbolic ``Σ_i build_term(member_i)`` as a :class:`Reduce` node.
+
+        ``build_term`` is evaluated once, for the representative; vector
+        terms produce a :class:`Vec` of per-component reductions.
+        """
+        term = build_term(self.representative)
+        if isinstance(term, Vec):
+            return Vec(
+                Reduce(as_expr(c), self.base, self.start_index, self.count)
+                for c in term
+            )
+        return Reduce(as_expr(term), self.base, self.start_index, self.count)
+
+    def __repr__(self) -> str:
+        return (
+            f"<InstanceFamily {self.base}[{self.start_index}.."
+            f"{self.start_index + self.count - 1}]: {self.cls.name}>"
+        )
+
+
+class FamilyEquationBlock:
+    """A template for per-member connection equations of one family.
+
+    Lives in ``Model.global_equations`` alongside plain :class:`Equation`
+    objects so equation ordering (and therefore scalar-mode flat output) is
+    exactly what an explicit per-instance loop would have produced.
+    """
+
+    def __init__(
+        self,
+        family: InstanceFamily,
+        build: Callable[["Instance"], Union[EquationLike, Iterable[EquationLike]]],
+    ) -> None:
+        self.family = family
+        self.build = build
+
+    def equations_for(self, inst: "Instance") -> list[Equation]:
+        """Build and normalise the equations for one member instance."""
+        raw = self.build(inst)
+        if isinstance(raw, (Equation, tuple)):
+            raw = [raw]
+        out: list[Equation] = []
+        for item in raw:
+            if isinstance(item, Equation):
+                out.append(item)
+            elif isinstance(item, tuple) and len(item) == 3:
+                lhs, rhs, label = item
+                out.append(Equation(_as_side(lhs), _as_side(rhs), label))
+            else:
+                raise TypeError(
+                    "family equation builder must yield Equation or "
+                    f"(lhs, rhs, label) triples, got {item!r}"
+                )
+        return out
+
+    def __repr__(self) -> str:
+        return f"<FamilyEquationBlock over {self.family!r}>"
+
+
+def rename_instance(expr: Expr, old: str, new: str) -> Expr:
+    """Rewrite every ``{old}.member`` symbol in ``expr`` to ``{new}.member``.
+
+    This is template instantiation: substitution rebuilds ``Add``/``Mul``
+    through the canonical constructors, and within a single instance's
+    namespace the canonical ordering is prefix-invariant, so the result is
+    identical to building the expression for ``new`` directly.
+    """
+    if old == new:
+        return expr
+    prefix = old + "."
+    mapping: dict[Expr, Expr] = {}
+    for sym in free_symbols(expr):
+        if sym.name.startswith(prefix):
+            mapping[sym] = Sym(new + sym.name[len(old):])
+        elif sym.name == old:
+            mapping[sym] = Sym(new)
+    if not mapping:
+        return expr
+    return substitute(expr, mapping)
+
+
+def has_reduce(expr: Expr) -> bool:
+    """True when ``expr`` contains a :class:`Reduce` node anywhere."""
+    return any(isinstance(node, Reduce) for node in preorder(expr))
+
+
+def expand_nested_reduces(expr: Expr, _cache: dict | None = None) -> Expr:
+    """Expand only reductions whose bodies contain further reductions.
+
+    Array-aware flattening keeps simple (non-nested) :class:`Reduce` nodes
+    symbolic so singleton equations stay sized by class structure; a
+    reduction *of* reductions has no single-family template form, so the
+    whole nested node is lowered to its canonical scalar sum instead.
+    """
+    cache: dict[Expr, Expr] = _cache if _cache is not None else {}
+
+    def walk(node: Expr) -> Expr:
+        if isinstance(node, Reduce):
+            return expand_reduces(node, cache) if has_reduce(node.body) else node
+        if not node.args:
+            return node
+        new_args = tuple(walk(a) for a in node.args)
+        if all(n is o for n, o in zip(new_args, node.args)):
+            return node
+        return node.with_args(new_args)
+
+    return walk(expr)
+
+
+def expand_reduces(expr: Expr, _cache: dict | None = None) -> Expr:
+    """Expand every :class:`Reduce` node into a canonical n-ary sum.
+
+    Each reduction becomes ``add(*(body[rep := member_i] for i))``; the
+    canonical :func:`~repro.symbolic.expr.add` constructor is insensitive to
+    construction order, so this equals any incremental left-fold over the
+    same terms — the scalar oracle's output.
+    """
+    cache: dict[Expr, Expr] = _cache if _cache is not None else {}
+
+    def walk(node: Expr) -> Expr:
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        if isinstance(node, Reduce):
+            body = walk(node.body)
+            rep = f"{node.family}{node.start}"
+            result = add(
+                *(
+                    rename_instance(body, rep, f"{node.family}{i}")
+                    for i in range(node.start, node.start + node.count)
+                )
+            )
+        elif not node.args:
+            result = node
+        else:
+            new_args = tuple(walk(a) for a in node.args)
+            if all(n is o for n, o in zip(new_args, node.args)):
+                result = node
+            else:
+                result = node.with_args(new_args)
+        cache[node] = result
+        return result
+
+    return walk(expr)

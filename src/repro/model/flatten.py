@@ -11,12 +11,19 @@ The result, :class:`FlatModel`, is the hand-off point to dependency analysis
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..symbolic.expr import Der, Expr, Sym, free_symbols, preorder, sub as expr_sub
 from ..symbolic.subs import substitute
 from ..symbolic.vector import Vec
+from .arrays import (
+    FamilyEquationBlock,
+    InstanceFamily,
+    expand_nested_reduces,
+    expand_reduces,
+    has_reduce,
+)
 from .classes import Equation, ModelClass
 from .declarations import VarDecl, VarKind
 from .instance import Model
@@ -30,6 +37,8 @@ __all__ = [
     "AlgEquation",
     "ImplicitEquation",
     "FlatModel",
+    "ArrayEquationGroup",
+    "ArrayFlatModel",
     "flatten_model",
 ]
 
@@ -258,6 +267,117 @@ class FlatModel:
         )
 
 
+@dataclass
+class ArrayEquationGroup:
+    """One symbolic equation slice: the template equations of one family.
+
+    Every equation is written in the representative instance's namespace
+    (``{base}{start}.member``); semantically the group stands for ``count``
+    copies, one per member, obtained by :func:`~repro.model.arrays.rename_instance`.
+    """
+
+    family: InstanceFamily
+    odes: list[OdeEquation] = field(default_factory=list)
+    explicit_algs: list[AlgEquation] = field(default_factory=list)
+    implicit: list[ImplicitEquation] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Template equations per member."""
+        return len(self.odes) + len(self.explicit_algs) + len(self.implicit)
+
+    @property
+    def count(self) -> int:
+        return self.family.count
+
+    def member_state(self, state: str, member: str) -> str:
+        """Map a representative-qualified state name onto ``member``."""
+        rep = self.family.representative.name
+        return member + state[len(rep):]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArrayEquationGroup {self.family.base}[*]: "
+            f"{self.size} template equations x {self.count} members>"
+        )
+
+
+@dataclass
+class ArrayFlatModel(FlatModel):
+    """Array-aware flat model: singleton equations plus symbolic slices.
+
+    Variable tables are fully enumerated (cheap, and it keeps the state
+    vector layout identical to scalar mode), but equations for family
+    members exist only once, as templates over the representative, in
+    ``groups``.  ``odes``/``explicit_algs``/``implicit`` hold only the
+    *singleton* equations (non-family instances and global connection
+    equations).  Singleton ODEs and explicit algebraics may carry symbolic
+    :class:`~repro.symbolic.expr.Reduce` nodes — family sums stay one node
+    regardless of member count; implicit equations and nested reductions
+    are always expanded.
+    """
+
+    groups: list[ArrayEquationGroup] = field(default_factory=list)
+    #: set when the model's structure defeats the array decomposition;
+    #: the compiler's scalarize pass re-flattens in scalar mode instead
+    fallback_reason: str | None = None
+    source_model: Model | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def num_equations(self) -> int:  # type: ignore[override]
+        """Expanded (semantic) equation count, matching scalar mode."""
+        return (
+            len(self.odes)
+            + len(self.explicit_algs)
+            + len(self.implicit)
+            + sum(g.size * g.count for g in self.groups)
+        )
+
+    @property
+    def num_array_equations(self) -> int:
+        """Symbolic template equations across all groups."""
+        return sum(g.size for g in self.groups)
+
+    @property
+    def num_symbolic_equations(self) -> int:
+        """Equations actually materialised: singletons + templates."""
+        return (
+            len(self.odes)
+            + len(self.explicit_algs)
+            + len(self.implicit)
+            + self.num_array_equations
+        )
+
+    def slice_cardinalities(self) -> dict[str, int]:
+        return {g.family.base: g.count for g in self.groups}
+
+    @property
+    def expansion_factor(self) -> float:
+        """How many scalar equations each materialised equation stands for."""
+        symbolic = self.num_symbolic_equations
+        return (self.num_equations / symbolic) if symbolic else 1.0
+
+    def scalarize(self) -> FlatModel:
+        """Lower to the scalar flat model — bit-identical to scalar mode.
+
+        Implemented by re-flattening the source model in scalar mode, which
+        makes equivalence with the oracle definitional rather than proven.
+        """
+        if self.source_model is None:
+            raise ModelError(
+                "cannot scalarize an ArrayFlatModel without its source model"
+            )
+        return flatten_model(self.source_model, check=True, mode="scalar")
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArrayFlatModel {self.name}: {len(self.states)} states, "
+            f"{len(self.groups)} array groups "
+            f"({self.num_array_equations} template equations), "
+            f"{self.num_equations} expanded equations>"
+        )
+
+
 def _toposort_definitions(defs: Mapping[str, Expr]) -> list[str]:
     """Topologically order explicit definitions; raise on cycles."""
     WHITE, GREY, BLACK = 0, 1, 2
@@ -437,26 +557,105 @@ def _check(flat: FlatModel) -> None:
         )
 
 
-def flatten_model(model: Model, check: bool = True) -> FlatModel:
+def _check_array(flat: ArrayFlatModel) -> None:
+    """Validation for array mode, with group equations counted per member."""
+    undeclared: set[str] = set()
+
+    def scan(expr: Expr) -> None:
+        for sym in free_symbols(expr):
+            if not flat.is_known(sym.name):
+                undeclared.add(sym.name)
+
+    groups = flat.groups
+    for eq in flat.odes + [e for g in groups for e in g.odes]:
+        scan(eq.rhs)
+    for eq in flat.explicit_algs + [e for g in groups for e in g.explicit_algs]:
+        scan(eq.rhs)
+    for eq in flat.implicit + [e for g in groups for e in g.implicit]:
+        scan(eq.lhs)
+        scan(eq.rhs)
+    if undeclared:
+        names = ", ".join(sorted(undeclared)[:10])
+        raise ModelError(f"undeclared symbols in equations: {names}")
+
+    have_ode = {eq.state for eq in flat.odes}
+    for g in groups:
+        for eq in g.odes:
+            for member in g.family.member_names:
+                have_ode.add(g.member_state(eq.state, member))
+    missing = [s for s in flat.states if s not in have_ode]
+    any_implicit = flat.implicit or any(g.implicit for g in groups)
+    if missing and not any_implicit:
+        names = ", ".join(missing[:10])
+        raise ModelError(f"states without defining ODE: {names}")
+
+    unknowns = len(flat.states) + len(flat.algebraics)
+    if flat.num_equations != unknowns:
+        raise ModelError(
+            f"system is not square: {flat.num_equations} equations for "
+            f"{unknowns} unknowns"
+        )
+
+
+def flatten_model(model: Model, check: bool = True, mode: str = "scalar") -> FlatModel:
     """Flatten ``model`` into a :class:`FlatModel`.
 
-    With ``check=True`` (the default) the result is validated: all symbols
-    declared, each state defined by exactly one ODE (unless implicit
-    equations remain), and the system square.
-    """
-    flat = FlatModel(
-        name=model.name,
-        free_var=model.free_var,
-        states={},
-        algebraics={},
-        parameters={},
-        odes=[],
-        explicit_algs=[],
-        implicit=[],
-    )
-    scalar_equations: list[tuple[Expr, Expr, str]] = []
+    ``mode="scalar"`` (the default, and the oracle) enumerates every
+    instance into scalar equations.  ``mode="array"`` returns an
+    :class:`ArrayFlatModel`: instance families contribute one template
+    equation set (over the family representative) instead of one copy per
+    member, so equation count scales with class structure, not instance
+    count.  Variable tables are identical between the modes.
 
-    def add_instance(path: str, cls: ModelClass, overrides: Mapping[str, object]) -> None:
+    With ``check=True`` the result is validated: all symbols declared, each
+    state defined by exactly one ODE (unless implicit equations remain), and
+    the system square (array groups counted with multiplicity).
+    """
+    if mode not in ("scalar", "array"):
+        raise ValueError(f"unknown flatten mode {mode!r}")
+    array_mode = mode == "array"
+
+    if array_mode:
+        flat: FlatModel = ArrayFlatModel(
+            name=model.name,
+            free_var=model.free_var,
+            states={},
+            algebraics={},
+            parameters={},
+            odes=[],
+            explicit_algs=[],
+            implicit=[],
+            source_model=model,
+        )
+    else:
+        flat = FlatModel(
+            name=model.name,
+            free_var=model.free_var,
+            states={},
+            algebraics={},
+            parameters={},
+            odes=[],
+            explicit_algs=[],
+            implicit=[],
+        )
+
+    #: singleton equation stream (in array mode: everything not in a family)
+    scalar_equations: list[tuple[Expr, Expr, str]] = []
+    #: array mode only: per-family template equation streams
+    family_streams: dict[str, list[tuple[Expr, Expr, str]]] = {}
+    #: instance name -> owning family, for every family member
+    member_of: dict[str, InstanceFamily] = {}
+    for fam in model.families.values():
+        family_streams[fam.base] = []
+        for name in fam.member_names:
+            member_of[name] = fam
+
+    def add_instance(
+        path: str,
+        cls: ModelClass,
+        overrides: Mapping[str, object],
+        sink: list[tuple[Expr, Expr, str]] | None,
+    ) -> None:
         prefix = path + "."
         decls = cls.all_declarations()
         local_names = frozenset(decls) | frozenset(cls.all_parts())
@@ -471,26 +670,142 @@ def flatten_model(model: Model, check: bool = True) -> FlatModel:
                 if fv.name in table:
                     raise ModelError(f"duplicate flat variable {fv.name!r}")
                 table[fv.name] = fv
-        for eq in cls.all_equations():
-            scalar_equations.extend(
-                _qualify_equation(eq, prefix, local_names, model.free_var.name)
-            )
+        if sink is not None:
+            for eq in cls.all_equations():
+                sink.extend(
+                    _qualify_equation(eq, prefix, local_names, model.free_var.name)
+                )
         for part_name, part_cls in cls.all_parts().items():
-            add_instance(f"{path}.{part_name}", part_cls, {})
+            add_instance(f"{path}.{part_name}", part_cls, {}, sink)
 
     for inst in model.instances.values():
-        add_instance(inst.name, inst.cls, inst.overrides)
+        fam = member_of.get(inst.name)
+        if not array_mode or fam is None:
+            sink: list[tuple[Expr, Expr, str]] | None = scalar_equations
+        elif inst is fam.representative:
+            sink = family_streams[fam.base]
+        else:
+            sink = None  # template covers this member; variables still added
+        add_instance(inst.name, inst.cls, inst.overrides, sink)
 
-    for eq in model.global_equations:
+    def split_equation(
+        eq: Equation, sink: list[tuple[Expr, Expr, str]]
+    ) -> None:
         if eq.is_vector:
             for i, (lhs, rhs) in enumerate(zip(eq.lhs, eq.rhs)):  # type: ignore[arg-type]
-                scalar_equations.append((lhs, rhs, f"{eq.label}[{i}]"))
+                sink.append((lhs, rhs, f"{eq.label}[{i}]"))
         else:
-            scalar_equations.append((eq.lhs, eq.rhs, eq.label))  # type: ignore[arg-type]
+            sink.append((eq.lhs, eq.rhs, eq.label))  # type: ignore[arg-type]
+
+    for geq in model.global_equations:
+        if isinstance(geq, FamilyEquationBlock):
+            if array_mode:
+                rep = geq.family.representative
+                for eq in geq.equations_for(rep):
+                    split_equation(eq, family_streams[geq.family.base])
+            else:
+                for inst in geq.family.instances:
+                    for eq in geq.equations_for(inst):
+                        split_equation(eq, scalar_equations)
+        else:
+            split_equation(geq, scalar_equations)
+
+    # Symbolic reductions in the singleton stream.  Scalar mode expands them
+    # through the canonical add() (the oracle).  Array mode keeps simple
+    # reductions symbolic — the whole point: a Σ over 1000 rollers stays one
+    # node — lowering only pathological nested reductions, which have no
+    # single-family template form.
+    if model.families:
+        reduce_cache: dict[Expr, Expr] = {}
+        prep = expand_nested_reduces if array_mode else expand_reduces
+        scalar_equations = [
+            (
+                prep(lhs, reduce_cache),
+                prep(rhs, reduce_cache),
+                label,
+            )
+            for lhs, rhs, label in scalar_equations
+        ]
 
     defined: set[str] = set()
     for lhs, rhs, label in scalar_equations:
         _classify(lhs, rhs, label, flat, defined)
+
+    if array_mode:
+        assert isinstance(flat, ArrayFlatModel)
+        fallback: str | None = None
+        # Implicit singleton equations feed solve_linear, which has no
+        # Reduce rule: lower any symbolic reductions they carry.
+        if flat.implicit and any(
+            has_reduce(eq.lhs) or has_reduce(eq.rhs) for eq in flat.implicit
+        ):
+            rc: dict[Expr, Expr] = {}
+            flat.implicit = [
+                ImplicitEquation(
+                    expand_reduces(eq.lhs, rc),
+                    expand_reduces(eq.rhs, rc),
+                    eq.label,
+                )
+                for eq in flat.implicit
+            ]
+        member_bases = set(member_of)
+        # Algebraics of family members may only be referenced by that
+        # family's own template; singleton equations reading them would
+        # defeat the singleton/template decomposition in the transformer.
+        member_algebraics = {
+            name for name in flat.algebraics
+            if name.split(".", 1)[0] in member_bases
+        }
+        if member_algebraics:
+            for eq in flat.odes:
+                for sym in free_symbols(eq.rhs):
+                    if sym.name in member_algebraics:
+                        fallback = (
+                            "singleton equations reference family algebraics"
+                        )
+            for eq in flat.explicit_algs:
+                for sym in free_symbols(eq.rhs):
+                    if sym.name in member_algebraics:
+                        fallback = (
+                            "singleton equations reference family algebraics"
+                        )
+            for eq in flat.implicit:
+                for expr in (eq.lhs, eq.rhs):
+                    for sym in free_symbols(expr):
+                        if sym.name in member_algebraics:
+                            fallback = (
+                                "singleton equations reference family algebraics"
+                            )
+
+        for fam in model.families.values():
+            group = ArrayEquationGroup(family=fam)
+            rep_name = fam.representative.name
+            n_odes = len(flat.odes)
+            n_algs = len(flat.explicit_algs)
+            n_impl = len(flat.implicit)
+            for lhs, rhs, label in family_streams[fam.base]:
+                if has_reduce(lhs) or has_reduce(rhs):
+                    fallback = "family templates contain nested reductions"
+                for expr in (lhs, rhs):
+                    for sym in free_symbols(expr):
+                        base = sym.name.split(".", 1)[0]
+                        if base in member_bases and base != rep_name:
+                            fallback = (
+                                "family templates reference specific members "
+                                "of other slices"
+                            )
+                _classify(lhs, rhs, label, flat, defined)
+            group.odes = flat.odes[n_odes:]
+            group.explicit_algs = flat.explicit_algs[n_algs:]
+            group.implicit = flat.implicit[n_impl:]
+            del flat.odes[n_odes:]
+            del flat.explicit_algs[n_algs:]
+            del flat.implicit[n_impl:]
+            flat.groups.append(group)
+        flat.fallback_reason = fallback
+        if check:
+            _check_array(flat)
+        return flat
 
     if check:
         _check(flat)

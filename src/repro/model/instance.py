@@ -10,10 +10,11 @@ forces between a roller and the rings).
 from __future__ import annotations
 
 from dataclasses import field
-from typing import Mapping, Union
+from typing import Callable, Mapping, Union
 
 from ..symbolic.expr import Der, Expr, Sym
 from ..symbolic.vector import Vec
+from .arrays import FamilyEquationBlock, InstanceFamily
 from .classes import Equation, EquationSide, ModelClass, _as_side
 from .declarations import ScalarOrVec, VarKind
 
@@ -84,7 +85,10 @@ class Model:
         self.free_var = Sym(free_var)
         self.doc = doc
         self.instances: dict[str, Instance] = {}
-        self.global_equations: list[Equation] = []
+        self.families: dict[str, InstanceFamily] = {}
+        #: plain Equations interleaved with FamilyEquationBlocks, in
+        #: declaration order (order defines the flat equation order)
+        self.global_equations: list[Union[Equation, FamilyEquationBlock]] = []
         self._eq_counter = 0
 
     def instance(
@@ -115,6 +119,52 @@ class Model:
             for i in range(start_index, start_index + count)
         ]
 
+    def instance_family(
+        self,
+        base_name: str,
+        count: int,
+        cls: ModelClass,
+        overrides: Mapping[str, ScalarOrVec] | None = None,
+        per_instance: Callable[[int], Mapping[str, ScalarOrVec]] | None = None,
+        start_index: int = 1,
+    ) -> InstanceFamily:
+        """Add ``count`` instances ``{base_name}{i}`` as a symbolic family.
+
+        Like :meth:`instance_array` — the members are ordinary instances and
+        scalar flattening is unaffected — but the family is additionally
+        registered so array-aware flattening can keep one equation template
+        per class instead of one copy per member.  ``per_instance(i)`` may
+        supply per-member overrides (e.g. start positions) merged over the
+        shared ``overrides``.
+        """
+        if base_name in self.families:
+            raise ValueError(f"instance family {base_name!r} already exists")
+        members = []
+        for i in range(start_index, start_index + count):
+            merged = dict(overrides or {})
+            if per_instance is not None:
+                merged.update(per_instance(i))
+            members.append(self.instance(f"{base_name}{i}", cls, merged))
+        family = InstanceFamily(base_name, cls, members, start_index)
+        self.families[base_name] = family
+        return family
+
+    def forall(
+        self,
+        family: InstanceFamily,
+        build: Callable[[Instance], object],
+    ) -> FamilyEquationBlock:
+        """Add per-member connection equations as a symbolic template.
+
+        ``build(inst)`` returns the equations for one member — either
+        :class:`Equation` objects or ``(lhs, rhs, label)`` triples.  Scalar
+        flattening invokes it once per member (identical to an explicit
+        loop); array flattening invokes it once, for the representative.
+        """
+        block = FamilyEquationBlock(family, build)
+        self.global_equations.append(block)
+        return block
+
     def equation(
         self, lhs: EquationSide, rhs: EquationSide, label: str = ""
     ) -> Equation:
@@ -134,11 +184,16 @@ class Model:
             lhs = Der(state)
         return self.equation(lhs, rhs, label)
 
-    def flatten(self, check: bool = True):
-        """Flatten into a :class:`~repro.model.flatten.FlatModel`."""
+    def flatten(self, check: bool = True, mode: str = "scalar"):
+        """Flatten into a :class:`~repro.model.flatten.FlatModel`.
+
+        ``mode="scalar"`` enumerates every instance (the paper's behaviour,
+        and the oracle); ``mode="array"`` keeps instance families symbolic,
+        returning an :class:`~repro.model.flatten.ArrayFlatModel`.
+        """
         from .flatten import flatten_model
 
-        return flatten_model(self, check=check)
+        return flatten_model(self, check=check, mode=mode)
 
     def __repr__(self) -> str:
         return (

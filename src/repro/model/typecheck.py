@@ -27,7 +27,7 @@ from ..symbolic.expr import (
 )
 
 
-from .flatten import FlatModel
+from .flatten import ArrayFlatModel, FlatModel
 
 __all__ = ["TypeError_", "TypeReport", "check_types"]
 
@@ -94,4 +94,21 @@ def check_types(flat: FlatModel) -> TypeReport:
         _check_expr(eq.lhs, f"equation {eq.label}", report)
         _check_expr(eq.rhs, f"equation {eq.label}", report)
         report.num_checked_equations += 1
+
+    # Array flat models also carry template equations; checking the
+    # representative's template checks every member — the instantiation is a
+    # pure renaming, which cannot change arity or node shapes.
+    if isinstance(flat, ArrayFlatModel):
+        for g in flat.groups:
+            tag = f"{g.family.base}[*]"
+            for eq in g.odes:
+                _check_expr(eq.rhs, f"template {tag}: {eq.label or eq.state}", report)
+                report.num_checked_equations += 1
+            for eq in g.explicit_algs:
+                _check_expr(eq.rhs, f"template {tag}: {eq.label or eq.var}", report)
+                report.num_checked_equations += 1
+            for eq in g.implicit:
+                _check_expr(eq.lhs, f"template {tag}: {eq.label}", report)
+                _check_expr(eq.rhs, f"template {tag}: {eq.label}", report)
+                report.num_checked_equations += 1
     return report

@@ -17,6 +17,7 @@ from .expr import (
     ITE,
     Mul,
     Pow,
+    Reduce,
     Rel,
     Sym,
     add,
@@ -65,7 +66,8 @@ from .vector import Vec, as_vec, cross, dot, norm, vec2, vec3, zeros
 __all__ = [
     # expr
     "Add", "BoolOp", "Call", "Const", "Der", "Expr", "ExprLike", "ITE",
-    "Mul", "Pow", "Rel", "Sym", "add", "as_expr", "count_nodes", "div",
+    "Mul", "Pow", "Reduce", "Rel", "Sym", "add", "as_expr", "count_nodes",
+    "div",
     "free_symbols", "intern_cache_clear", "intern_cache_size",
     "mul", "neg", "postorder", "pow_", "preorder", "sub",
     # builders

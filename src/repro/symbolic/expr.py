@@ -52,6 +52,7 @@ __all__ = [
     "Rel",
     "BoolOp",
     "ITE",
+    "Reduce",
     "ExprLike",
     "as_expr",
     "add",
@@ -646,6 +647,66 @@ class ITE(Expr):
     def with_args(self, args: Sequence[Expr]) -> Expr:
         cond, then, orelse = args
         return ITE(cond, then, orelse)
+
+
+class Reduce(Expr):
+    """Symbolic sum of ``body`` over the instances of an array family.
+
+    ``body`` is written in the namespace of the family's *representative*
+    instance (``f"{family}{start}"``); the reduction stands for
+
+    ``sum(body[representative := f"{family}{i}"] for i in range(start, start + count))``
+
+    Array-aware flattening keeps these symbolic end-to-end so the model
+    stays sized by class structure: analysis maps the body's representative
+    symbols onto set vertices, the cost model weights the body by ``count``,
+    and the code generators lower each reduction to an accumulation loop
+    (python) or a strided-slice ``sum`` (numpy).  Scalar-mode flattening —
+    and :meth:`ArraySystem.expand` — lowers them with the canonical
+    :func:`add`, which is insensitive to construction order, so the
+    expansion is bit-identical to the scalar oracle.
+    """
+
+    __slots__ = ("body", "family", "start", "count")
+    _rank = 11
+
+    def __new__(cls, body: ExprLike, family: str, start: int, count: int) -> "Reduce":
+        body = as_expr(body)
+        if not family:
+            raise ValueError("Reduce family base name must be non-empty")
+        if not isinstance(start, int) or not isinstance(count, int):
+            raise TypeError("Reduce start/count must be int")
+        if count < 1:
+            raise ValueError("Reduce count must be >= 1")
+        key = (cls, body, family, start, count)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        obj = _fresh(cls)
+        obj.body = body
+        obj.family = family
+        obj.start = start
+        obj.count = count
+        _INTERN[key] = obj
+        return obj
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return (self.body,)
+
+    def _hashable(self) -> tuple:
+        return (self.body, self.family, self.start, self.count)
+
+    def _compute_key(self) -> tuple:
+        return (
+            self._rank,
+            0.0,
+            (self.family, self.start, self.count, self.body._key()),
+        )
+
+    def with_args(self, args: Sequence[Expr]) -> Expr:
+        (body,) = args
+        return Reduce(body, self.family, self.start, self.count)
 
 
 # ---------------------------------------------------------------------------

@@ -19,8 +19,8 @@ from .expr import (
     ITE,
     Mul,
     Pow,
+    Reduce,
     Rel,
-    preorder,
 )
 
 
@@ -68,30 +68,63 @@ class OpHistogram:
             self.branches + other.branches,
         )
 
+    def __mul__(self, factor: int) -> "OpHistogram":
+        return OpHistogram(
+            self.adds * factor,
+            self.muls * factor,
+            self.pows * factor,
+            self.divs * factor,
+            self.calls * factor,
+            self.cmps * factor,
+            self.branches * factor,
+        )
+
+    __rmul__ = __mul__
+
 
 def op_histogram(expr: Expr) -> OpHistogram:
     """Operation histogram of ``expr`` (treating the tree as a tree: shared
-    subtrees, if any survive outside CSE, are counted each time)."""
-    adds = muls = pows = divs = calls = cmps = branches = 0
-    for node in preorder(expr):
-        if isinstance(node, Add):
-            adds += len(node.args) - 1
-        elif isinstance(node, Mul):
-            muls += len(node.args) - 1
-        elif isinstance(node, Pow):
-            if isinstance(node.exponent, Const) and node.exponent.value == -1:
-                divs += 1
-            else:
-                pows += 1
-        elif isinstance(node, Call):
-            calls += 1
-        elif isinstance(node, Rel):
-            cmps += 1
-        elif isinstance(node, BoolOp):
-            cmps += max(len(node.args) - 1, 1)
-        elif isinstance(node, ITE):
-            branches += 1
-    return OpHistogram(adds, muls, pows, divs, calls, cmps, branches)
+    subtrees, if any survive outside CSE, are counted each time).  A
+    symbolic :class:`Reduce` counts its body once per member plus the
+    accumulating additions, matching what the generated loop executes."""
+    cache: dict[Expr, OpHistogram] = {}
+
+    def walk(node: Expr) -> OpHistogram:
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        if isinstance(node, Reduce):
+            h = walk(node.body) * node.count + OpHistogram(
+                adds=node.count - 1
+            )
+        else:
+            h = OpHistogram()
+            for a in node.args:
+                h = h + walk(a)
+            if isinstance(node, Add):
+                h = h + OpHistogram(adds=len(node.args) - 1)
+            elif isinstance(node, Mul):
+                h = h + OpHistogram(muls=len(node.args) - 1)
+            elif isinstance(node, Pow):
+                if (
+                    isinstance(node.exponent, Const)
+                    and node.exponent.value == -1
+                ):
+                    h = h + OpHistogram(divs=1)
+                else:
+                    h = h + OpHistogram(pows=1)
+            elif isinstance(node, Call):
+                h = h + OpHistogram(calls=1)
+            elif isinstance(node, Rel):
+                h = h + OpHistogram(cmps=1)
+            elif isinstance(node, BoolOp):
+                h = h + OpHistogram(cmps=max(len(node.args) - 1, 1))
+            elif isinstance(node, ITE):
+                h = h + OpHistogram(branches=1)
+        cache[node] = h
+        return h
+
+    return walk(expr)
 
 
 def op_count(expr: Expr) -> int:

@@ -28,6 +28,7 @@ from .expr import (
     ITE,
     Mul,
     Pow,
+    Reduce,
     Rel,
     Sym,
 )
@@ -118,6 +119,10 @@ def _infix(expr: Expr) -> tuple[str, int]:
         then, _ = _infix(expr.then)
         orelse, _ = _infix(expr.orelse)
         return f"({then} if {cond} else {orelse})", _PREC_ATOM
+    if isinstance(expr, Reduce):
+        body, _ = _infix(expr.body)
+        rng = f"{expr.family}[{expr.start}..{expr.start + expr.count - 1}]"
+        return f"reduce_sum[{rng}]({body})", _PREC_ATOM
     raise TypeError(f"cannot print node type {type(expr).__name__}")
 
 
@@ -205,6 +210,9 @@ def fullform(
             return head + "[" + ", ".join(walk(a) for a in node.args) + "]"
         if isinstance(node, ITE):
             return f"If[{walk(node.cond)}, {walk(node.then)}, {walk(node.orelse)}]"
+        if isinstance(node, Reduce):
+            rng = f"{node.family}, {node.start}, {node.count}"
+            return f"ReduceSum[{walk(node.body)}, {rng}]"
         raise TypeError(f"cannot print node type {type(node).__name__}")
 
     return walk(expr)
@@ -236,6 +244,11 @@ def srepr(expr: Expr) -> str:
         return f"BoolOp({expr.op!r}, [{', '.join(srepr(a) for a in expr.args)}])"
     if isinstance(expr, ITE):
         return f"ITE({srepr(expr.cond)}, {srepr(expr.then)}, {srepr(expr.orelse)})"
+    if isinstance(expr, Reduce):
+        return (
+            f"Reduce({srepr(expr.body)}, {expr.family!r}, "
+            f"{expr.start}, {expr.count})"
+        )
     return f"<{type(expr).__name__}>"
 
 
@@ -378,6 +391,8 @@ def tree(expr: Expr, indent: str = "") -> str:
         label += f" {expr.fn}"
     elif isinstance(expr, (Rel, BoolOp)):
         label += f" {expr.op}"
+    elif isinstance(expr, Reduce):
+        label += f" {expr.family}[{expr.start}..{expr.start + expr.count - 1}]"
     lines = [indent + label]
     for child in expr.args:
         lines.append(tree(child, indent + "  "))

@@ -22,6 +22,7 @@ from .expr import (
     ITE,
     Mul,
     Pow,
+    Reduce,
     Rel,
     Sym,
     add,
@@ -70,6 +71,13 @@ def expr_to_obj(expr: Expr) -> Any:
                 expr_to_obj(expr.orelse),
             ]
         }
+    if isinstance(expr, Reduce):
+        return {
+            "reduce": expr_to_obj(expr.body),
+            "family": expr.family,
+            "start": expr.start,
+            "count": expr.count,
+        }
     raise TypeError(f"cannot serialise node type {type(expr).__name__}")
 
 
@@ -103,6 +111,13 @@ def expr_from_obj(obj: Any) -> Expr:
         cond, then, orelse = obj["ite"]
         return ITE(
             expr_from_obj(cond), expr_from_obj(then), expr_from_obj(orelse)
+        )
+    if "reduce" in obj:
+        return Reduce(
+            expr_from_obj(obj["reduce"]),
+            obj["family"],
+            obj["start"],
+            obj["count"],
         )
     raise ValueError(f"malformed expression object: {obj!r}")
 

@@ -1,0 +1,303 @@
+"""Array-aware IR equivalence suite.
+
+The array flatten mode must be a pure compile-time optimisation: every
+observable — scalarized equation sets, generated-code derivatives, SCC
+block structure — matches scalar enumeration, while the symbolic
+artifacts stay sized by class structure.  Symbolic identities (scalarize,
+``ArraySystem.expand``) are exact; generated-code comparisons allow
+1e-12 relative difference because the reduce loops accumulate family sums
+in member order whereas the canonical n-ary ``add`` evaluates in sorted
+key order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    build_array_dependency_graph,
+    build_dependency_graph,
+    strongly_connected_components,
+)
+from repro.apps import (
+    BearingParams,
+    build_bearing2d,
+    build_bearing3d,
+    build_powerplant,
+    build_servo,
+)
+from repro.codegen.costmodel import CostModel
+from repro.codegen.transform import make_array_system, make_ode_system
+from repro.frontend import compile_model
+from repro.model.arrays import expand_reduces, has_reduce
+from repro.model.flatten import ArrayFlatModel, flatten_model
+from repro.symbolic.expr import Reduce, Sym, add, mul
+from repro.symbolic.nodecount import op_histogram
+from repro.symbolic.serialize import expr_from_obj, expr_to_obj
+
+APP_BUILDERS = {
+    "bearing2d": build_bearing2d,
+    "bearing3d": build_bearing3d,
+    "powerplant": build_powerplant,
+    "servo": build_servo,
+}
+
+RTOL = 1e-12
+
+
+def _perturbed_state(program, seed=0):
+    rng = np.random.default_rng(seed)
+    y0 = np.asarray(program.start_vector(), dtype=float)
+    return y0 + 0.01 * (1.0 + np.abs(y0)) * rng.standard_normal(y0.size)
+
+
+def _rel_diff(a, b):
+    return float(np.max(np.abs(a - b) / (1.0 + np.abs(b))))
+
+
+class TestFlattenEquivalence:
+    @pytest.mark.parametrize("app", sorted(APP_BUILDERS))
+    def test_scalarize_is_bit_identical_to_scalar_flatten(self, app):
+        """The scalarized array flat model IS the scalar oracle's output."""
+        aflat = flatten_model(APP_BUILDERS[app](), mode="array")
+        sflat = flatten_model(APP_BUILDERS[app](), mode="scalar")
+        assert isinstance(aflat, ArrayFlatModel)
+        lowered = aflat.scalarize()
+        assert list(lowered.states) == list(sflat.states)
+        assert [(e.state, e.rhs) for e in lowered.odes] == [
+            (e.state, e.rhs) for e in sflat.odes
+        ]
+        assert [(e.var, e.rhs) for e in lowered.explicit_algs] == [
+            (e.var, e.rhs) for e in sflat.explicit_algs
+        ]
+        assert aflat.num_equations == sflat.num_equations
+
+    def test_array_flatten_size_tracks_class_structure(self):
+        small = flatten_model(
+            build_bearing2d(BearingParams(num_rollers=10)), mode="array"
+        )
+        large = flatten_model(
+            build_bearing2d(BearingParams(num_rollers=100)), mode="array"
+        )
+        assert small.num_symbolic_equations == large.num_symbolic_equations
+        assert large.slice_cardinalities() == {"W": 100}
+        assert large.expansion_factor > small.expansion_factor
+
+    def test_singleton_family_sums_stay_symbolic(self):
+        """The ring force balance keeps one Reduce node per component."""
+        aflat = flatten_model(
+            build_bearing2d(BearingParams(num_rollers=100)), mode="array"
+        )
+        assert aflat.fallback_reason is None
+        reduced = [
+            eq for eq in aflat.odes + aflat.explicit_algs
+            if has_reduce(eq.rhs)
+        ]
+        assert reduced, "expected symbolic family sums in ring equations"
+        # and the implicit stream never carries them
+        for eq in aflat.implicit:
+            assert not has_reduce(eq.lhs) and not has_reduce(eq.rhs)
+
+    def test_expand_matches_scalar_ode_system(self):
+        """ArraySystem.expand() reproduces the scalar oracle exactly."""
+        for n in (4, 11):
+            params = BearingParams(num_rollers=n)
+            aflat = flatten_model(build_bearing2d(params), mode="array")
+            array_sys = make_array_system(aflat)
+            scalar_sys = make_ode_system(
+                flatten_model(build_bearing2d(params), mode="scalar")
+            )
+            expanded = array_sys.expand()
+            assert expanded.state_names == scalar_sys.state_names
+            assert expanded.rhs == scalar_sys.rhs  # hash-consed equality
+            assert expanded.start_values == scalar_sys.start_values
+
+
+class TestGeneratedCodeEquivalence:
+    @pytest.mark.parametrize("app", sorted(APP_BUILDERS))
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_rhs_matches_scalar_mode(self, app, backend):
+        build = APP_BUILDERS[app]
+        ca = compile_model(build(), backend=backend, flatten_mode="array")
+        cs = compile_model(build(), backend=backend, flatten_mode="scalar")
+        pa, ps = ca.program, cs.program
+        n = pa.num_states
+        y = _perturbed_state(ps)
+        p = np.asarray(ps.param_vector(), dtype=float)
+        oa, os_ = np.empty(n), np.empty(n)
+        pa.module.rhs(0.3, y, p, oa)
+        ps.module.rhs(0.3, y, p, os_)
+        assert _rel_diff(oa, os_) < RTOL
+
+        if backend == "numpy":
+            Y = np.stack([y, y + 0.005])
+            out = np.empty_like(Y)
+            pa.vector_module.rhs_v(0.3, Y, p, out)
+            for lane in range(2):
+                ref = np.empty(n)
+                ps.module.rhs(0.3, Y[lane], p, ref)
+                assert _rel_diff(out[lane], ref) < RTOL
+
+    @pytest.mark.parametrize("app", ["bearing2d", "bearing3d"])
+    def test_task_path_matches_serial(self, app):
+        """Every task-written slot agrees with the serial RHS."""
+        ca = compile_model(
+            APP_BUILDERS[app](), backend="python", flatten_mode="array"
+        )
+        pa = ca.program
+        n = pa.num_states
+        y = _perturbed_state(pa, seed=3)
+        p = np.asarray(pa.param_vector(), dtype=float)
+        serial = np.empty(n)
+        pa.module.rhs(0.3, y, p, serial)
+        res = np.zeros(n + pa.num_partials)
+        for task in pa.module.tasks:
+            task(0.3, y, p, res)
+        assert _rel_diff(res[:n], serial) < RTOL
+
+    def test_batch_axis_composes_with_member_axis(self):
+        """(batch, n) lanes each match an independent scalar evaluation."""
+        build = lambda: build_bearing2d(BearingParams(num_rollers=7))
+        ca = compile_model(build(), backend="numpy", flatten_mode="array")
+        cs = compile_model(build(), backend="python", flatten_mode="scalar")
+        pa, ps = ca.program, cs.program
+        n = pa.num_states
+        rng = np.random.default_rng(7)
+        y0 = np.asarray(ps.start_vector(), dtype=float)
+        Y = y0[None, :] + 0.02 * (1 + np.abs(y0)) * rng.standard_normal(
+            (5, n)
+        )
+        p = np.asarray(ps.param_vector(), dtype=float)
+        out = np.empty_like(Y)
+        pa.vector_module.rhs_v(0.1, Y, p, out)
+        for lane in range(5):
+            ref = np.empty(n)
+            ps.module.rhs(0.1, Y[lane], p, ref)
+            assert _rel_diff(out[lane], ref) < RTOL
+
+
+class TestAnalysisEquivalence:
+    def test_scc_structure_refines_scalar_sccs(self):
+        """Every scalar SCC lands inside exactly one array SCC."""
+        params = BearingParams(num_rollers=8)
+        aflat = flatten_model(build_bearing2d(params), mode="array")
+        sflat = flatten_model(build_bearing2d(params), mode="scalar")
+        a_var, _aeq, _asgn, info = build_array_dependency_graph(aflat)
+        s_var, _seq, _ssgn = build_dependency_graph(sflat)
+
+        vertex_of_scalar = dict(info.name_map)
+        array_scc_of = {}
+        for i, comp in enumerate(strongly_connected_components(a_var)):
+            for v in comp:
+                array_scc_of[v] = i
+        for comp in strongly_connected_components(s_var):
+            images = {
+                array_scc_of[vertex_of_scalar.get(v, v)] for v in comp
+            }
+            assert len(images) == 1, (
+                f"scalar SCC {comp} split across array SCCs {images}"
+            )
+
+    def test_array_graph_size_independent_of_member_count(self):
+        g10, *_ = build_array_dependency_graph(
+            flatten_model(
+                build_bearing2d(BearingParams(num_rollers=10)), mode="array"
+            )
+        )
+        g50, *_ = build_array_dependency_graph(
+            flatten_model(
+                build_bearing2d(BearingParams(num_rollers=50)), mode="array"
+            )
+        )
+        assert g10.num_nodes == g50.num_nodes
+        assert g10.num_edges == g50.num_edges
+
+
+class TestScalarizePass:
+    def test_jacobian_request_scalarizes(self):
+        ca = compile_model(
+            build_bearing2d(), backend="python", flatten_mode="array",
+            jacobian=True,
+        )
+        assert ca.report.metrics.get("scalarized") is True
+        assert "Jacobian" in ca.report.metrics["scalarize_reason"]
+        cs = compile_model(
+            build_bearing2d(), backend="python", flatten_mode="scalar",
+            jacobian=True,
+        )
+        n = ca.program.num_states
+        y = _perturbed_state(cs.program, seed=5)
+        p = np.asarray(cs.program.param_vector(), dtype=float)
+        ja, js = np.zeros((n, n)), np.zeros((n, n))
+        ca.program.module.jac(0.2, y, p, ja)
+        cs.program.module.jac(0.2, y, p, js)
+        # the scalarize pass re-flattens the source model in scalar mode,
+        # so the generated Jacobian is the scalar one, bit for bit
+        assert np.array_equal(ja, js)
+
+    def test_shared_cse_request_scalarizes(self):
+        c = compile_model(
+            build_bearing2d(), backend="python", flatten_mode="array",
+            shared_cse=True,
+        )
+        assert c.report.metrics.get("scalarized") is True
+        assert "shared-CSE" in c.report.metrics["scalarize_reason"]
+
+    def test_pure_array_compile_does_not_scalarize(self):
+        c = compile_model(
+            build_bearing2d(), backend="python", flatten_mode="array"
+        )
+        assert c.report.metrics.get("scalarized") is None
+
+
+class TestExplainMetrics:
+    def test_report_carries_array_metrics(self):
+        c = compile_model(
+            build_bearing2d(BearingParams(num_rollers=12)),
+            backend="python", flatten_mode="array",
+        )
+        m = c.report.to_obj()["metrics"]
+        assert m["flatten_mode"] == "array"
+        assert m["num_array_equations"] > 0
+        assert m["slice_cardinalities"] == {"W": 12}
+        assert m["scalarize_expansion_factor"] > 1.0
+        text = "\n".join(c.report.summary_lines())
+        assert "array equations" in text
+        assert "W[12]" in text
+        assert "scalarize expansion factor" in text
+
+
+class TestReduceNode:
+    def _sum(self, count=10):
+        body = mul(Sym("W1.f"), Sym("k"))
+        return Reduce(body, "W", 1, count)
+
+    def test_cost_model_weights_by_count(self):
+        cm = CostModel()
+        node = self._sum(10)
+        assert cm.expr_cost(node) == pytest.approx(
+            10 * cm.expr_cost(node.body) + 9 * cm.add
+        )
+
+    def test_op_histogram_weights_by_count(self):
+        node = self._sum(10)
+        h = op_histogram(node)
+        body_h = op_histogram(node.body)
+        assert h.muls == 10 * body_h.muls
+        assert h.adds == 9
+
+    def test_serialize_roundtrip(self):
+        node = add(self._sum(5), Sym("F0"))
+        assert expr_from_obj(expr_to_obj(node)) == node
+
+    def test_expansion_matches_canonical_sum(self):
+        node = self._sum(3)
+        expanded = expand_reduces(node)
+        assert expanded == add(
+            mul(Sym("W1.f"), Sym("k")),
+            mul(Sym("W2.f"), Sym("k")),
+            mul(Sym("W3.f"), Sym("k")),
+        )
+
+    def test_memberless_body_folds_to_multiple(self):
+        node = Reduce(Sym("g"), "W", 1, 4)
+        assert expand_reduces(node) == mul(4, Sym("g"))
