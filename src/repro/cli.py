@@ -406,8 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("model")
     p.add_argument("--backend", default="python",
-                   choices=("python", "numpy"),
-                   help="executable backend to generate")
+                   choices=("python", "numpy", "c"),
+                   help="executable backend to generate ('c' compiles the "
+                        "generated tasks natively, falling back to python "
+                        "when no C toolchain is available)")
     p.add_argument("--flatten-mode", default="scalar",
                    choices=("scalar", "array"),
                    help="'array' keeps instance families symbolic (one "
@@ -468,9 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="lsoda",
                    choices=("lsoda", "adams", "bdf", "rk45", "rk4"))
     p.add_argument("--backend", default="python",
-                   choices=("python", "numpy"),
+                   choices=("python", "numpy", "c"),
                    help="executable backend: scalar generated Python "
-                        "(default) or the vectorized NumPy module")
+                        "(default), the vectorized NumPy module, or the "
+                        "natively compiled C module (GIL-releasing tasks; "
+                        "python fallback without a toolchain)")
     p.add_argument("--executor", default="serial",
                    choices=("serial", "thread", "process"),
                    help="RHS evaluation strategy: plain serial calls "

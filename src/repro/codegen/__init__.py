@@ -5,8 +5,15 @@ Expression transformer → compilable-subset verifier → task partitioning
 """
 
 from .costmodel import CostModel, DEFAULT_COST_MODEL
-from .gen_c import CSource, generate_c
+from .gen_c import CSource, NativeSource, generate_c, generate_c_tasks
 from .gen_fortran import FortranSource, generate_fortran
+from .native import (
+    NativeCache,
+    NativeModule,
+    NativeUnavailable,
+    build_native_module,
+    find_compiler,
+)
 from .gen_numpy import NumpyModule, generate_numpy
 from .gen_python import NameTable, PythonModule, generate_python
 from .program import BACKENDS, GeneratedProgram, generate_program
@@ -33,7 +40,14 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST_MODEL",
     "CSource",
+    "NativeSource",
     "generate_c",
+    "generate_c_tasks",
+    "NativeCache",
+    "NativeModule",
+    "NativeUnavailable",
+    "build_native_module",
+    "find_compiler",
     "FortranSource",
     "generate_fortran",
     "NameTable",

@@ -3,9 +3,18 @@
 The ObjectMath code generator also emitted C++ (Figure 8/9).  This back end
 produces a C translation unit with the same structure as the Fortran one:
 ``RHS`` as a ``switch (workerid)`` in parallel mode or straight-line code in
-serial mode, plus the generated start-value function.  Like the Fortran
-output it is an inspectable artifact; the executable path is the Python
-back end.
+serial mode, plus the generated start-value function.
+
+Two emitters live here:
+
+* :func:`generate_c` — the inspectable textual artifact (``repro codegen
+  -t c``), mirroring the Fortran back end, and
+* :func:`generate_c_tasks` — a self-contained *executable* translation
+  unit (:class:`NativeSource`): serial ``RHS``, one exported ``task_k``
+  entry point per (possibly fused) task body, the sparse SCC-block
+  analytic Jacobian, and the start/parameter vectors.  The native build
+  layer (:mod:`repro.codegen.native`) compiles it into a loadable shared
+  object for ``backend="c"``.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from .gen_python import NameTable
 from .tasks import TaskPlan, partition_tasks
 from .transform import OdeSystem
 
-__all__ = ["CSource", "generate_c"]
+__all__ = ["CSource", "NativeSource", "generate_c", "generate_c_tasks"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +44,52 @@ class CSource:
 
     def __str__(self) -> str:
         return f"C[{self.mode}]: {self.num_lines} lines, {self.num_cse} CSEs"
+
+
+#: ``static inline`` so a model that never calls sign() still compiles
+#: under ``-Wall -Werror`` (unused static inline functions do not warn).
+_SIGN_HELPER = (
+    "static inline double sign(double v) "
+    "{ return v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0); }"
+)
+
+
+@dataclass(frozen=True)
+class NativeSource:
+    """A self-contained executable C translation unit plus its interface.
+
+    Everything here is plain strings/ints/tuples: the object pickles for
+    :class:`~repro.codegen.program.ProgramSpec` (process-pool workers
+    rebuild native modules from it) and serialises into the artifact
+    cache.  ``cdef`` is the cffi declaration block matching ``source``'s
+    exported symbols; ``jac_rows``/``jac_cols`` record the sparse Jacobian
+    pattern (row-major within each SCC block) so the Python wrapper can
+    scatter values without calling back into C.
+    """
+
+    source: str
+    cdef: str
+    name: str
+    num_states: int
+    num_partials: int
+    num_tasks: int
+    num_params: int
+    has_jacobian: bool
+    jac_rows: tuple[int, ...]
+    jac_cols: tuple[int, ...]
+    num_lines: int
+    num_cse: int
+
+    @property
+    def jac_nnz(self) -> int:
+        return len(self.jac_rows)
+
+    def __str__(self) -> str:
+        jac = f", jac nnz={self.jac_nnz}" if self.has_jacobian else ""
+        return (
+            f"C[native]: {self.num_lines} lines, {self.num_tasks} tasks, "
+            f"{self.num_cse} CSEs{jac}"
+        )
 
 
 def _emit_block(
@@ -123,7 +178,7 @@ def generate_c(
         f"/* Generated by repro.codegen.gen_c for model {system.name} */",
         "#include <math.h>",
         "",
-        "static double sign(double v) { return v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0); }",
+        _SIGN_HELPER,
         "",
     ]
     num_cse = 0
@@ -253,4 +308,256 @@ def generate_c(
     source = "\n".join(lines)
     return CSource(
         source=source, num_lines=len(lines), num_cse=num_cse, mode=mode
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executable translation unit (backend="c")
+# ---------------------------------------------------------------------------
+
+_ARGS = "double t, const double *yin, const double *p, double *yout"
+
+
+def _sparse_jacobian_entries(
+    system: OdeSystem, blocks: Mapping[str, int] | None
+) -> list[tuple[int, int, Expr]]:
+    """Structurally nonzero Jacobian entries ordered per SCC block.
+
+    ``blocks`` is the analysis partition's state-name → SCC-block
+    membership; entries are grouped by the row state's block (row-major
+    within a block) so the generated ``JAC`` walks one diagonal block at a
+    time — the iteration order of Peleš & Klus's block-sparse evaluation.
+    States the partition does not know (defensive) sort last.
+    """
+    from .gen_fortran import _jacobian_entries
+
+    entries = _jacobian_entries(system)
+    if blocks:
+        fallback = 1 + max(blocks.values(), default=-1)
+        order = {
+            s: blocks.get(s, fallback) for s in system.state_names
+        }
+        state_names = system.state_names
+        entries.sort(key=lambda e: (order[state_names[e[0]]], e[0], e[1]))
+    return entries
+
+
+def generate_c_tasks(
+    system: OdeSystem,
+    plan: TaskPlan | None = None,
+    jacobian: bool = False,
+    cse_min_ops: int = 1,
+    blocks: Mapping[str, int] | None = None,
+) -> NativeSource:
+    """Emit the executable C translation unit for ``backend="c"``.
+
+    Exports (all ``double`` buffers are caller-allocated):
+
+    * ``RHS(t, yin, p, yout)`` — serial global-CSE evaluation writing the
+      ``num_states`` derivatives,
+    * ``task_<k>(t, yin, p, yout)`` — one entry point per (fused) task
+      body of ``plan``, writing its slots of the shared results vector
+      (states first, partial sums after — the Python backend's layout),
+    * with ``jacobian=True``: ``JAC(t, yin, p, vals)`` writing only the
+      structurally nonzero entries (ordered per SCC block via
+      ``blocks``), plus ``JAC_NNZ()`` / ``JAC_PATTERN(rows, cols)``,
+    * ``START(y0)`` / ``PARAMS(pout)`` and the ``NUM_*()`` layout probes
+      the loader cross-checks against this object.
+
+    The unit is self-contained (``#include <math.h>`` only) and compiles
+    warning-free under ``-Wall -Werror``.
+    """
+    if plan is None:
+        plan = partition_tasks(system)
+
+    n = system.num_states
+    partial_index = {slot: i for i, slot in enumerate(plan.partial_slots)}
+    num_partials = len(plan.partial_slots)
+    num_tasks = len(plan.bodies)
+
+    lines: list[str] = [
+        f"/* Generated by repro.codegen.gen_c (native) "
+        f"for model {system.name} */",
+        "#include <math.h>",
+        "",
+        _SIGN_HELPER,
+        "",
+        f"int NUM_STATES(void) {{ return {n}; }}",
+        f"int NUM_PARTIALS(void) {{ return {num_partials}; }}",
+        f"int NUM_TASKS(void) {{ return {num_tasks}; }}",
+        "",
+    ]
+    cdef: list[str] = [
+        "int NUM_STATES(void);",
+        "int NUM_PARTIALS(void);",
+        "int NUM_TASKS(void);",
+        f"void RHS({_ARGS});",
+    ]
+    num_cse = 0
+
+    # -- serial RHS (global CSE over the full system) ----------------------
+    names = NameTable(reserved=["t", "yin", "p", "yout"])
+    result = cse(list(system.rhs), symbol_prefix="cse", min_ops=cse_min_ops)
+    num_cse += result.num_extracted
+    lines.append(f"void RHS({_ARGS})")
+    lines.append("{")
+    targets = [
+        (f"der:{s}", e) for s, e in zip(system.state_names, result.exprs)
+    ]
+    lines.extend(
+        _emit_block(
+            targets, result.replacements, system, partial_index, names, "  "
+        )
+    )
+    lines.append("}")
+
+    # -- one exported entry point per (fused) task body --------------------
+    groups = [[a.expr for a in b.assignments] for b in plan.bodies]
+    results = cse_grouped(groups, symbol_prefix="cse", min_ops=cse_min_ops)
+    num_cse += sum(r.num_extracted for r in results)
+    for body, result in zip(plan.bodies, results):
+        fn = f"task_{body.task_id}"
+        cdef.append(f"void {fn}({_ARGS});")
+        lines.append("")
+        lines.append(f"/* {body.name} */")
+        lines.append(f"void {fn}({_ARGS})")
+        lines.append("{")
+        names = NameTable(reserved=["t", "yin", "p", "yout"])
+        targets = [
+            (a.target, e) for a, e in zip(body.assignments, result.exprs)
+        ]
+        lines.extend(
+            _emit_block(
+                targets, result.replacements, system, partial_index, names,
+                "  ",
+            )
+        )
+        lines.append("}")
+
+    # -- sparse SCC-block Jacobian -----------------------------------------
+    jac_rows: tuple[int, ...] = ()
+    jac_cols: tuple[int, ...] = ()
+    if jacobian:
+        entries = _sparse_jacobian_entries(system, blocks)
+        jac_rows = tuple(i for i, _, _ in entries)
+        jac_cols = tuple(j for _, j, _ in entries)
+        nnz = len(entries)
+        cdef.append("void JAC(double t, const double *yin, "
+                    "const double *p, double *vals);")
+        cdef.append("int JAC_NNZ(void);")
+        cdef.append("void JAC_PATTERN(int *rows, int *cols);")
+
+        names = NameTable(reserved=["t", "yin", "p", "vals"])
+        jac_cse = cse(
+            [e for _, _, e in entries], symbol_prefix="jcse",
+            min_ops=cse_min_ops,
+        )
+        num_cse += jac_cse.num_extracted
+        lines.append("")
+        lines.append(f"int JAC_NNZ(void) {{ return {nnz}; }}")
+        lines.append("")
+        lines.append("void JAC_PATTERN(int *rows, int *cols)")
+        lines.append("{")
+        if nnz:
+            rows_text = ", ".join(str(i) for i in jac_rows)
+            cols_text = ", ".join(str(j) for j in jac_cols)
+            lines.append(f"  static const int r[] = {{{rows_text}}};")
+            lines.append(f"  static const int c[] = {{{cols_text}}};")
+            lines.append(
+                f"  for (int k = 0; k < {nnz}; ++k) "
+                "{ rows[k] = r[k]; cols[k] = c[k]; }"
+            )
+        else:
+            lines.append("  (void)rows; (void)cols;")
+        lines.append("}")
+        lines.append("")
+        lines.append(
+            "void JAC(double t, const double *yin, const double *p, "
+            "double *vals)"
+        )
+        lines.append("{")
+        local = {sym.name for sym, _ in jac_cse.replacements}
+        used: set[str] = set()
+        for _sym, definition in jac_cse.replacements:
+            used.update(s.name for s in free_symbols(definition))
+        for expr in jac_cse.exprs:
+            used.update(s.name for s in free_symbols(expr))
+        used -= local
+        state_index = {s: i for i, s in enumerate(system.state_names)}
+        param_index = {s: i for i, s in enumerate(system.param_names)}
+        for name in sorted(used):
+            ident = names(name)
+            if name == system.free_var:
+                lines.append(f"  const double {ident} = t;")
+            elif name in state_index:
+                lines.append(
+                    f"  const double {ident} = yin[{state_index[name]}];"
+                )
+            elif name in param_index:
+                lines.append(
+                    f"  const double {ident} = p[{param_index[name]}];"
+                )
+            else:  # pragma: no cover
+                raise ValueError(f"cannot bind {name!r} in JAC codegen")
+        for sym, definition in jac_cse.replacements:
+            lines.append(
+                f"  const double {names(sym.name)} = "
+                f"{expr_code(definition, 'c', names)};"
+            )
+        if not used and not jac_cse.replacements and not entries:
+            lines.append("  (void)t; (void)yin; (void)p; (void)vals;")
+        block_of = None
+        if blocks:
+            fallback = 1 + max(blocks.values(), default=-1)
+            block_of = [
+                blocks.get(s, fallback) for s in system.state_names
+            ]
+        last_block: int | None = None
+        for k, ((i, j, _), expr) in enumerate(zip(entries, jac_cse.exprs)):
+            if block_of is not None and block_of[i] != last_block:
+                last_block = block_of[i]
+                lines.append(f"  /* SCC block {last_block} */")
+            lines.append(
+                f"  vals[{k}] = {expr_code(expr, 'c', names)};"
+                f"  /* d f[{i}] / d y[{j}] */"
+            )
+        lines.append("}")
+
+    # -- start values and parameters ---------------------------------------
+    cdef.append("void START(double *y0);")
+    cdef.append("void PARAMS(double *pout);")
+    lines.append("")
+    lines.append("void START(double *y0)")
+    lines.append("{")
+    if not system.state_names:
+        lines.append("  (void)y0;")
+    for i, (name, value) in enumerate(
+        zip(system.state_names, system.start_values)
+    ):
+        lines.append(f"  y0[{i}] = {float(value)!r};  /* {name} */")
+    lines.append("}")
+    lines.append("")
+    lines.append("void PARAMS(double *pout)")
+    lines.append("{")
+    if not system.param_names:
+        lines.append("  (void)pout;")
+    for i, (name, value) in enumerate(
+        zip(system.param_names, system.param_values)
+    ):
+        lines.append(f"  pout[{i}] = {float(value)!r};  /* {name} */")
+    lines.append("}")
+
+    return NativeSource(
+        source="\n".join(lines),
+        cdef="\n".join(cdef),
+        name=system.name,
+        num_states=n,
+        num_partials=num_partials,
+        num_tasks=num_tasks,
+        num_params=len(system.param_names),
+        has_jacobian=bool(jacobian),
+        jac_rows=jac_rows,
+        jac_cols=jac_cols,
+        num_lines=len(lines),
+        num_cse=num_cse,
     )

@@ -5,14 +5,20 @@ serial RHS and per-task functions (Python back end), the task plan and
 graph for the scheduler/runtime, optional analytic Jacobian, start values,
 and the code-size statistics used by the section 3.3 benchmarks.
 
-Two executable back ends are available (``generate_program(backend=...)``):
+Three executable back ends are available (``generate_program(backend=...)``):
 
 * ``"python"`` — the scalar module only (the default; one float per state,
   ``math`` calls, the target of the threaded runtime),
 * ``"numpy"``  — additionally compiles the vectorized module of
   :mod:`repro.codegen.gen_numpy`, enabling the batched entry points
   (``rhs_batch`` / ``make_rhs_batch`` / ``make_jac_batch``) used by
-  :func:`repro.solver.batch.solve_ivp_batch` and the ensemble runtime.
+  :func:`repro.solver.batch.solve_ivp_batch` and the ensemble runtime,
+* ``"c"``      — additionally compiles the generated tasks natively
+  (:mod:`repro.codegen.gen_c` + :mod:`repro.codegen.native`): the serial
+  RHS, every task entry point, and the sparse SCC-block Jacobian run as
+  machine code that releases the GIL, so the threaded executors scale
+  across cores.  When no C toolchain exists the program degrades to the
+  Python module and records ``native_fallback_reason``.
 
 The scalar module is always generated, so schedulers, executors and the
 fault-tolerance layer behave identically whichever backend is selected.
@@ -21,21 +27,25 @@ fault-tolerance layer behave identically whichever backend is selected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..schedule.task import TaskGraph
 from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .gen_c import NativeSource
 from .gen_numpy import NumpyModule, generate_numpy
 from .gen_python import PythonModule, generate_python
 from .tasks import TaskPlan, partition_tasks, partition_tasks_array
 from .transform import ArraySystem, OdeSystem
 from .verify import VerifyReport, verify_compilable
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .native import NativeModule
+
 __all__ = ["GeneratedProgram", "ProgramSpec", "generate_program", "BACKENDS"]
 
-BACKENDS = ("python", "numpy")
+BACKENDS = ("python", "numpy", "c")
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,13 @@ class ProgramSpec:
     #: per-task output indices into the results vector (state slots first,
     #: partial-sum slots after), used by worker-side fault injection
     task_slots: tuple[tuple[int, ...], ...]
+    #: native rebuild recipe (backend="c"): plain strings/ints/tuples, so
+    #: the spec still pickles under any multiprocessing start method
+    native_source: NativeSource | None = None
+    #: where the parent found/built the shared object — workers dlopen it
+    #: directly when it still exists, else rebuild through this cache root
+    native_so_path: str | None = None
+    native_cache_root: str | None = None
 
     def build_module(self) -> PythonModule:
         """Re-``exec`` the generated source into a fresh namespace."""
@@ -69,7 +86,41 @@ class ProgramSpec:
         )
 
     def build_tasks(self) -> list[Callable]:
-        """The per-task functions, rebuilt in the calling interpreter."""
+        """The per-task functions, rebuilt in the calling interpreter.
+
+        Prefers the native module (dlopen of the parent's build product,
+        or a rebuild through the shipped cache root); degrades silently
+        to the Python module when the worker's machine lacks a toolchain
+        — the numerics are identical either way.
+        """
+        if self.native_source is not None:
+            from pathlib import Path
+
+            from .native import (
+                NativeCache,
+                NativeUnavailable,
+                build_native_module,
+                load_native_module,
+            )
+
+            try:
+                if self.native_so_path is not None and (
+                    Path(self.native_so_path).exists()
+                ):
+                    return load_native_module(
+                        Path(self.native_so_path), self.native_source
+                    ).tasks
+                cache = (
+                    NativeCache(self.native_cache_root)
+                    if self.native_cache_root is not None
+                    else None
+                )
+                module, _ = build_native_module(
+                    self.native_source, cache=cache
+                )
+                return module.tasks
+            except NativeUnavailable:
+                pass
         return self.build_module().tasks
 
 
@@ -83,6 +134,11 @@ class GeneratedProgram:
     verify_report: VerifyReport
     #: vectorized NumPy module (``generate_program(backend="numpy")``)
     vector_module: NumpyModule | None = None
+    #: natively compiled module (``generate_program(backend="c")``);
+    #: None when not requested or when the toolchain was unavailable
+    native_module: "NativeModule | None" = None
+    #: why backend="c" degraded to python (None = no fallback happened)
+    native_fallback_reason: str | None = None
     #: lazy cache for task_output_slots (state and partial slot indices)
     _slot_index: tuple | None = field(default=None, init=False, repr=False)
     #: cached default parameter vector (built once from PARAMS())
@@ -108,7 +164,9 @@ class GeneratedProgram:
 
     @property
     def backend(self) -> str:
-        """The richest backend available: ``"numpy"`` or ``"python"``."""
+        """The richest backend available: ``"c"``, ``"numpy"`` or ``"python"``."""
+        if self.native_module is not None:
+            return "c"
         return "numpy" if self.vector_module is not None else "python"
 
     def start_vector(self) -> np.ndarray:
@@ -138,12 +196,34 @@ class GeneratedProgram:
         if p is None:
             p = self._default_params()
         out = np.empty(self.num_states, dtype=float)
-        self.module.rhs(t, y, p, out)
+        fn = (
+            self.native_module.rhs
+            if self.native_module is not None
+            else self.module.rhs
+        )
+        fn(t, np.ascontiguousarray(y, dtype=float), p, out)
         return out
 
     def make_rhs(self, p: np.ndarray | None = None) -> Callable:
-        """A ``f(t, y) -> ydot`` closure for the ODE solvers."""
+        """A ``f(t, y) -> ydot`` closure for the ODE solvers.
+
+        Uses the native RHS when this program was compiled with
+        ``backend="c"`` (same numbers to the last bit modulo libm; the
+        native build forbids FP contraction).
+        """
         params = self._default_params() if p is None else np.asarray(p, float)
+        if self.native_module is not None:
+            native_rhs = self.native_module.rhs
+            n = self.num_states
+
+            def f(t: float, y: np.ndarray) -> np.ndarray:
+                out = np.empty(n, dtype=float)
+                native_rhs(
+                    t, np.ascontiguousarray(y, dtype=float), params, out
+                )
+                return out
+
+            return f
         rhs = self.module.rhs
         n = self.num_states
 
@@ -163,12 +243,37 @@ class GeneratedProgram:
         allocation or re-zeroing is needed.  Callers that hold the result
         across calls see it updated in place (the Newton loops in the
         implicit solvers re-factorise from it immediately).
+
+        With a native module the sparse ``JAC`` evaluates only the
+        structurally nonzero entries (per SCC block) and scatters them
+        through a precomputed flat index — the dense workspace interface
+        the solvers consume is unchanged.
         """
+        params = self._default_params() if p is None else np.asarray(p, float)
+        n = self.num_states
+        native = self.native_module
+        if native is not None and native.jac_sparse is not None:
+            jac_fn = native.jac_sparse
+            src = native.native
+            nnz = src.jac_nnz
+            flat = (
+                np.asarray(src.jac_rows, dtype=np.intp) * n
+                + np.asarray(src.jac_cols, dtype=np.intp)
+            )
+            vals = np.empty(nnz, dtype=float)
+            workspace = np.zeros((n, n), dtype=float)
+            flat_view = workspace.reshape(-1)
+
+            def jac(t: float, y: np.ndarray) -> np.ndarray:
+                jac_fn(t, np.ascontiguousarray(y, dtype=float), params, vals)
+                flat_view[flat] = vals
+                return workspace
+
+            return jac
         if self.module.jac is None:
             return None
-        params = self._default_params() if p is None else np.asarray(p, float)
         jac_fn = self.module.jac
-        workspace = np.zeros((self.num_states, self.num_states), dtype=float)
+        workspace = np.zeros((n, n), dtype=float)
 
         def jac(t: float, y: np.ndarray) -> np.ndarray:
             jac_fn(t, y, params, workspace)
@@ -237,13 +342,26 @@ class GeneratedProgram:
 
         return jac
 
+    def task_callables(self) -> list[Callable]:
+        """The per-task functions the executors dispatch.
+
+        Native tasks when the program was compiled with ``backend="c"``
+        (they release the GIL, so :class:`~repro.runtime.ThreadedExecutor`
+        runs them truly in parallel), otherwise the Python module's task
+        functions.  Same ``task(t, y, p, res)`` signature and results-
+        vector layout either way.
+        """
+        if self.native_module is not None:
+            return self.native_module.tasks
+        return self.module.tasks
+
     def eval_task(
         self, task_id: int, t: float, y: np.ndarray, p: np.ndarray,
         res: np.ndarray,
     ) -> None:
         """Evaluate one task into the shared results vector ``res``
         (length ``num_states + num_partials``)."""
-        self.module.tasks[task_id](t, y, p, res)
+        self.task_callables()[task_id](t, y, p, res)
 
     def results_buffer(self) -> np.ndarray:
         return np.zeros(self.num_states + self.num_partials, dtype=float)
@@ -251,6 +369,7 @@ class GeneratedProgram:
     def rebuild_spec(self) -> ProgramSpec:
         """A :class:`ProgramSpec` from which worker processes re-create
         the scalar module (source + layout; no live code objects)."""
+        native = self.native_module
         return ProgramSpec(
             name=self.system.name,
             source=self.module.source,
@@ -259,6 +378,11 @@ class GeneratedProgram:
             num_tasks=self.num_tasks,
             task_slots=tuple(
                 self.task_output_slots(tid) for tid in range(self.num_tasks)
+            ),
+            native_source=None if native is None else native.native,
+            native_so_path=None if native is None else str(native.path),
+            native_cache_root=(
+                None if native is None else str(native.path.parent)
             ),
         )
 
@@ -332,7 +456,11 @@ def generate_program(
     ``backend`` selects the executable target: ``"python"`` emits the
     scalar module only; ``"numpy"`` additionally emits the vectorized
     module (same task plan, same CSE structure), enabling the batched
-    ``rhs_batch``/``make_rhs_batch``/``make_jac_batch`` entry points.
+    ``rhs_batch``/``make_rhs_batch``/``make_jac_batch`` entry points;
+    ``"c"`` additionally compiles the tasks natively (content-addressed
+    build cache, sparse SCC-block Jacobian, GIL-releasing task entry
+    points), degrading to the Python module — with
+    ``native_fallback_reason`` set — when no C toolchain is available.
 
     ``fuse`` runs the task-fusion coarsening of :mod:`repro.codegen.fuse`
     over the partitioned plan (``fuse_threshold=None`` picks the automatic
@@ -344,9 +472,12 @@ def generate_program(
         from ..compiler.context import unknown_backend_message
 
         raise ValueError(unknown_backend_message(backend))
-    if isinstance(system, ArraySystem) and (jacobian or shared_cse):
+    if isinstance(system, ArraySystem) and (
+        jacobian or shared_cse or backend == "c"
+    ):
         # These modes need scalar equations (per-entry differentiation,
-        # cross-equation CSE); expand gracefully rather than reject.
+        # cross-equation CSE, native emission); expand gracefully rather
+        # than reject.
         system = system.expand()
     report = verify_compilable(system)
     if isinstance(system, ArraySystem):
@@ -376,7 +507,22 @@ def generate_program(
         vector_module = generate_numpy(
             system, plan=plan, jacobian=jacobian, cse_min_ops=cse_min_ops
         )
+    native_module = None
+    native_fallback = None
+    if backend == "c":
+        from .gen_c import generate_c_tasks
+        from .native import NativeUnavailable, build_native_module
+
+        native_source = generate_c_tasks(
+            system, plan=plan, jacobian=jacobian, cse_min_ops=cse_min_ops,
+            blocks=blocks,
+        )
+        try:
+            native_module, _ = build_native_module(native_source)
+        except NativeUnavailable as exc:
+            native_fallback = exc.reason
     return GeneratedProgram(
         system=system, plan=plan, module=module, verify_report=report,
-        vector_module=vector_module,
+        vector_module=vector_module, native_module=native_module,
+        native_fallback_reason=native_fallback,
     )

@@ -53,6 +53,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 from ..analysis.depgraph import DiGraph, VariableAssignment
 from ..analysis.partition import Partition, Subsystem
 from ..codegen.costmodel import CostModel
+from ..codegen.gen_c import NativeSource
 from ..codegen.gen_numpy import NumpyModule, load_numpy_module
 from ..codegen.gen_python import PythonModule, load_python_module
 from ..codegen.tasks import Assignment, TaskBody, TaskPlan
@@ -82,7 +83,8 @@ __all__ = [
 ]
 
 #: bumped whenever the artifact JSON layout changes; part of every key
-ARTIFACT_FORMAT = 1
+#: (2: native C translation unit added for backend="c")
+ARTIFACT_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +311,24 @@ def _module_to_obj(module) -> dict[str, Any]:
     }
 
 
+def _native_to_obj(native: "NativeSource") -> dict[str, Any]:
+    obj = {
+        f.name: getattr(native, f.name) for f in dataclass_fields(native)
+    }
+    obj["jac_rows"] = list(native.jac_rows)
+    obj["jac_cols"] = list(native.jac_cols)
+    return obj
+
+
+def _native_from_obj(obj: dict[str, Any] | None) -> "NativeSource | None":
+    if obj is None:
+        return None
+    obj = dict(obj)
+    obj["jac_rows"] = tuple(obj["jac_rows"])
+    obj["jac_cols"] = tuple(obj["jac_cols"])
+    return NativeSource(**obj)
+
+
 @dataclass
 class CompiledArtifacts:
     """Everything the cache restores on a hit (post-analysis artifacts)."""
@@ -319,6 +339,10 @@ class CompiledArtifacts:
     plan: TaskPlan
     module: PythonModule
     vector_module: NumpyModule | None
+    #: executable C translation unit (backend="c"); the machine-local
+    #: build product itself lives in the NativeCache, keyed by content,
+    #: so caching the source is enough to make a hit a pure dlopen
+    native_source: "NativeSource | None" = None
 
     def to_obj(self, model_hash: str, key: str) -> dict[str, Any]:
         return {
@@ -340,6 +364,11 @@ class CompiledArtifacts:
                 None
                 if self.vector_module is None
                 else _module_to_obj(self.vector_module)
+            ),
+            "native_source": (
+                None
+                if self.native_source is None
+                else _native_to_obj(self.native_source)
             ),
         }
 
@@ -363,6 +392,7 @@ class CompiledArtifacts:
             vector_module=(
                 None if vmod is None else load_numpy_module(name=name, **vmod)
             ),
+            native_source=_native_from_obj(obj.get("native_source")),
         )
 
 

@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards for typing only
     from ..codegen import GeneratedProgram, OdeSystem, TaskPlan, VerifyReport
     from ..codegen.gen_numpy import NumpyModule
     from ..codegen.gen_python import PythonModule
+    from ..codegen.gen_c import NativeSource
+    from ..codegen.native import NativeCache, NativeModule
     from ..model import FlatModel, TypeReport
     from ..model.instance import Model
     from .cache import ArtifactCache
@@ -37,9 +39,9 @@ __all__ = [
 ]
 
 #: backends that produce an executable :class:`GeneratedProgram` module
-EXECUTABLE_BACKENDS = ("python", "numpy")
-#: source-only emission targets (``repro codegen`` / generate_c / generate_fortran)
-SOURCE_ONLY_BACKENDS = ("c", "fortran")
+EXECUTABLE_BACKENDS = ("python", "numpy", "c")
+#: source-only emission targets (``repro codegen`` / generate_fortran)
+SOURCE_ONLY_BACKENDS = ("fortran",)
 
 
 def unknown_backend_message(backend: object) -> str:
@@ -57,9 +59,9 @@ def unknown_backend_message(backend: object) -> str:
             hint = f" (did you mean {close[0]!r}?)"
     return (
         f"unknown backend {backend!r} for compilation{hint}; valid backends: "
-        f"'python', 'numpy' (executable) — 'c' and 'fortran' are source-only "
-        f"targets emitted via `repro codegen -t c|f90` or "
-        f"generate_c/generate_fortran"
+        f"'python', 'numpy', 'c' (executable; 'c' compiles natively via "
+        f"cffi/ctypes) — 'fortran' is a source-only target emitted via "
+        f"`repro codegen -t f90` or generate_fortran"
     )
 
 
@@ -94,6 +96,10 @@ class CompileOptions:
     stage_chunk: int | None = None
     #: content-addressed artifact cache (None disables caching)
     cache: "ArtifactCache | None" = None
+    #: native build-product cache for ``backend="c"`` (None = the
+    #: process-wide default at ``~/.cache/repro/native``); infrastructure
+    #: like ``cache``, so deliberately not part of the codegen fingerprint
+    native_cache: "NativeCache | None" = None
     #: pass names after which a textual context snapshot is recorded
     dump_after: tuple[str, ...] = ()
     #: collect pass failures as diagnostics and raise one CompileError
@@ -178,6 +184,11 @@ class CompilationContext:
     plan: "TaskPlan | None" = None
     module: "PythonModule | None" = None
     vector_module: "NumpyModule | None" = None
+    #: executable C translation unit (backend="c"; cached like the modules)
+    native_source: "NativeSource | None" = None
+    #: loaded native module, or None when the toolchain is unavailable
+    #: (the ``native_unavailable`` metric then records why)
+    native_module: "NativeModule | None" = None
     program: "GeneratedProgram | None" = None
     # -- caching ----------------------------------------------------------
     model_hash: str | None = None

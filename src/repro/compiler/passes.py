@@ -19,12 +19,16 @@ transform      flat                       system
 verify         system                     verify_report
 tasks          system                     plan
 fuse_tasks     plan                       plan (fused)
-codegen        system, plan               module, vector_module
+codegen        system, plan               module, vector_module, native_source
+link_native    system, plan               native_module (backend="c")
 link           system, plan, module       program
 cache-store    program                    —
 =============  =========================  ==========================
 
-``partition`` through ``codegen`` are skipped on an artifact-cache hit;
+``partition`` through ``codegen`` are skipped on an artifact-cache hit
+(``link_native`` deliberately is not: a hit restores the C translation
+unit, and the native pass re-``dlopen``-s the machine-local build
+product — or rebuilds it once if this machine has never seen the model);
 ``parse``/``flatten`` are skipped when the caller already supplies a
 model / flat model.  ``scalarize`` only acts on array flat models whose
 array path cannot serve the requested options (flatten fallback, analytic
@@ -120,6 +124,7 @@ def _run_cache_lookup(ctx: CompilationContext) -> None:
     ctx.plan = hit.plan
     ctx.module = hit.module
     ctx.vector_module = hit.vector_module
+    ctx.native_source = hit.native_source
 
 
 def _skip_when_no_cache(ctx: CompilationContext) -> str | None:
@@ -146,6 +151,8 @@ def _scalarize_trigger(
         return "analytic Jacobian requires scalar equations"
     if options.shared_cse:
         return "shared-CSE tasks require scalar equations"
+    if options.backend == "c":
+        return "native C backend requires scalar equations"
     return None
 
 
@@ -249,6 +256,18 @@ def _skip_fuse(ctx: CompilationContext) -> str | None:
     return None
 
 
+def _scc_blocks(ctx: CompilationContext) -> dict[str, int] | None:
+    """State-name → SCC-block membership for the current plan's names."""
+    if ctx.partition is None:
+        return None
+    part = ctx.partition
+    if isinstance(part, ArrayPartition) and not isinstance(
+        ctx.system, ArraySystem
+    ):
+        return part.expanded_membership()
+    return part.membership
+
+
 def _run_codegen(ctx: CompilationContext) -> None:
     opts = ctx.options
     ctx.module = generate_python(
@@ -264,6 +283,63 @@ def _run_codegen(ctx: CompilationContext) -> None:
             jacobian=opts.jacobian,
             cse_min_ops=opts.cse_min_ops,
         )
+    if opts.backend == "c":
+        from ..codegen.gen_c import generate_c_tasks
+
+        ctx.native_source = generate_c_tasks(
+            ctx.system,
+            plan=ctx.plan,
+            jacobian=opts.jacobian,
+            cse_min_ops=opts.cse_min_ops,
+            blocks=_scc_blocks(ctx),
+        )
+
+
+def _run_link_native(ctx: CompilationContext) -> None:
+    """Compile/load the native module (``backend="c"`` only).
+
+    Runs on cache hits too — the artifact cache restores the translation
+    unit, and this pass turns it back into a loaded module (a dlopen on a
+    warm native cache, a single ``cc`` invocation otherwise).  A missing
+    toolchain degrades to the Python backend: the failure is recorded as
+    the ``native_unavailable`` metric plus a warning diagnostic, never an
+    exception.
+    """
+    from ..codegen.gen_c import generate_c_tasks
+    from ..codegen.native import NativeUnavailable, build_native_module
+
+    if ctx.native_source is None:
+        # Defensive: an artifact stored by a caller that bypassed codegen.
+        ctx.native_source = generate_c_tasks(
+            ctx.system,
+            plan=ctx.plan,
+            jacobian=ctx.options.jacobian,
+            cse_min_ops=ctx.options.cse_min_ops,
+            blocks=_scc_blocks(ctx),
+        )
+    try:
+        module, info = build_native_module(
+            ctx.native_source, cache=ctx.options.native_cache
+        )
+    except NativeUnavailable as exc:
+        ctx.metrics["native_unavailable"] = exc.reason
+        ctx.diagnose(
+            "link_native",
+            f"native backend unavailable ({exc.reason}): {exc}; "
+            f"falling back to backend='python'",
+            severity="warning",
+        )
+        return
+    ctx.native_module = module
+    ctx.metrics["native_cache_hit"] = info["cache_hit"]
+    ctx.metrics["native_build_ms"] = info["build_ms"]
+    ctx.metrics["native_ffi"] = info["ffi"]
+
+
+def _skip_link_native(ctx: CompilationContext) -> str | None:
+    if ctx.options.backend != "c":
+        return "backend is not 'c'"
+    return None
 
 
 def _run_link(ctx: CompilationContext) -> None:
@@ -273,6 +349,8 @@ def _run_link(ctx: CompilationContext) -> None:
         module=ctx.module,
         verify_report=ctx.verify_report,
         vector_module=ctx.vector_module,
+        native_module=ctx.native_module,
+        native_fallback_reason=ctx.metrics.get("native_unavailable"),
     )
     ctx.metrics["num_cse_serial"] = ctx.module.num_cse_serial
     ctx.metrics["num_cse_parallel"] = ctx.module.num_cse_parallel
@@ -289,6 +367,7 @@ def _run_cache_store(ctx: CompilationContext) -> None:
             plan=ctx.plan,
             module=ctx.module,
             vector_module=ctx.vector_module,
+            native_source=ctx.native_source,
         ),
         model_hash=ctx.model_hash,
     )
@@ -326,7 +405,7 @@ def build_default_manager() -> PassManager:
              description="content hash of flat model + codegen options"),
         Pass("cache-lookup", _run_cache_lookup, requires=("cache_key",),
              provides=("partition", "system", "verify_report", "plan",
-                       "module", "vector_module"),
+                       "module", "vector_module", "native_source"),
              description="restore artifacts on a content-hash hit",
              skip_when=_skip_when_no_cache),
         Pass("scalarize", _run_scalarize, requires=("flat",),
@@ -354,9 +433,15 @@ def build_default_manager() -> PassManager:
              description="merge small tasks until dispatch cost amortises",
              skip_when=_skip_fuse),
         Pass("codegen", _run_codegen, requires=("system", "plan"),
-             provides=("module", "vector_module"),
-             description="CSE + code emission (python / numpy modules)",
+             provides=("module", "vector_module", "native_source"),
+             description="CSE + code emission (python / numpy / C sources)",
              skip_when=_skip_when_cached),
+        Pass("link_native", _run_link_native,
+             requires=("system", "plan"),
+             provides=("native_module",),
+             description="compile + dlopen the C translation unit "
+                         "(content-addressed native cache)",
+             skip_when=_skip_link_native),
         Pass("link", _run_link,
              requires=("system", "plan", "module", "verify_report"),
              provides=("program",),

@@ -139,6 +139,22 @@ class PipelineReport:
                 lines.append(
                     f"  scalarized: {self.metrics.get('scalarize_reason')}"
                 )
+        if "native_build_ms" in self.metrics:
+            what = (
+                "native cache hit"
+                if self.metrics.get("native_cache_hit")
+                else "compiled"
+            )
+            lines.append(
+                f"  native build: {self.metrics['native_build_ms']:.2f} ms "
+                f"({what}, ffi {self.metrics.get('native_ffi', '?')})"
+            )
+        if "native_unavailable" in self.metrics:
+            lines.append(
+                f"  native unavailable: "
+                f"{self.metrics['native_unavailable']} "
+                f"(fell back to backend='python')"
+            )
         if "fuse_tasks_before" in self.metrics:
             lines.append(
                 f"  fuse tasks: {self.metrics['fuse_tasks_before']} -> "

@@ -219,7 +219,7 @@ class FaultInjector:
     ) -> list[Callable[[float, np.ndarray, np.ndarray, np.ndarray], None]]:
         """Return the program's task functions wrapped with fault hooks."""
         wrapped = []
-        for tid, fn in enumerate(program.module.tasks):
+        for tid, fn in enumerate(program.task_callables()):
             wrapped.append(self._wrap_one(program, tid, fn))
         return wrapped
 

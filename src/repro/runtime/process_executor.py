@@ -401,7 +401,7 @@ class ProcessExecutor:
         #: supervisor-side task functions (inline fallback / degraded mode)
         self._tasks = (
             injector.wrap_tasks(program) if injector is not None
-            else list(program.module.tasks)
+            else list(program.task_callables())
         )
         self._slots = [
             np.asarray(program.task_output_slots(tid), dtype=int)

@@ -158,7 +158,7 @@ class SerialExecutor:
         self.injector = injector
         self._tasks = (
             injector.wrap_tasks(program) if injector is not None
-            else program.module.tasks
+            else program.task_callables()
         )
 
     def evaluate(
@@ -291,7 +291,7 @@ class ThreadedExecutor:
 
         self._tasks = (
             injector.wrap_tasks(program) if injector is not None
-            else list(program.module.tasks)
+            else list(program.task_callables())
         )
         self._slots = [
             np.asarray(program.task_output_slots(tid), dtype=int)

@@ -1,0 +1,471 @@
+"""Native C backend (``backend="c"``): agreement, caching, degradation.
+
+The acceptance bar for the native backend is *bit-level trust*: the same
+model compiled natively must agree with the Python backend to 1e-12 on
+the RHS, every task slot, and the sparse SCC-block analytic Jacobian
+(against the scalarized dense oracle), across serial/threaded executors
+and fused/unfused plans, on all four example apps.  The build layer is
+tested for content-addressed reuse (< 50 ms warm path), bounded on-disk
+growth (eviction events), and graceful degradation to the Python backend
+when the machine has no C toolchain — a structured diagnostic, never a
+traceback.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.bearing2d import BearingParams, build_bearing2d
+from repro.apps.bearing3d import Bearing3dParams, build_bearing3d
+from repro.apps.powerplant import build_powerplant
+from repro.apps.servo import build_servo
+from repro.codegen import native as native_layer
+from repro.codegen.gen_c import NativeSource, generate_c_tasks
+from repro.codegen.native import (
+    NativeCache,
+    NativeUnavailable,
+    build_native_module,
+    find_compiler,
+    load_native_module,
+)
+from repro.compiler import ArtifactCache, CompileOptions, compile_context
+from repro.frontend import compile_model
+from repro.runtime import (
+    FaultInjector,
+    FaultSpec,
+    ParallelRHS,
+    RuntimeEvents,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.solver import solve_ivp
+
+HAS_CC = find_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAS_CC, reason="no C compiler on PATH")
+
+TOL = 1e-12
+
+_BUILDERS = {
+    "servo": build_servo,
+    "powerplant": build_powerplant,
+    "bearing2d": lambda: build_bearing2d(BearingParams(num_rollers=4)),
+    "bearing3d": lambda: build_bearing3d(
+        Bearing3dParams(num_rollers=4, contact_harmonics=2)
+    ),
+}
+APPS = tuple(_BUILDERS)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_native_cache(tmp_path_factory):
+    """Point the default native cache at a per-run directory."""
+    root = tmp_path_factory.mktemp("native-cache")
+    old = os.environ.get("REPRO_NATIVE_CACHE")
+    os.environ["REPRO_NATIVE_CACHE"] = str(root)
+    yield root
+    if old is None:
+        os.environ.pop("REPRO_NATIVE_CACHE", None)
+    else:
+        os.environ["REPRO_NATIVE_CACHE"] = old
+
+
+@pytest.fixture(scope="module")
+def programs():
+    """(app, fuse) → (python program, native program), compiled once."""
+    cache: dict = {}
+
+    def get(app: str, fuse: bool = True):
+        key = (app, fuse)
+        if key not in cache:
+            model = _BUILDERS[app]()
+            py = compile_model(model, jacobian=True, fuse=fuse).program
+            c = compile_model(
+                model, jacobian=True, fuse=fuse, backend="c"
+            ).program
+            cache[key] = (py, c)
+        return cache[key]
+
+    return get
+
+
+def _probe_states(program, count: int = 3):
+    """Deterministic off-equilibrium probe points."""
+    y0 = program.start_vector()
+    rng = np.random.default_rng(42)
+    for k in range(count):
+        yield 0.1 + 0.3 * k, y0 + 0.05 * rng.standard_normal(y0.size)
+
+
+def _evaluate(executor_cls, program, t, y, num_workers=2):
+    res = program.results_buffer()
+    if executor_cls is SerialExecutor:
+        SerialExecutor(program).evaluate(
+            t, y, program.param_vector(), res
+        )
+        return res
+    with executor_cls(program, num_workers) as executor:
+        executor.evaluate(t, y, program.param_vector(), res)
+    return res
+
+
+@needs_cc
+class TestNumericalAgreement:
+    @pytest.mark.parametrize("app", APPS)
+    def test_rhs_agreement(self, programs, app):
+        py, c = programs(app)
+        assert c.native_module is not None, c.native_fallback_reason
+        assert c.backend == "c"
+        for t, y in _probe_states(py):
+            got = c.rhs(t, y)
+            want = py.rhs(t, y)
+            scale = np.maximum(np.abs(want), 1.0)
+            assert np.all(np.abs(got - want) <= TOL * scale)
+
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("fuse", [True, False],
+                             ids=["fused", "unfused"])
+    @pytest.mark.parametrize(
+        "executor_cls", [SerialExecutor, ThreadedExecutor],
+        ids=["serial", "thread"],
+    )
+    def test_task_agreement_across_executors(
+        self, programs, app, fuse, executor_cls
+    ):
+        """Every results-vector slot (states + partials) agrees."""
+        py, c = programs(app, fuse)
+        assert c.native_module is not None
+        assert c.num_tasks == py.num_tasks
+        t, y = next(_probe_states(py))
+        res_c = _evaluate(executor_cls, c, t, y)
+        res_py = _evaluate(SerialExecutor, py, t, y)
+        scale = np.maximum(np.abs(res_py), 1.0)
+        assert np.all(np.abs(res_c - res_py) <= TOL * scale)
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_sparse_jacobian_vs_dense_oracle(self, programs, app):
+        """Native sparse JAC == the scalarized dense Python oracle."""
+        py, c = programs(app)
+        assert c.native_module is not None
+        assert c.native_module.jac_sparse is not None
+        jac_c = c.make_jac()
+        jac_py = py.make_jac()
+        src = c.native_module.native
+        n = py.num_states
+        pattern = set(zip(src.jac_rows, src.jac_cols))
+        for t, y in _probe_states(py):
+            got = jac_c(t, y)
+            want = jac_py(t, y)
+            scale = np.maximum(np.abs(want), 1.0)
+            assert np.all(np.abs(got - want) <= TOL * scale)
+            # Entries outside the sparse pattern are structural zeros in
+            # the oracle too: the pattern is exact, not conservative.
+            mask = np.ones((n, n), dtype=bool)
+            for i, j in pattern:
+                mask[i, j] = False
+            assert np.all(want[mask] == 0.0)
+
+    def test_end_to_end_solve_agreement(self, programs):
+        py, c = programs("bearing2d")
+        sol_py = solve_ivp(
+            py.make_rhs(), (0.0, 0.05), py.start_vector(), method="rk4",
+            max_step=1e-3,
+        )
+        sol_c = solve_ivp(
+            c.make_rhs(), (0.0, 0.05), c.start_vector(), method="rk4",
+            max_step=1e-3,
+        )
+        # Fixed-step RK4 runs the identical step sequence, so the only
+        # divergence source would be the RHS itself.
+        assert np.allclose(sol_c.ys, sol_py.ys, rtol=1e-9, atol=1e-12)
+
+
+@needs_cc
+class TestSparsePattern:
+    def test_pattern_grouped_by_scc_block(self):
+        cm = compile_model(
+            _BUILDERS["bearing2d"](), jacobian=True, backend="c"
+        )
+        src = cm.program.native_module.native
+        membership = cm.partition.membership
+        state_names = cm.system.state_names
+        block_seq = [
+            membership[state_names[i]] for i in src.jac_rows
+        ]
+        # Rows are visited one SCC block at a time: the block id sequence
+        # never revisits an earlier block.
+        seen: list = []
+        for b in block_seq:
+            if not seen or seen[-1] != b:
+                assert b not in seen
+                seen.append(b)
+
+    def test_nnz_is_sparse_on_bearing(self):
+        cm = compile_model(
+            _BUILDERS["bearing2d"](), jacobian=True, backend="c"
+        )
+        src = cm.program.native_module.native
+        n = cm.program.num_states
+        assert 0 < src.jac_nnz < n * n
+
+
+@needs_cc
+class TestFaultMatrixWithNativeTasks:
+    """The recovery ladder must work unchanged when tasks are native."""
+
+    @pytest.mark.parametrize("mode", ["raise", "hang", "nan"])
+    def test_recovers_and_matches_serial(self, programs, mode):
+        py, c = programs("bearing2d")
+        assert c.native_module is not None
+        reference = _evaluate(SerialExecutor, c, 0.0, c.start_vector())
+        events = RuntimeEvents()
+        spec = dict(task_id=1, mode=mode, count=1)
+        if mode == "hang":
+            spec["hang_seconds"] = 0.05
+        injector = FaultInjector([FaultSpec(**spec)], events=events)
+        with ThreadedExecutor(
+            c, 2, injector=injector, events=events
+        ) as executor:
+            res = c.results_buffer()
+            executor.evaluate(
+                0.0, c.start_vector(), c.param_vector(), res
+            )
+        assert np.array_equal(res, reference)
+        assert events.count("fault_injected") == 1
+        if mode in ("raise", "nan"):
+            assert events.count("task_retry") == 1
+
+
+class TestGracefulDegradation:
+    def test_no_toolchain_falls_back_to_python(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+        native_layer._reset_toolchain_probe()
+        try:
+            ctx = compile_context(
+                model=build_servo(),
+                options=CompileOptions(backend="c", jacobian=True),
+            )
+            program = ctx.program
+            assert program is not None
+            assert program.native_module is None
+            assert program.backend == "python"
+            assert program.native_fallback_reason == "no_compiler"
+            assert ctx.metrics["native_unavailable"] == "no_compiler"
+            warnings = [
+                d for d in ctx.diagnostics if d.severity == "warning"
+            ]
+            assert any("native backend unavailable" in d.message
+                       for d in warnings)
+            # Still fully executable through the Python module.
+            out = program.rhs(0.0, program.start_vector())
+            assert np.all(np.isfinite(out))
+            assert program.make_jac() is not None
+        finally:
+            native_layer._reset_toolchain_probe()
+
+    def test_no_toolchain_report_has_structured_reason(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.compiler import PipelineReport
+
+        monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+        native_layer._reset_toolchain_probe()
+        try:
+            cm = compile_model(build_servo(), backend="c")
+            report = cm.report
+            assert report.metrics["native_unavailable"] == "no_compiler"
+            text = "\n".join(report.summary_lines())
+            assert "native unavailable" in text
+            assert "fell back" in text
+        finally:
+            native_layer._reset_toolchain_probe()
+
+    @needs_cc
+    def test_compile_failure_degrades_not_raises(self, tmp_path):
+        bad = NativeSource(
+            source="this is not C at all;",
+            cdef="", name="broken", num_states=1, num_partials=0,
+            num_tasks=0, num_params=0, has_jacobian=False,
+            jac_rows=(), jac_cols=(), num_lines=1, num_cse=0,
+        )
+        with pytest.raises(NativeUnavailable) as exc:
+            build_native_module(bad, cache=NativeCache(tmp_path))
+        assert exc.value.reason == "compile_failed"
+
+
+@needs_cc
+class TestNativeCache:
+    def _tiny(self, tag: int) -> NativeSource:
+        source = "\n".join([
+            f"/* tiny model {tag} */",
+            "int NUM_STATES(void) { return 1; }",
+            "int NUM_PARTIALS(void) { return 0; }",
+            "int NUM_TASKS(void) { return 0; }",
+            "void RHS(double t, const double *yin, const double *p, "
+            "double *yout)",
+            f"{{ (void)t; (void)p; yout[0] = yin[0] * {tag}.0; }}",
+            "void START(double *y0) { y0[0] = 1.0; }",
+            "void PARAMS(double *pout) { (void)pout; }",
+        ])
+        cdef = "\n".join([
+            "int NUM_STATES(void);",
+            "int NUM_PARTIALS(void);",
+            "int NUM_TASKS(void);",
+            "void RHS(double t, const double *yin, const double *p, "
+            "double *yout);",
+            "void START(double *y0);",
+            "void PARAMS(double *pout);",
+        ])
+        return NativeSource(
+            source=source, cdef=cdef, name=f"tiny{tag}", num_states=1,
+            num_partials=0, num_tasks=0, num_params=0, has_jacobian=False,
+            jac_rows=(), jac_cols=(), num_lines=source.count("\n") + 1,
+            num_cse=0,
+        )
+
+    def test_warm_reuse_within_process(self, tmp_path):
+        cache = NativeCache(tmp_path)
+        src = self._tiny(7)
+        _, cold = build_native_module(src, cache=cache)
+        _, warm = build_native_module(src, cache=cache)
+        assert cold["cache_hit"] is False
+        assert warm["cache_hit"] is True and warm["level"] == "memory"
+        assert warm["build_ms"] < 50.0
+
+    def test_warm_reuse_across_processes_is_a_dlopen(self, tmp_path):
+        cache = NativeCache(tmp_path)
+        src = self._tiny(8)
+        build_native_module(src, cache=cache)
+        fresh = NativeCache(tmp_path)  # simulates a new process
+        module, info = build_native_module(src, cache=fresh)
+        assert info["cache_hit"] is True and info["level"] == "disk"
+        out = np.empty(1)
+        module.rhs(0.0, np.array([3.0]), np.empty(0), out)
+        assert out[0] == 24.0
+
+    def test_eviction_drops_oldest_and_records_event(self, tmp_path):
+        events = RuntimeEvents()
+        cache = NativeCache(tmp_path, max_entries=2, events=events)
+        keys = []
+        for tag in (1, 2, 3):
+            src = self._tiny(tag)
+            build_native_module(src, cache=cache)
+            keys.append(native_layer.native_key(src))
+            # Distinct mtimes so the LRU order is unambiguous.
+            so = cache.so_path(keys[-1])
+            os.utime(so, (so.stat().st_atime, so.stat().st_mtime + tag))
+        remaining = sorted(p.stem for p in tmp_path.glob("*.so"))
+        assert len(remaining) == 2
+        assert keys[0] not in remaining
+        assert cache.evictions == 1
+        evts = [e for e in events if e.kind == "native_cache_evicted"]
+        assert len(evts) == 1 and evts[0].data["key"] == keys[0]
+
+    def test_size_bound_eviction(self, tmp_path):
+        cache = NativeCache(tmp_path, max_bytes=1)
+        for tag in (4, 5):
+            build_native_module(self._tiny(tag), cache=cache)
+        # Bounds force everything but the newest object out.
+        assert len(list(tmp_path.glob("*.so"))) == 1
+        assert cache.evictions == 1
+
+    def test_toolchain_fingerprint_in_key(self):
+        src = self._tiny(9)
+        key = native_layer.native_key(src)
+        assert key is not None and len(key) == 64
+        assert native_layer.native_key(src) == key
+
+    def test_ctypes_fallback_agrees(self, tmp_path, monkeypatch):
+        cache = NativeCache(tmp_path)
+        src = self._tiny(6)
+        module, _ = build_native_module(src, cache=cache)
+        monkeypatch.setenv("REPRO_NATIVE_FFI", "ctypes")
+        via_ctypes = load_native_module(module.path, src)
+        assert via_ctypes.ffi_kind == "ctypes"
+        y = np.array([2.5])
+        a, b = np.empty(1), np.empty(1)
+        module.rhs(0.0, y, np.empty(0), a)
+        via_ctypes.rhs(0.0, y, np.empty(0), b)
+        assert a[0] == b[0] == 15.0
+
+
+@needs_cc
+class TestPipelineIntegration:
+    def test_artifact_cache_roundtrip_restores_native(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "artifacts")
+        opts = CompileOptions(backend="c", jacobian=True, cache=cache)
+        ctx1 = compile_context(model=build_servo(), options=opts)
+        assert ctx1.metrics["cache_hit"] is False
+        assert ctx1.program.native_module is not None
+        cache.drop_memory()  # simulate a process restart
+        ctx2 = compile_context(model=build_servo(), options=opts)
+        assert ctx2.metrics["cache_hit"] is True
+        assert ctx2.program.native_module is not None
+        assert ctx2.native_source == ctx1.native_source
+        t, y = 0.2, ctx1.program.start_vector() + 0.01
+        assert np.array_equal(
+            ctx2.program.rhs(t, y), ctx1.program.rhs(t, y)
+        )
+
+    def test_warm_native_link_is_fast(self, tmp_path):
+        """Warm-cache native compile: link_native adds < 50 ms."""
+        cache = ArtifactCache(tmp_path / "artifacts")
+        opts = CompileOptions(backend="c", cache=cache)
+        compile_context(model=build_servo(), options=opts)
+        ctx = compile_context(model=build_servo(), options=opts)
+        assert ctx.metrics["cache_hit"] is True
+        assert ctx.metrics["native_cache_hit"] is True
+        ran = {m["name"]: m for m in ctx.pass_metrics
+               if m["status"] == "ran"}
+        assert ran["link_native"]["wall_s"] < 0.050
+
+    def test_explain_reports_native_build(self):
+        cm = compile_model(build_servo(), backend="c")
+        text = "\n".join(cm.report.summary_lines())
+        assert "link_native" in text
+        assert "native build:" in text
+
+    def test_cache_key_differs_from_python_backend(self):
+        from repro.compiler import artifact_key, model_fingerprint
+
+        h = model_fingerprint(build_servo().flatten())
+        assert artifact_key(h, CompileOptions(backend="c")) != \
+            artifact_key(h, CompileOptions(backend="python"))
+
+    def test_process_executor_rebuilds_native(self, programs):
+        from repro.runtime import ProcessExecutor
+
+        _, c = programs("bearing2d")
+        assert c.native_module is not None
+        spec = c.rebuild_spec()
+        assert spec.native_source is not None
+        reference = _evaluate(SerialExecutor, c, 0.0, c.start_vector())
+        with ProcessExecutor(c, num_workers=2) as executor:
+            res = c.results_buffer()
+            executor.evaluate(
+                0.0, c.start_vector(), c.param_vector(), res
+            )
+        assert np.array_equal(res, reference)
+
+    def test_program_spec_survives_missing_so(self, programs, tmp_path):
+        """Workers rebuild from source when the parent's .so vanished."""
+        _, c = programs("servo")
+        spec = c.rebuild_spec()
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            native_so_path=str(tmp_path / "gone.so"),
+            native_cache_root=str(tmp_path / "fresh-cache"),
+        )
+        tasks = spec.build_tasks()
+        assert len(tasks) == c.num_tasks
+        res = c.results_buffer()
+        want = c.results_buffer()
+        tasks[0](0.1, c.start_vector(), c.param_vector(), res)
+        c.task_callables()[0](
+            0.1, c.start_vector(), c.param_vector(), want
+        )
+        assert np.array_equal(res, want)
